@@ -1,0 +1,115 @@
+//! Criterion bench for the paper's "further findings" (§5): the effect of
+//! the iteration count (linear), the error budget ε (strong), the number
+//! of dimensions (none), and the target selection (minor). Full sweep:
+//! `src/bin/ablations.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enframe_bench::{prepare, run_engine, Engine};
+use enframe_data::{LineageOpts, Scheme};
+use enframe_lang::{parse, programs};
+use enframe_network::Network;
+use enframe_prob::{compile, Options, Strategy};
+use enframe_translate::{targets, translate};
+
+fn iterations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_iterations");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for iters in [1usize, 2, 4] {
+        let prep = prepare(
+            32,
+            2,
+            iters,
+            Scheme::Positive { l: 4, v: 14 },
+            &LineageOpts::default(),
+            0xAB1,
+        );
+        g.bench_function(format!("hybrid_iters{iters}"), |b| {
+            b.iter(|| run_engine(&prep, Engine::Hybrid, 0.1))
+        });
+    }
+    g.finish();
+}
+
+fn epsilon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_epsilon");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let prep = prepare(
+        48,
+        2,
+        3,
+        Scheme::Positive { l: 8, v: 18 },
+        &LineageOpts::default(),
+        0xAB2,
+    );
+    for eps in [0.1, 0.2, 0.4] {
+        g.bench_function(format!("hybrid_eps{eps}"), |b| {
+            b.iter(|| run_engine(&prep, Engine::Hybrid, eps))
+        });
+    }
+    g.finish();
+}
+
+fn target_kinds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_targets");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let base = prepare(
+        24,
+        2,
+        2,
+        Scheme::Positive { l: 4, v: 12 },
+        &LineageOpts::default(),
+        0xAB3,
+    );
+    // Medoid-selection targets (the default harness choice).
+    g.bench_function("centre_targets", |b| {
+        b.iter(|| run_engine(&base, Engine::Hybrid, 0.1))
+    });
+    // Object-cluster-membership targets instead.
+    let ast = parse(programs::K_MEDOIDS).unwrap();
+    let mut tr = translate(&ast, &base.workload.env).unwrap();
+    targets::add_all_bool_targets(&mut tr, "InCl");
+    let net = Network::build(&tr.ground().unwrap()).unwrap();
+    g.bench_function("incl_targets", |b| {
+        b.iter(|| compile(&net, &base.workload.vt, Options::approx(Strategy::Hybrid, 0.1)))
+    });
+    // A single co-clustering query.
+    let mut tr2 = translate(&ast, &base.workload.env).unwrap();
+    targets::add_same_cluster_target(&mut tr2, "InCl", 2, 0, 1).unwrap();
+    let net2 = Network::build(&tr2.ground().unwrap()).unwrap();
+    g.bench_function("co_occurrence_target", |b| {
+        b.iter(|| compile(&net2, &base.workload.vt, Options::approx(Strategy::Hybrid, 0.1)))
+    });
+    g.finish();
+}
+
+fn folded_vs_unfolded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_folded");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let prep = prepare(
+        32,
+        2,
+        4,
+        Scheme::Positive { l: 4, v: 14 },
+        &LineageOpts::default(),
+        0xAB4,
+    );
+    assert!(prep.folded.is_some(), "k-medoids iterations fold");
+    g.bench_function("hybrid_unfolded", |b| {
+        b.iter(|| run_engine(&prep, Engine::Hybrid, 0.1))
+    });
+    g.bench_function("hybrid_folded", |b| {
+        b.iter(|| run_engine(&prep, Engine::HybridFolded, 0.1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, iterations, epsilon, target_kinds, folded_vs_unfolded);
+criterion_main!(benches);

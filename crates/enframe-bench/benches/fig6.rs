@@ -1,0 +1,89 @@
+//! Criterion bench for Figure 6: positive correlations (l = 8) — one
+//! representative configuration per series (naïve, exact, eager, lazy,
+//! hybrid, hybrid-d on the left plot; the approximations across dataset
+//! fractions on the right plot). The full sweeps live in
+//! `src/bin/fig6_left.rs` / `src/bin/fig6_right.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enframe_bench::{prepare, run_engine, Engine};
+use enframe_data::{LineageOpts, Scheme};
+
+fn fig6_left(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_left");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    // Small enough that even the naïve baseline is benchable.
+    let prep_small = prepare(
+        16,
+        2,
+        3,
+        Scheme::Positive { l: 4, v: 8 },
+        &LineageOpts::default(),
+        0xC6,
+    );
+    g.bench_function("naive_v8", |b| {
+        b.iter(|| run_engine(&prep_small, Engine::Naive, 0.0))
+    });
+    g.bench_function("exact_v8", |b| {
+        b.iter(|| run_engine(&prep_small, Engine::Exact, 0.0))
+    });
+    // The regime where the engines separate.
+    let prep = prepare(
+        32,
+        2,
+        3,
+        Scheme::Positive { l: 8, v: 12 },
+        &LineageOpts::default(),
+        0xC61,
+    );
+    g.bench_function("exact_v12", |b| {
+        b.iter(|| run_engine(&prep, Engine::Exact, 0.0))
+    });
+    for (name, engine) in [
+        ("eager_v12", Engine::Eager),
+        ("lazy_v12", Engine::Lazy),
+        ("hybrid_v12", Engine::Hybrid),
+        (
+            "hybrid_d_v12",
+            Engine::HybridD {
+                workers: 4,
+                job_depth: 3,
+            },
+        ),
+    ] {
+        g.bench_function(name, |b| b.iter(|| run_engine(&prep, engine, 0.1)));
+    }
+    g.finish();
+}
+
+fn fig6_right(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_right");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for f_pct in [25usize, 100] {
+        let n = 96 * f_pct / 100;
+        let prep = prepare(
+            n,
+            2,
+            3,
+            Scheme::Positive { l: 8, v: 20 },
+            &LineageOpts::default(),
+            0xC62,
+        );
+        for (name, engine) in [
+            ("lazy", Engine::Lazy),
+            ("eager", Engine::Eager),
+            ("hybrid", Engine::Hybrid),
+        ] {
+            g.bench_function(format!("{name}_f{f_pct}"), |b| {
+                b.iter(|| run_engine(&prep, engine, 0.1))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6_left, fig6_right);
+criterion_main!(benches);

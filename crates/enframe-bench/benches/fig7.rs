@@ -1,0 +1,59 @@
+//! Criterion bench for Figure 7: mutex (m = 12) and conditional
+//! correlations — representative configurations per series. Full sweeps:
+//! `src/bin/fig7_mutex.rs` / `src/bin/fig7_conditional.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enframe_bench::{prepare, run_engine, Engine};
+use enframe_data::{LineageOpts, Scheme};
+
+fn fig7_mutex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_mutex");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let prep = prepare(
+        36,
+        2,
+        3,
+        Scheme::Mutex { m: 12 },
+        &LineageOpts::default(),
+        0xC7,
+    );
+    g.bench_function("exact_n36", |b| {
+        b.iter(|| run_engine(&prep, Engine::Exact, 0.0))
+    });
+    g.bench_function("hybrid_n36", |b| {
+        b.iter(|| run_engine(&prep, Engine::Hybrid, 0.1))
+    });
+    g.bench_function("hybrid_d_n36", |b| {
+        b.iter(|| {
+            run_engine(
+                &prep,
+                Engine::HybridD {
+                    workers: 4,
+                    job_depth: 3,
+                },
+                0.1,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn fig7_conditional(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_conditional");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let prep = prepare(24, 2, 3, Scheme::Conditional, &LineageOpts::default(), 0xC71);
+    g.bench_function("exact_n24", |b| {
+        b.iter(|| run_engine(&prep, Engine::Exact, 0.0))
+    });
+    g.bench_function("hybrid_n24", |b| {
+        b.iter(|| run_engine(&prep, Engine::Hybrid, 0.1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig7_mutex, fig7_conditional);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 8: the effect of certain data points
+//! (positive correlations, l = 8, v = 30). Full sweep:
+//! `src/bin/fig8_certain.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enframe_bench::{prepare, run_engine, Engine};
+use enframe_data::{LineageOpts, Scheme};
+
+fn fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_certain_points");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for c_pct in [0usize, 95] {
+        // Smoke-scale v (the paper's v = 30 exceeds the fully-uncertain
+        // sequential envelope; see src/bin/fig8_certain.rs).
+        let prep = prepare(
+            120,
+            2,
+            3,
+            Scheme::Positive { l: 8, v: 14 },
+            &LineageOpts {
+                certain_frac: c_pct as f64 / 100.0,
+                ..LineageOpts::default()
+            },
+            0xC8,
+        );
+        g.bench_function(format!("hybrid_c{c_pct}"), |b| {
+            b.iter(|| run_engine(&prep, Engine::Hybrid, 0.1))
+        });
+        g.bench_function(format!("hybrid_d_c{c_pct}"), |b| {
+            b.iter(|| {
+                run_engine(
+                    &prep,
+                    Engine::HybridD {
+                        workers: 4,
+                        job_depth: 3,
+                    },
+                    0.1,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 9: distributed compilation vs worker count
+//! and job size. Full sweep: `src/bin/fig9_workers.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enframe_bench::{prepare, run_engine, Engine};
+use enframe_data::{LineageOpts, Scheme};
+
+fn fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_workers");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let prep = prepare(
+        96,
+        2,
+        3,
+        Scheme::Positive { l: 8, v: 16 },
+        &LineageOpts::default(),
+        0xC9,
+    );
+    for workers in [1usize, 4, 8] {
+        for job_depth in [3usize, 6, 9] {
+            g.bench_function(format!("w{workers}_d{job_depth}"), |b| {
+                b.iter(|| {
+                    run_engine(
+                        &prep,
+                        Engine::HybridD { workers, job_depth },
+                        0.1,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,260 @@
+//! The paper's "further findings" (§5): sweeps over the number of
+//! iterations (linear effect), the error budget ε (strong effect), the
+//! number of dimensions (no effect), the kind/number of compilation
+//! targets (minor effect), and event-network size/memory growth.
+//!
+//! Run: `cargo run --release -p enframe-bench --bin ablations`
+
+use enframe_bench::*;
+use enframe_core::{Event, VarTable};
+use enframe_data::{
+    generate_lineage, generate_sensor_points, LineageOpts, Scheme, SensorConfig,
+};
+use enframe_lang::{parse, programs};
+use enframe_network::Network;
+use enframe_prob::{compile, Options, Strategy};
+use enframe_translate::env::clustering_env;
+use enframe_translate::{targets, translate, ProbObjects};
+use std::time::Instant;
+
+fn main() {
+    let full = full_scale();
+    print_header();
+
+    // --- iterations: linear effect on running time ----------------------
+    let iter_grid: Vec<usize> = if full { vec![1, 2, 3, 4, 6, 8] } else { vec![1, 2, 3, 4] };
+    for &iters in &iter_grid {
+        let prep = prepare(
+            32,
+            2,
+            iters,
+            Scheme::Positive { l: 4, v: 14 },
+            &LineageOpts::default(),
+            0xAB10,
+        );
+        let m = run_engine(&prep, Engine::Hybrid, 0.1);
+        print_row(
+            "ablation_iterations",
+            "hybrid",
+            &format!("iters={iters}"),
+            &m,
+            &format!("nodes={}", prep.net.len()),
+        );
+    }
+
+    // --- folded vs unfolded loop encoding (§4.2) -------------------------
+    // The folded network stores the loop body once; the unfolded network
+    // stores it once per iteration. Compilation work is the same, so the
+    // trade-off is memory (nodes) at equal time.
+    let fold_grid: Vec<usize> = if full { vec![2, 3, 4, 6, 8, 12] } else { vec![2, 3, 4, 6] };
+    for &iters in &fold_grid {
+        let prep = prepare(
+            32,
+            2,
+            iters,
+            Scheme::Positive { l: 4, v: 14 },
+            &LineageOpts::default(),
+            0xAB15,
+        );
+        let mu = run_engine(&prep, Engine::Hybrid, 0.1);
+        print_row(
+            "ablation_folded",
+            "unfolded",
+            &format!("iters={iters}"),
+            &mu,
+            &format!("nodes={}", prep.net.len()),
+        );
+        let mf = run_engine(&prep, Engine::HybridFolded, 0.1);
+        let detail = match &prep.folded {
+            Some(f) => {
+                let st = f.stats();
+                format!(
+                    "nodes={};body={};carries={};expanded={}",
+                    st.base_nodes, st.body_nodes, st.carries, st.expanded_nodes
+                )
+            }
+            None => "unfoldable".into(),
+        };
+        print_row(
+            "ablation_folded",
+            "folded",
+            &format!("iters={iters}"),
+            &mf,
+            &detail,
+        );
+    }
+
+    // --- error budget: performance is highly sensitive to ε -------------
+    let prep = prepare(
+        48,
+        2,
+        3,
+        Scheme::Positive { l: 8, v: if full { 24 } else { 18 } },
+        &LineageOpts::default(),
+        0xAB20,
+    );
+    for eps in [0.01, 0.02, 0.05, 0.1, 0.2, 0.4] {
+        let m = run_engine(&prep, Engine::Hybrid, eps);
+        print_row(
+            "ablation_epsilon",
+            "hybrid",
+            &format!("eps={eps}"),
+            &m,
+            "",
+        );
+    }
+
+    // --- dimensions: no effect (distances are precomputed scalars) ------
+    for dims in [2usize, 3, 5, 8] {
+        let n = 32;
+        let base = generate_sensor_points(&SensorConfig {
+            n,
+            seed: 0xAB30,
+            ..SensorConfig::default()
+        });
+        // Pad points to `dims` dimensions with structured coordinates.
+        let points: Vec<Vec<f64>> = base
+            .iter()
+            .map(|p| {
+                let mut q = p.clone();
+                while q.len() < dims {
+                    q.push(p[0] * 0.5 + q.len() as f64);
+                }
+                q
+            })
+            .collect();
+        let corr = generate_lineage(
+            n,
+            Scheme::Positive { l: 4, v: 14 },
+            &LineageOpts::default(),
+            0xAB31,
+        );
+        let env = clustering_env(
+            ProbObjects::new(points, corr.lineage),
+            2,
+            3,
+            vec![0, n / 2],
+            corr.var_table.len() as u32,
+        );
+        let ast = parse(programs::K_MEDOIDS).unwrap();
+        let mut tr = translate(&ast, &env).unwrap();
+        targets::add_all_bool_targets(&mut tr, "Centre");
+        let net = Network::build(&tr.ground().unwrap()).unwrap();
+        let t0 = Instant::now();
+        let res = compile(&net, &corr.var_table, Options::approx(Strategy::Hybrid, 0.1));
+        let m = Measurement {
+            seconds: t0.elapsed().as_secs_f64(),
+            estimates: Some((0..res.lower.len()).map(|i| res.estimate(i)).collect()),
+            status: "ok".into(),
+        };
+        print_row("ablation_dimensions", "hybrid", &format!("dims={dims}"), &m, "");
+    }
+
+    // --- target kinds: minor effect --------------------------------------
+    let w = prep.workload.clone();
+    let ast = parse(programs::K_MEDOIDS).unwrap();
+    for (label, which) in [
+        ("medoid_selection", "Centre"),
+        ("object_membership", "InCl"),
+    ] {
+        let mut tr = translate(&ast, &w.env).unwrap();
+        let n_targets = targets::add_all_bool_targets(&mut tr, which);
+        let net = Network::build(&tr.ground().unwrap()).unwrap();
+        let t0 = Instant::now();
+        let res = compile(&net, &w.vt, Options::approx(Strategy::Hybrid, 0.1));
+        let m = Measurement {
+            seconds: t0.elapsed().as_secs_f64(),
+            estimates: Some((0..res.lower.len()).map(|i| res.estimate(i)).collect()),
+            status: "ok".into(),
+        };
+        print_row(
+            "ablation_targets",
+            label,
+            &format!("targets={n_targets}"),
+            &m,
+            "",
+        );
+    }
+    {
+        let mut tr = translate(&ast, &w.env).unwrap();
+        targets::add_same_cluster_target(&mut tr, "InCl", 2, 0, 1).unwrap();
+        let net = Network::build(&tr.ground().unwrap()).unwrap();
+        let t0 = Instant::now();
+        let _ = compile(&net, &w.vt, Options::approx(Strategy::Hybrid, 0.1));
+        let m = Measurement {
+            seconds: t0.elapsed().as_secs_f64(),
+            estimates: None,
+            status: "ok".into(),
+        };
+        print_row("ablation_targets", "co_occurrence", "targets=1", &m, "");
+    }
+
+    // --- network growth: linear in objects and clusters ------------------
+    for &n in &[16usize, 32, 64, 128] {
+        let corr_opts = LineageOpts::default();
+        let prep = prepare(n, 2, 3, Scheme::Positive { l: 4, v: 12 }, &corr_opts, 0xAB50);
+        let stats = prep.net.stats();
+        let m = Measurement {
+            seconds: prep.build_seconds,
+            estimates: None,
+            status: "ok".into(),
+        };
+        print_row(
+            "ablation_network_size",
+            "build",
+            &format!("n={n}"),
+            &m,
+            &format!("nodes={};edges={}", stats.nodes, stats.edges),
+        );
+    }
+
+    // --- variable-order heuristics (design-choice ablation) -------------
+    {
+        use enframe_prob::VarOrder;
+        let corr = generate_lineage(
+            32,
+            Scheme::Positive { l: 4, v: 16 },
+            &LineageOpts::default(),
+            0xAB60,
+        );
+        let pts = generate_sensor_points(&SensorConfig {
+            n: 32,
+            seed: 0xAB61,
+            ..SensorConfig::default()
+        });
+        let certain_lineage: Vec<std::rc::Rc<Event>> = corr.lineage.clone();
+        let env = clustering_env(
+            ProbObjects::new(pts, certain_lineage),
+            2,
+            3,
+            vec![0, 16],
+            corr.var_table.len() as u32,
+        );
+        let ast = parse(programs::K_MEDOIDS).unwrap();
+        let mut tr = translate(&ast, &env).unwrap();
+        targets::add_all_bool_targets(&mut tr, "Centre");
+        let net = Network::build(&tr.ground().unwrap()).unwrap();
+        let vt: &VarTable = &corr.var_table;
+        for (label, order) in [
+            ("sequential", VarOrder::Sequential),
+            ("static_occurrence", VarOrder::StaticOccurrence),
+            ("dynamic", VarOrder::Dynamic),
+        ] {
+            let t0 = Instant::now();
+            let res = compile(
+                &net,
+                vt,
+                Options {
+                    order,
+                    ..Options::exact()
+                },
+            );
+            let m = Measurement {
+                seconds: t0.elapsed().as_secs_f64(),
+                estimates: None,
+                status: format!("branches={}", res.stats.branches),
+            };
+            print_row("ablation_var_order", label, "v=16", &m, "");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 6 (left): naïve vs exact vs eager/lazy/hybrid/hybrid-d on
+//! positively correlated data (l = 8), scalability in the number of
+//! variables v, for dataset fractions f ∈ {50 %, 100 %}.
+//!
+//! Paper shape to reproduce: the naïve baseline wins only for very small v,
+//! is overtaken by orders of magnitude as v grows, and times out beyond
+//! ~25 variables; hybrid beats exact by up to four orders of magnitude;
+//! hybrid-d beats hybrid as v grows.
+//!
+//! Run: `cargo run --release -p enframe-bench --bin fig6_left`
+//! (`ENFRAME_BENCH_FULL=1` for the paper-scale grid.)
+
+use enframe_bench::*;
+use enframe_data::{LineageOpts, Scheme};
+
+fn main() {
+    let full = full_scale();
+    // Base data set ("100 %"): a fraction of the 1300-point scale.
+    let base_n = if full { 256 } else { 48 };
+    let vs: Vec<usize> = if full {
+        vec![10, 14, 18, 22, 30, 40, 50]
+    } else {
+        vec![8, 10, 12, 14, 16]
+    };
+    let eps = 0.1;
+    print_header();
+    for &f_pct in &[100usize, 50] {
+        let n = base_n * f_pct / 100;
+        for &v in &vs {
+            let l = 8.min(v);
+            let prep = prepare(
+                n,
+                2,
+                3,
+                Scheme::Positive { l, v },
+                &LineageOpts::default(),
+                0xF16 + v as u64,
+            );
+            let x = format!("v={v};f={f_pct}%");
+            let detail = format!("n={n};l={l};eps={eps}");
+            for engine in [
+                Engine::Naive,
+                Engine::Exact,
+                Engine::Eager,
+                Engine::Lazy,
+                Engine::Hybrid,
+                Engine::HybridD {
+                    workers: 8,
+                    job_depth: 3,
+                },
+            ] {
+                // The naïve baseline scales with worlds × n²; keep it to
+                // the regime where it terminates in reasonable time.
+                if engine == Engine::Naive && !naive_feasible(v, n) {
+                    print_row("fig6_left", &engine.label(), &x, &timeout_measurement("naive"), &detail);
+                    continue;
+                }
+                let m = run_engine(&prep, engine, eps);
+                print_row("fig6_left", &engine.label(), &x, &m, &detail);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 7 (right): naïve vs exact vs hybrid vs hybrid-d on
+//! **conditionally** correlated data (Markov-chain lineage), scalability in
+//! the number of objects n. Two fresh variables per lineage group make v
+//! grow quickly with n (grey dashed line; emitted in the detail column).
+//!
+//! Paper shape: like the mutex case, the decision tree is balanced, so
+//! eager and lazy behave like exact (the paper omits them); hybrid prunes
+//! effectively; naïve times out early.
+//!
+//! Run: `cargo run --release -p enframe-bench --bin fig7_conditional`
+
+use enframe_bench::*;
+use enframe_data::{LineageOpts, Scheme};
+
+fn main() {
+    let full = full_scale();
+    let ns: Vec<usize> = if full {
+        vec![20, 32, 44, 56, 68, 80, 92]
+    } else {
+        vec![16, 24, 32, 40]
+    };
+    let eps = 0.1;
+    print_header();
+    for &n in &ns {
+        let prep = prepare(
+            n,
+            2,
+            3,
+            Scheme::Conditional,
+            &LineageOpts::default(),
+            0xF17C + n as u64,
+        );
+        let v = prep.workload.vt.len();
+        let x = format!("n={n}");
+        let detail = format!("v={v};eps={eps}");
+        for engine in [
+            Engine::Naive,
+            Engine::Exact,
+            Engine::Hybrid,
+            Engine::HybridD {
+                workers: 8,
+                job_depth: 3,
+            },
+        ] {
+            if engine == Engine::Naive && !naive_feasible(v, n) {
+                print_row(
+                    "fig7_conditional",
+                    &engine.label(),
+                    &x,
+                    &timeout_measurement("naive"),
+                    &detail,
+                );
+                continue;
+            }
+            let m = run_engine(&prep, engine, eps);
+            print_row("fig7_conditional", &engine.label(), &x, &m, &detail);
+        }
+    }
+}

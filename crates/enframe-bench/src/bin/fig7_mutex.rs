@@ -1,0 +1,60 @@
+//! Figure 7 (left): naïve vs exact vs hybrid vs hybrid-d on **mutex**
+//! correlated data (m = 12), scalability in the number of objects n. The
+//! variable count v grows with n (grey dashed line in the paper's plot) and
+//! is emitted in the detail column.
+//!
+//! Paper shape: naïve explodes almost immediately; exact tracks hybrid
+//! closely for small n (eager/lazy overlap exact — the mutex decision tree
+//! is balanced); hybrid-d gains over an order of magnitude beyond ~100
+//! objects.
+//!
+//! Run: `cargo run --release -p enframe-bench --bin fig7_mutex`
+
+use enframe_bench::*;
+use enframe_data::{LineageOpts, Scheme};
+
+fn main() {
+    let full = full_scale();
+    let ns: Vec<usize> = if full {
+        vec![36, 60, 96, 144, 240, 360, 500]
+    } else {
+        vec![24, 36, 48, 60]
+    };
+    let eps = 0.1;
+    print_header();
+    for &n in &ns {
+        let prep = prepare(
+            n,
+            2,
+            3,
+            Scheme::Mutex { m: 12 },
+            &LineageOpts::default(),
+            0xF17 + n as u64,
+        );
+        let v = prep.workload.vt.len();
+        let x = format!("n={n}");
+        let detail = format!("v={v};m=12;eps={eps}");
+        for engine in [
+            Engine::Naive,
+            Engine::Exact,
+            Engine::Hybrid,
+            Engine::HybridD {
+                workers: 8,
+                job_depth: 3,
+            },
+        ] {
+            if engine == Engine::Naive && !naive_feasible(v, n) {
+                print_row(
+                    "fig7_mutex",
+                    &engine.label(),
+                    &x,
+                    &timeout_measurement("naive"),
+                    &detail,
+                );
+                continue;
+            }
+            let m = run_engine(&prep, engine, eps);
+            print_row("fig7_mutex", &engine.label(), &x, &m, &detail);
+        }
+    }
+}

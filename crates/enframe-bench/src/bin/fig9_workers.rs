@@ -1,0 +1,59 @@
+//! Figure 9: distributed probability computation as a function of the
+//! number of workers w, for job sizes d ∈ {3, 6, 9} (positive
+//! correlations, n = 1000, v = 30, ε = 0.1).
+//!
+//! Paper shape: small job sizes distribute work evenly and keep scaling up
+//! to 16 workers; large job sizes produce too few jobs for extra workers
+//! to help (no improvement beyond ~4 workers for d ≥ 6 on the unbalanced
+//! positive-correlation tree).
+//!
+//! Run: `cargo run --release -p enframe-bench --bin fig9_workers`
+
+use enframe_bench::*;
+use enframe_data::{LineageOpts, Scheme};
+
+fn main() {
+    let full = full_scale();
+    let n = if full { 1000 } else { 160 };
+    // Smoke-scale variable count (the paper's v = 30 exceeds the
+    // sequential smoke envelope; the job-granularity trade-off is
+    // insensitive to v as long as the tree is deep enough to fork).
+    let v = if full { 30 } else { 16 };
+    let workers: Vec<usize> = if full {
+        vec![1, 2, 4, 8, 12, 16, 20]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let eps = 0.1;
+    let prep = prepare(
+        n,
+        2,
+        3,
+        Scheme::Positive { l: 8, v },
+        &LineageOpts::default(),
+        0xF19,
+    );
+    print_header();
+    // Sequential hybrid as the w=0 reference line.
+    let seq = run_engine(&prep, Engine::Hybrid, eps);
+    print_row("fig9", "hybrid-seq", "w=0", &seq, &format!("n={n};v={v}"));
+    for &d in &[3usize, 6, 9] {
+        for &w in &workers {
+            let m = run_engine(
+                &prep,
+                Engine::HybridD {
+                    workers: w,
+                    job_depth: d,
+                },
+                eps,
+            );
+            print_row(
+                "fig9",
+                &format!("job_size_{d}"),
+                &format!("w={w}"),
+                &m,
+                &format!("n={n};v={v};eps={eps}"),
+            );
+        }
+    }
+}

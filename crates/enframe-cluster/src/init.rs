@@ -1,0 +1,137 @@
+//! Initialisation heuristics for centroid/medoid seeding.
+//!
+//! The paper assumes "initial centroids have been chosen, for example by
+//! using a heuristic [31]" and fixes them before translating to an event
+//! program. We provide a deterministic farthest-first traversal (a standard
+//! 2-approximation seeding for k-center) plus a seeded random choice, both
+//! of which return *indices into the object list* so that the same choice
+//! can be encoded into the event program (`M_i^{-1} ≡ Φ(o_{π(i)}) ⊗ o_{π(i)}`).
+
+use crate::point::{DistanceKind, Point};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic farthest-first traversal: the first seed is the object
+/// with the lowest index among those at minimal distance from the data
+/// centroid, each subsequent seed maximises the distance to the chosen set.
+/// Ties break towards the lower index, matching ENFrame tie-breaking.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > objects.len()`.
+pub fn farthest_first(objects: &[Point], k: usize, metric: DistanceKind) -> Vec<usize> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        k <= objects.len(),
+        "cannot choose {k} seeds from {} objects",
+        objects.len()
+    );
+    let n = objects.len();
+    let dim = objects[0].dim();
+    // Centre of mass.
+    let mut com = Point::zero(dim);
+    for o in objects {
+        com = com.add(o);
+    }
+    com = com.scale(1.0 / n as f64);
+    // First seed: closest to centre of mass (lowest index on ties).
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, o) in objects.iter().enumerate() {
+        let d = metric.dist(o, &com);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    let mut seeds = vec![best];
+    let mut min_dist: Vec<f64> = objects
+        .iter()
+        .map(|o| metric.dist(o, &objects[best]))
+        .collect();
+    while seeds.len() < k {
+        let mut far = usize::MAX;
+        let mut far_d = f64::NEG_INFINITY;
+        for (i, &d) in min_dist.iter().enumerate() {
+            if seeds.contains(&i) {
+                continue;
+            }
+            if d > far_d {
+                far_d = d;
+                far = i;
+            }
+        }
+        seeds.push(far);
+        for (i, o) in objects.iter().enumerate() {
+            let d = metric.dist(o, &objects[far]);
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+        }
+    }
+    seeds
+}
+
+/// Seeded random selection of `k` distinct object indices.
+pub fn random_seeds(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k <= n, "cannot choose {k} seeds from {n} objects");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::scalar(i as f64)).collect()
+    }
+
+    #[test]
+    fn farthest_first_spreads_seeds() {
+        let pts = line(10);
+        let seeds = farthest_first(&pts, 2, DistanceKind::Euclidean);
+        // First seed near the centre; second at one extreme.
+        assert!(seeds[0] == 4 || seeds[0] == 5);
+        assert!(seeds[1] == 0 || seeds[1] == 9);
+    }
+
+    #[test]
+    fn farthest_first_is_deterministic() {
+        let pts = line(20);
+        let a = farthest_first(&pts, 4, DistanceKind::Euclidean);
+        let b = farthest_first(&pts, 4, DistanceKind::Euclidean);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn farthest_first_distinct_seeds() {
+        let pts = line(7);
+        let seeds = farthest_first(&pts, 7, DistanceKind::Euclidean);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot choose")]
+    fn farthest_first_rejects_large_k() {
+        farthest_first(&line(2), 3, DistanceKind::Euclidean);
+    }
+
+    #[test]
+    fn random_seeds_distinct_and_seeded() {
+        let a = random_seeds(30, 5, 42);
+        let b = random_seeds(30, 5, 42);
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+        assert!(a.iter().all(|&i| i < 30));
+    }
+}

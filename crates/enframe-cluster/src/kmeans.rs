@@ -1,0 +1,195 @@
+//! K-means clustering with ENFrame-compatible semantics (paper Figure 2).
+//!
+//! The assignment and update phases follow the user program of Figure 2
+//! *literally*, including its behaviour on undefined centroids:
+//!
+//! * `InCl[i][l]` holds iff `dist(o_l, M_i) ≤ dist(o_l, M_j)` for all `j`,
+//!   where a comparison involving an undefined distance is **true** (§3.2).
+//!   Consequently a cluster with an undefined centroid attracts *every*
+//!   object (before tie-breaking).
+//! * `breakTies2` assigns each object to the first of its closest clusters.
+//! * The update phase recomputes each centroid as the mean of its members;
+//!   an empty cluster's centroid becomes *undefined* (`None`), mirroring
+//!   `invert(reduce_count(...))` evaluating to `u`.
+//!
+//! This literal semantics is what makes the deterministic algorithm agree,
+//! world by world, with the probabilistic interpretation of the event
+//! program — the paper's "golden standard" (§5).
+
+use crate::point::{DistanceKind, Point};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// `assign[l]` is the cluster index of object `l` after the final
+    /// assignment phase.
+    pub assign: Vec<usize>,
+    /// Final centroids; `None` is an undefined centroid (empty cluster).
+    pub centroids: Vec<Option<Point>>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
+/// Compares two optional distances with the undefined-aware rule of §3.2:
+/// the comparison `a ≤ b` is true when either side is undefined.
+pub(crate) fn le_undef(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, _) | (_, None) => true,
+        (Some(x), Some(y)) => x <= y,
+    }
+}
+
+/// Assignment phase shared by k-means and k-medoids: for each object,
+/// `InCl[i][l]` = conjunction over `j` of undefined-aware `≤`, then
+/// `breakTies2` (first true cluster wins).
+pub(crate) fn assign_phase(
+    objects: &[Point],
+    centres: &[Option<Point>],
+    metric: DistanceKind,
+) -> Vec<usize> {
+    let k = centres.len();
+    objects
+        .iter()
+        .map(|o| {
+            let d: Vec<Option<f64>> = centres
+                .iter()
+                .map(|c| c.as_ref().map(|c| metric.dist(o, c)))
+                .collect();
+            // InCl[i] = ∧_j [d_i <= d_j]; breakTies2 keeps the first true.
+            (0..k)
+                .find(|&i| (0..k).all(|j| le_undef(d[i], d[j])))
+                .expect("at least one cluster is closest")
+        })
+        .collect()
+}
+
+/// Runs k-means for a fixed number of iterations (the user language has no
+/// fixpoint construct, so like the paper we iterate `iter` times).
+///
+/// `seeds` are indices into `objects` selecting the initial centroids.
+///
+/// # Panics
+/// Panics if `seeds` is empty or contains an out-of-range index.
+pub fn kmeans(
+    objects: &[Point],
+    seeds: &[usize],
+    iterations: usize,
+    metric: DistanceKind,
+) -> KMeansResult {
+    assert!(!seeds.is_empty(), "need at least one cluster");
+    let k = seeds.len();
+    let mut centroids: Vec<Option<Point>> =
+        seeds.iter().map(|&s| Some(objects[s].clone())).collect();
+    let mut assign = vec![0usize; objects.len()];
+    for _ in 0..iterations {
+        assign = assign_phase(objects, &centroids, metric);
+        // Update phase: centroid = mean of members, undefined when empty.
+        let dim = objects.first().map_or(1, Point::dim);
+        let mut sums = vec![Point::zero(dim); k];
+        let mut counts = vec![0usize; k];
+        for (o, &c) in objects.iter().zip(assign.iter()) {
+            sums[c] = sums[c].add(o);
+            counts[c] += 1;
+        }
+        for i in 0..k {
+            centroids[i] = if counts[i] == 0 {
+                None
+            } else {
+                Some(sums[i].scale(1.0 / counts[i] as f64))
+            };
+        }
+    }
+    KMeansResult {
+        assign,
+        centroids,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Point> {
+        vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(0.0, 1.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(10.0, 10.0),
+            Point::xy(10.0, 11.0),
+            Point::xy(11.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &[0, 3], 5, DistanceKind::Euclidean);
+        assert_eq!(res.assign[0..3], [0, 0, 0]);
+        assert_eq!(res.assign[3..6], [1, 1, 1]);
+        let c0 = res.centroids[0].as_ref().unwrap();
+        assert!((c0.coords()[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_to_first_cluster() {
+        // Object exactly between two centroids goes to cluster 0.
+        let pts = vec![Point::scalar(0.0), Point::scalar(2.0), Point::scalar(1.0)];
+        let res = kmeans(&pts, &[0, 1], 1, DistanceKind::Euclidean);
+        assert_eq!(res.assign[2], 0);
+    }
+
+    #[test]
+    fn zero_iterations_keeps_initial_assignment_empty() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &[0, 3], 0, DistanceKind::Euclidean);
+        assert_eq!(res.iterations, 0);
+        // No assignment phase ran: assignment vector is the default.
+        assert_eq!(res.assign.len(), 6);
+    }
+
+    #[test]
+    fn undefined_centroid_attracts_everything() {
+        // Seeds such that cluster 1's centroid becomes undefined: both
+        // seeds identical, so cluster 1 gets no members in iteration 1
+        // (ties go to cluster 0) and becomes undefined; in iteration 2 the
+        // undefined cluster 1 has all-true InCl — but cluster 0 also has
+        // all-true only where it is closest... breakTies2 keeps cluster 0
+        // only when InCl[0] is true, which holds only for the argmin.
+        let pts = vec![Point::scalar(0.0), Point::scalar(1.0)];
+        let res = kmeans(&pts, &[0, 0], 2, DistanceKind::Euclidean);
+        // Iteration 1: all to cluster 0; centroid1 = None.
+        // Iteration 2: d(l, c1) undefined ⇒ InCl[0][l] requires
+        // d0 <= undefined (true) so cluster 0 still wins by order.
+        assert_eq!(res.assign, vec![0, 0]);
+        assert!(res.centroids[1].is_none());
+    }
+
+    #[test]
+    fn le_undef_truth_table() {
+        assert!(le_undef(None, Some(1.0)));
+        assert!(le_undef(Some(1.0), None));
+        assert!(le_undef(None, None));
+        assert!(le_undef(Some(1.0), Some(1.0)));
+        assert!(!le_undef(Some(2.0), Some(1.0)));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every object is assigned to some cluster in range.
+        #[test]
+        fn assignment_total_and_in_range(
+            xs in proptest::collection::vec(-50.0f64..50.0, 2..20),
+            k in 1usize..4,
+            iters in 1usize..4,
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&x| Point::scalar(x)).collect();
+            let k = k.min(pts.len());
+            let seeds: Vec<usize> = (0..k).collect();
+            let res = kmeans(&pts, &seeds, iters, DistanceKind::Euclidean);
+            prop_assert_eq!(res.assign.len(), pts.len());
+            prop_assert!(res.assign.iter().all(|&c| c < k));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! K-medoids clustering with ENFrame-compatible semantics (paper Figure 1).
+//!
+//! The assignment phase is identical to k-means. The update phase follows
+//! Figure 1 literally:
+//!
+//! * `DistSum[i][l] = Σ_{p : InCl[i][p]} dist(o_l, o_p)` is computed for
+//!   **every** object `l`, not just members of cluster `i`; the sum over an
+//!   empty cluster is *undefined*.
+//! * `Centre[i][l]` holds iff `DistSum[i][l] ≤ DistSum[i][p]` for all `p`
+//!   (undefined-aware comparisons), followed by `breakTies1` which keeps the
+//!   first `l` per cluster.
+//! * The new medoid is the selected object.
+//!
+//! [`Variant::Paper`] implements exactly that; [`Variant::Classical`]
+//! restricts medoid candidates to cluster members and keeps the previous
+//! medoid for empty clusters, which is the textbook algorithm. The paper
+//! variant is what the event-program translation produces, so it is the one
+//! used in all equivalence tests.
+
+use crate::kmeans::{assign_phase, le_undef};
+use crate::point::{DistanceKind, Point};
+
+/// Which update rule to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Variant {
+    /// The update rule of the paper's Figure 1 (candidates are all objects;
+    /// empty clusters elect object 0 by vacuous-truth tie-breaking).
+    #[default]
+    Paper,
+    /// Textbook k-medoids: candidates restricted to cluster members; empty
+    /// clusters keep their previous medoid.
+    Classical,
+}
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMedoidsResult {
+    /// `assign[l]` is the cluster of object `l` after the final assignment.
+    pub assign: Vec<usize>,
+    /// Indices of the final medoids (`None` = undefined medoid).
+    pub medoids: Vec<Option<usize>>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs k-medoids for a fixed number of iterations.
+///
+/// `seeds` are indices into `objects` selecting the initial medoids.
+pub fn kmedoids(
+    objects: &[Point],
+    seeds: &[usize],
+    iterations: usize,
+    metric: DistanceKind,
+    variant: Variant,
+) -> KMedoidsResult {
+    assert!(!seeds.is_empty(), "need at least one cluster");
+    let n = objects.len();
+    let mut medoids: Vec<Option<usize>> = seeds.iter().map(|&s| Some(s)).collect();
+    let mut assign = vec![0usize; n];
+    for _ in 0..iterations {
+        let centres: Vec<Option<Point>> = medoids
+            .iter()
+            .map(|m| m.map(|i| objects[i].clone()))
+            .collect();
+        assign = assign_phase(objects, &centres, metric);
+        match variant {
+            Variant::Paper => {
+                // DistSum[i][l] over all l; undefined for empty clusters.
+                for (i, med) in medoids.iter_mut().enumerate() {
+                    let members: Vec<usize> =
+                        (0..n).filter(|&p| assign[p] == i).collect();
+                    let dist_sum: Vec<Option<f64>> = (0..n)
+                        .map(|l| {
+                            if members.is_empty() {
+                                None
+                            } else {
+                                Some(
+                                    members
+                                        .iter()
+                                        .map(|&p| metric.dist(&objects[l], &objects[p]))
+                                        .sum(),
+                                )
+                            }
+                        })
+                        .collect();
+                    // Centre[i][l] = ∧_p le(DistSum[l], DistSum[p]);
+                    // breakTies1 keeps the first true l.
+                    *med = (0..n)
+                        .find(|&l| (0..n).all(|p| le_undef(dist_sum[l], dist_sum[p])));
+                }
+            }
+            Variant::Classical => {
+                for (i, med) in medoids.iter_mut().enumerate() {
+                    let members: Vec<usize> =
+                        (0..n).filter(|&p| assign[p] == i).collect();
+                    if members.is_empty() {
+                        continue; // keep previous medoid
+                    }
+                    let mut best = members[0];
+                    let mut best_sum = f64::INFINITY;
+                    for &l in &members {
+                        let s: f64 = members
+                            .iter()
+                            .map(|&p| metric.dist(&objects[l], &objects[p]))
+                            .sum();
+                        if s < best_sum {
+                            best_sum = s;
+                            best = l;
+                        }
+                    }
+                    *med = Some(best);
+                }
+            }
+        }
+    }
+    KMedoidsResult {
+        assign,
+        medoids,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The four points of the paper's Example 1 (roughly: two pairs).
+    fn example1_points() -> Vec<Point> {
+        vec![
+            Point::scalar(0.0),
+            Point::scalar(1.0),
+            Point::scalar(5.0),
+            Point::scalar(6.0),
+        ]
+    }
+
+    #[test]
+    fn example1_two_clusters() {
+        // With medoids o1 and o3 the paper clusters {o0,o1} and {o2,o3}.
+        let pts = example1_points();
+        let res = kmedoids(&pts, &[1, 3], 3, DistanceKind::Euclidean, Variant::Paper);
+        assert_eq!(res.assign, vec![0, 0, 1, 1]);
+        // Medoids minimise the distance sums within each pair; for {0,1}
+        // both have sum 1, tie broken to the first index.
+        assert_eq!(res.medoids, vec![Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn classical_matches_paper_on_well_separated_data() {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(0.5, 0.1),
+            Point::xy(20.0, 20.0),
+            Point::xy(21.0, 20.0),
+            Point::xy(20.5, 20.1),
+        ];
+        let a = kmedoids(&pts, &[0, 3], 4, DistanceKind::Euclidean, Variant::Paper);
+        let b = kmedoids(
+            &pts,
+            &[0, 3],
+            4,
+            DistanceKind::Euclidean,
+            Variant::Classical,
+        );
+        assert_eq!(a.assign, b.assign);
+        assert_eq!(a.medoids, b.medoids);
+    }
+
+    #[test]
+    fn paper_variant_empty_cluster_elects_object_zero() {
+        // Both seeds identical: cluster 1 receives nothing (breakTies2),
+        // hence DistSum undefined, hence Centre[1][0] by vacuous truth.
+        let pts = vec![Point::scalar(0.0), Point::scalar(1.0)];
+        let res = kmedoids(&pts, &[0, 0], 1, DistanceKind::Euclidean, Variant::Paper);
+        assert_eq!(res.medoids[1], Some(0));
+    }
+
+    #[test]
+    fn classical_variant_empty_cluster_keeps_medoid() {
+        let pts = vec![Point::scalar(0.0), Point::scalar(1.0)];
+        let res = kmedoids(
+            &pts,
+            &[0, 0],
+            1,
+            DistanceKind::Euclidean,
+            Variant::Classical,
+        );
+        assert_eq!(res.medoids[1], Some(0));
+    }
+
+    #[test]
+    fn medoids_are_cluster_members_on_nonempty_clusters() {
+        let pts = example1_points();
+        let res = kmedoids(&pts, &[0, 2], 5, DistanceKind::Euclidean, Variant::Paper);
+        for (i, m) in res.medoids.iter().enumerate() {
+            let m = m.unwrap();
+            // Paper variant allows any object, but on this data the
+            // minimiser is a member.
+            assert_eq!(res.assign[m], i);
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The elected medoid (paper variant) minimises the distance sum to
+        /// the cluster members among all objects, with ties to the lowest
+        /// index.
+        #[test]
+        fn medoid_minimises_distance_sum(
+            xs in proptest::collection::vec(-10.0f64..10.0, 3..12),
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&x| Point::scalar(x)).collect();
+            let res = kmedoids(&pts, &[0, 1], 1, DistanceKind::Euclidean, Variant::Paper);
+            for i in 0..2 {
+                let members: Vec<usize> =
+                    (0..pts.len()).filter(|&p| res.assign[p] == i).collect();
+                if members.is_empty() { continue; }
+                let sum = |l: usize| -> f64 {
+                    members.iter().map(|&p| DistanceKind::Euclidean.dist(&pts[l], &pts[p])).sum()
+                };
+                let m = res.medoids[i].unwrap();
+                let ms = sum(m);
+                for l in 0..pts.len() {
+                    prop_assert!(ms <= sum(l) + 1e-9);
+                    if sum(l) + 1e-12 < ms { prop_assert!(false, "better medoid exists"); }
+                }
+                // Tie-break: no smaller index with equal sum.
+                for l in 0..m {
+                    prop_assert!(sum(l) > ms - 1e-12 || (sum(l) - ms).abs() > 1e-12);
+                }
+            }
+        }
+    }
+}

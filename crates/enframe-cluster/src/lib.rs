@@ -1,0 +1,36 @@
+//! # enframe-cluster — deterministic clustering algorithms
+//!
+//! Reference implementations of the three clustering algorithms that the
+//! ENFrame paper expresses as user programs (§2.1): **k-means**,
+//! **k-medoids**, and **Markov Clustering (MCL)**.
+//!
+//! Two properties matter for the reproduction:
+//!
+//! 1. **Tie-breaking parity.** The implementations break ties exactly like
+//!    the ENFrame user programs (`breakTies1`/`breakTies2`: the *first*
+//!    candidate in index order wins), so that running these algorithms in
+//!    a possible world produces the same output as evaluating the
+//!    translated event program under the corresponding valuation.
+//! 2. **The paper's k-medoids variant.** The update phase of Figure 1
+//!    elects, for each cluster, the object (from the *whole* data set)
+//!    minimising the sum of distances to the cluster's members. This
+//!    differs subtly from textbook k-medoids (which restricts candidates
+//!    to cluster members); [`kmedoids::Variant`] selects either.
+//!
+//! The crate also provides distance metrics, cluster-quality metrics, and
+//! a deterministic farthest-first initialisation heuristic (the paper
+//! assumes initial centroids are given, "for example by using a
+//! heuristic").
+
+pub mod init;
+pub mod kmeans;
+pub mod kmedoids;
+pub mod mcl;
+pub mod metrics;
+pub mod point;
+
+pub use init::farthest_first;
+pub use kmeans::{kmeans, KMeansResult};
+pub use kmedoids::{kmedoids, KMedoidsResult, Variant};
+pub use mcl::{mcl, MclParams, MclResult};
+pub use point::{DistanceKind, Point};

@@ -1,0 +1,249 @@
+//! Markov Clustering (MCL) — paper Figure 3 and van Dongen's thesis [36].
+//!
+//! MCL simulates stochastic flow in a graph by alternating *expansion*
+//! (matrix self-multiplication: `N = M · M`) and *inflation* (entry-wise
+//! Hadamard power followed by rescaling). The paper's user program
+//! normalises along `k` in `M[i][j] = N[i][j]^r / Σ_k N[i][k]^r`; we follow
+//! the program (row-stochastic convention).
+
+use std::collections::VecDeque;
+
+/// Parameters of an MCL run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MclParams {
+    /// Hadamard (inflation) power `r`.
+    pub r: i32,
+    /// Number of expansion+inflation iterations.
+    pub iterations: usize,
+    /// Entries below this threshold are treated as zero when extracting
+    /// clusters.
+    pub threshold: f64,
+}
+
+impl Default for MclParams {
+    fn default() -> Self {
+        MclParams {
+            r: 2,
+            iterations: 10,
+            threshold: 1e-6,
+        }
+    }
+}
+
+/// Result of an MCL run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MclResult {
+    /// The final flow matrix (row-major, `n × n`).
+    pub matrix: Vec<Vec<f64>>,
+    /// Extracted clusters: each is a sorted list of node indices. Nodes can
+    /// appear in multiple clusters only in degenerate overlaps; here
+    /// overlaps are merged.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+/// Normalises each row of `m` to sum to 1 (rows summing to 0 are left
+/// untouched).
+pub fn row_normalise(m: &mut [Vec<f64>]) {
+    for row in m.iter_mut() {
+        let s: f64 = row.iter().sum();
+        if s > 0.0 {
+            for x in row.iter_mut() {
+                *x /= s;
+            }
+        }
+    }
+}
+
+/// One expansion step: `N = M · M`.
+fn expand(m: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = m.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for (i, row) in m.iter().enumerate() {
+        for (k, &mik) in row.iter().enumerate() {
+            if mik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i][j] += mik * m[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// One inflation step: `M[i][j] = N[i][j]^r / Σ_k N[i][k]^r`.
+fn inflate(n_mat: &[Vec<f64>], r: i32) -> Vec<Vec<f64>> {
+    n_mat
+        .iter()
+        .map(|row| {
+            let powed: Vec<f64> = row.iter().map(|x| x.powi(r)).collect();
+            let s: f64 = powed.iter().sum();
+            if s == 0.0 {
+                powed
+            } else {
+                powed.iter().map(|x| x / s).collect()
+            }
+        })
+        .collect()
+}
+
+/// Runs MCL on an adjacency/weight matrix (need not be normalised; it is
+/// row-normalised first). Self-loops are added with the row-maximum weight,
+/// the standard regularisation from van Dongen's thesis.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn mcl(weights: &[Vec<f64>], params: MclParams) -> MclResult {
+    let n = weights.len();
+    for row in weights {
+        assert_eq!(row.len(), n, "adjacency matrix must be square");
+    }
+    let mut m: Vec<Vec<f64>> = weights.to_vec();
+    // Self-loop regularisation.
+    for (i, row) in m.iter_mut().enumerate() {
+        let mx = row.iter().cloned().fold(0.0, f64::max);
+        row[i] = if mx > 0.0 { mx } else { 1.0 };
+    }
+    row_normalise(&mut m);
+    for _ in 0..params.iterations {
+        let expanded = expand(&m);
+        m = inflate(&expanded, params.r);
+    }
+    let clusters = extract_clusters(&m, params.threshold);
+    MclResult {
+        matrix: m,
+        clusters,
+    }
+}
+
+/// Extracts clusters: builds an undirected support graph over entries above
+/// `threshold` and returns its connected components (sorted, deterministic).
+fn extract_clusters(m: &[Vec<f64>], threshold: f64) -> Vec<Vec<usize>> {
+    let n = m.len();
+    let mut seen = vec![false; n];
+    let mut clusters = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = vec![];
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for v in 0..n {
+                if !seen[v] && (m[u][v] > threshold || m[v][u] > threshold) {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        clusters.push(comp);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles connected by a single weak edge.
+    fn two_triangles() -> Vec<Vec<f64>> {
+        let mut w = vec![vec![0.0; 6]; 6];
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            w[a][b] = 1.0;
+            w[b][a] = 1.0;
+        }
+        w[2][3] = 0.1;
+        w[3][2] = 0.1;
+        w
+    }
+
+    #[test]
+    fn splits_two_triangles() {
+        let res = mcl(&two_triangles(), MclParams::default());
+        assert_eq!(res.clusters.len(), 2);
+        assert_eq!(res.clusters[0], vec![0, 1, 2]);
+        assert_eq!(res.clusters[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn rows_remain_stochastic() {
+        let res = mcl(&two_triangles(), MclParams::default());
+        for row in &res.matrix {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn single_component_stays_together() {
+        let mut w = vec![vec![1.0; 4]; 4];
+        for (i, row) in w.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        let res = mcl(&w, MclParams::default());
+        assert_eq!(res.clusters.len(), 1);
+        assert_eq!(res.clusters[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn isolated_nodes_form_singletons() {
+        let w = vec![vec![0.0; 3]; 3];
+        let res = mcl(&w, MclParams::default());
+        assert_eq!(res.clusters.len(), 3);
+    }
+
+    #[test]
+    fn zero_iterations_returns_normalised_input() {
+        let w = two_triangles();
+        let res = mcl(
+            &w,
+            MclParams {
+                iterations: 0,
+                ..MclParams::default()
+            },
+        );
+        for row in &res.matrix {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        mcl(&[vec![0.0, 1.0]], MclParams::default());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Inflation preserves row-stochasticity for random matrices.
+        #[test]
+        fn inflation_preserves_stochastic_rows(
+            vals in proptest::collection::vec(0.01f64..1.0, 9),
+        ) {
+            let mut m: Vec<Vec<f64>> = vals.chunks(3).map(|c| c.to_vec()).collect();
+            row_normalise(&mut m);
+            let inflated = inflate(&m, 2);
+            for row in &inflated {
+                let s: f64 = row.iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+
+        /// Clusters partition the node set.
+        #[test]
+        fn clusters_partition_nodes(
+            vals in proptest::collection::vec(0.0f64..1.0, 16),
+        ) {
+            let w: Vec<Vec<f64>> = vals.chunks(4).map(|c| c.to_vec()).collect();
+            let res = mcl(&w, MclParams::default());
+            let mut all: Vec<usize> = res.clusters.iter().flatten().cloned().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..4).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Cluster-quality metrics.
+//!
+//! Used by the examples and by the workload generator to sanity-check that
+//! generated data actually exhibits cluster structure. The paper defers an
+//! extensive quality comparison to future work but notes that ENFrame's
+//! k-medoids "has the exact same quality as the golden standard"; the Rand
+//! index between the two is asserted to be 1.0 in our integration tests.
+
+/// The Rand index between two flat clusterings (values in `[0, 1]`; 1 means
+/// identical partitions).
+///
+/// # Panics
+/// Panics if the assignments have different lengths.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "assignment length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_a = a[i] == a[j];
+            let same_b = b[i] == b[j];
+            if same_a == same_b {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Within-cluster sum of distances for a clustering given a pairwise
+/// distance function.
+pub fn within_cluster_sum(assign: &[usize], dist: impl Fn(usize, usize) -> f64) -> f64 {
+    let n = assign.len();
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if assign[i] == assign[j] {
+                total += dist(i, j);
+            }
+        }
+    }
+    total
+}
+
+/// Purity of clustering `assign` against ground-truth labels (fraction of
+/// objects whose cluster's majority label matches their own).
+pub fn purity(assign: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assign.len(), labels.len(), "length mismatch");
+    if assign.is_empty() {
+        return 1.0;
+    }
+    let k = assign.iter().max().unwrap() + 1;
+    let l = labels.iter().max().unwrap() + 1;
+    let mut counts = vec![vec![0usize; l]; k];
+    for (&c, &t) in assign.iter().zip(labels) {
+        counts[c][t] += 1;
+    }
+    let correct: usize = counts
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    correct as f64 / assign.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rand_index_identical_is_one() {
+        assert_eq!(rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn rand_index_disagreement() {
+        // Pairs: (0,1) same/same agree; (0,2) diff/same disagree;
+        // (1,2) diff/same disagree => 1/3.
+        let r = rand_index(&[0, 0, 1], &[0, 0, 0]);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rand_index_singleton() {
+        assert_eq!(rand_index(&[0], &[3]), 1.0);
+    }
+
+    #[test]
+    fn purity_perfect_and_partial() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+        assert_eq!(purity(&[0, 0, 0, 0], &[0, 0, 1, 1]), 0.5);
+    }
+
+    #[test]
+    fn within_cluster_sum_counts_only_same_cluster() {
+        let assign = [0, 0, 1];
+        let d = |i: usize, j: usize| (i as f64 - j as f64).abs();
+        assert_eq!(within_cluster_sum(&assign, d), 1.0);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn rand_index_is_symmetric_and_bounded(
+            a in proptest::collection::vec(0usize..3, 2..15),
+            b in proptest::collection::vec(0usize..3, 2..15),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let r1 = rand_index(a, b);
+            let r2 = rand_index(b, a);
+            prop_assert!((r1 - r2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&r1));
+            prop_assert!((rand_index(a, a) - 1.0).abs() < 1e-12);
+        }
+    }
+}

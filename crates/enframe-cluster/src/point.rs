@@ -1,0 +1,184 @@
+//! Points in the feature space and distance measures.
+
+use std::fmt;
+
+/// A point in the feature space (a feature vector of reals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    pub fn new(coords: Vec<f64>) -> Self {
+        assert!(!coords.is_empty(), "points must have at least 1 dimension");
+        Point { coords }
+    }
+
+    /// A 2-D point (the common case for the sensor workload).
+    pub fn xy(x: f64, y: f64) -> Self {
+        Point::new(vec![x, y])
+    }
+
+    /// A 1-D point.
+    pub fn scalar(x: f64) -> Self {
+        Point::new(vec![x])
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, rhs: &Point) -> Point {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        Point::new(
+            self.coords
+                .iter()
+                .zip(rhs.coords.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// Scaling by a scalar.
+    pub fn scale(&self, s: f64) -> Point {
+        Point::new(self.coords.iter().map(|a| a * s).collect())
+    }
+
+    /// The origin of the given dimension.
+    pub fn zero(dim: usize) -> Point {
+        Point::new(vec![0.0; dim])
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Distance measure on the feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceKind {
+    /// Euclidean (L2) distance — used by the paper's experiments.
+    #[default]
+    Euclidean,
+    /// Squared Euclidean distance (monotone to L2; cheaper).
+    SquaredEuclidean,
+    /// Manhattan (L1) distance.
+    Manhattan,
+    /// Chebyshev (L∞) distance.
+    Chebyshev,
+}
+
+impl DistanceKind {
+    /// Distance between two points.
+    pub fn dist(self, a: &Point, b: &Point) -> f64 {
+        assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        match self {
+            DistanceKind::Euclidean => a
+                .coords()
+                .iter()
+                .zip(b.coords())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            DistanceKind::SquaredEuclidean => a
+                .coords()
+                .iter()
+                .zip(b.coords())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum(),
+            DistanceKind::Manhattan => a
+                .coords()
+                .iter()
+                .zip(b.coords())
+                .map(|(x, y)| (x - y).abs())
+                .sum(),
+            DistanceKind::Chebyshev => a
+                .coords()
+                .iter()
+                .zip(b.coords())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_345() {
+        let a = Point::xy(0.0, 0.0);
+        let b = Point::xy(3.0, 4.0);
+        assert_eq!(DistanceKind::Euclidean.dist(&a, &b), 5.0);
+        assert_eq!(DistanceKind::SquaredEuclidean.dist(&a, &b), 25.0);
+        assert_eq!(DistanceKind::Manhattan.dist(&a, &b), 7.0);
+        assert_eq!(DistanceKind::Chebyshev.dist(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::xy(1.0, 2.0);
+        let b = Point::xy(3.0, -1.0);
+        assert_eq!(a.add(&b), Point::xy(4.0, 1.0));
+        assert_eq!(a.scale(2.0), Point::xy(2.0, 4.0));
+        assert_eq!(Point::zero(2), Point::xy(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        DistanceKind::Euclidean.dist(&Point::scalar(1.0), &Point::xy(0.0, 0.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Point::xy(1.0, 2.5).to_string(), "(1, 2.5)");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn euclidean_triangle_inequality(
+            ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+            bx in -100.0f64..100.0, by in -100.0f64..100.0,
+            cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+        ) {
+            let (a, b, c) = (Point::xy(ax, ay), Point::xy(bx, by), Point::xy(cx, cy));
+            let d = DistanceKind::Euclidean;
+            prop_assert!(d.dist(&a, &c) <= d.dist(&a, &b) + d.dist(&b, &c) + 1e-9);
+        }
+
+        #[test]
+        fn distances_are_symmetric_nonnegative(
+            ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+            bx in -100.0f64..100.0, by in -100.0f64..100.0,
+        ) {
+            let (a, b) = (Point::xy(ax, ay), Point::xy(bx, by));
+            for d in [DistanceKind::Euclidean, DistanceKind::SquaredEuclidean,
+                      DistanceKind::Manhattan, DistanceKind::Chebyshev] {
+                prop_assert!(d.dist(&a, &b) >= 0.0);
+                prop_assert!((d.dist(&a, &b) - d.dist(&b, &a)).abs() < 1e-12);
+                prop_assert!(d.dist(&a, &a).abs() < 1e-12);
+            }
+        }
+    }
+}

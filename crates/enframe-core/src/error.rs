@@ -1,0 +1,47 @@
+//! Error types for the event language.
+
+use std::fmt;
+
+/// Errors raised while constructing, grounding, or evaluating event programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A named event/c-value was redeclared. Event declarations are
+    /// immutable (paper §3.4): each identifier may be assigned only once.
+    Redeclaration(String),
+    /// An expression referenced an identifier that has no declaration.
+    UnknownIdent(String),
+    /// A loop bound or index expression referenced an unbound loop counter.
+    UnboundLoopVar(String),
+    /// A declaration's definition (transitively) refers to itself.
+    CyclicDefinition(String),
+    /// A Boolean expression was used where a c-value was expected, or
+    /// vice versa.
+    TypeMismatch { ident: String, expected: &'static str },
+    /// Arithmetic on incompatible values (e.g. vector + scalar). The
+    /// offending operation is described in the payload.
+    ValueType(String),
+    /// A target was registered that does not name a declaration.
+    UnknownTarget(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Redeclaration(id) => {
+                write!(f, "event identifier `{id}` declared more than once")
+            }
+            CoreError::UnknownIdent(id) => write!(f, "unknown event identifier `{id}`"),
+            CoreError::UnboundLoopVar(v) => write!(f, "unbound loop variable `{v}`"),
+            CoreError::CyclicDefinition(id) => {
+                write!(f, "cyclic definition involving `{id}`")
+            }
+            CoreError::TypeMismatch { ident, expected } => {
+                write!(f, "`{ident}` used as {expected} but declared otherwise")
+            }
+            CoreError::ValueType(msg) => write!(f, "value type error: {msg}"),
+            CoreError::UnknownTarget(id) => write!(f, "unknown compilation target `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

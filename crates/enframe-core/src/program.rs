@@ -1,0 +1,522 @@
+//! Symbolic event programs: declarations and `∀`-loops (paper §3.4).
+//!
+//! An event program is an imperative specification that defines a finite set
+//! of named c-values and event expressions:
+//!
+//! ```text
+//! LOOP ::= { {DECL} { ∀ VAR in INT..INT: {LOOP} } }
+//! DECL ::= EID ≡ EVENT
+//! ```
+//!
+//! Identifiers inside a `∀i`-loop may be parameterised by affine expressions
+//! over the loop counters (`M[1][2i]`, `InCl[i][l]`, …), creating a distinct
+//! identifier per iteration. Big operators (`∧`, `∨`, `Σ`, `Π` over a
+//! bounded range) give the concise iteration-parametrised events of
+//! Figures 1–3. [`Program::ground`] instantiates all loops and produces a
+//! flat [`crate::GroundProgram`].
+
+use crate::event::CmpOp;
+use crate::ground::{ground_program, GroundProgram};
+use crate::symbol::{Interner, Symbol};
+use crate::value::Value;
+use crate::var::Var;
+use crate::CoreError;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// An affine index expression `Σ coeffᵢ·varᵢ + c` over loop counters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IdxExpr {
+    /// `(loop counter, coefficient)` pairs; empty for constants.
+    pub terms: Vec<(Symbol, i64)>,
+    /// The constant offset.
+    pub konst: i64,
+}
+
+impl IdxExpr {
+    /// A constant index.
+    pub fn konst(c: i64) -> Self {
+        IdxExpr {
+            terms: vec![],
+            konst: c,
+        }
+    }
+
+    /// The loop counter `v` itself.
+    pub fn var(v: Symbol) -> Self {
+        IdxExpr {
+            terms: vec![(v, 1)],
+            konst: 0,
+        }
+    }
+
+    /// `coeff·v + c`.
+    pub fn affine(v: Symbol, coeff: i64, c: i64) -> Self {
+        if coeff == 0 {
+            return IdxExpr::konst(c);
+        }
+        IdxExpr {
+            terms: vec![(v, coeff)],
+            konst: c,
+        }
+    }
+
+    /// Adds a constant offset.
+    pub fn plus(mut self, c: i64) -> Self {
+        self.konst += c;
+        self
+    }
+
+    /// Evaluates under the loop-counter environment.
+    pub fn eval(&self, env: &HashMap<Symbol, i64>, interner: &Interner) -> Result<i64, CoreError> {
+        let mut acc = self.konst;
+        for (v, coeff) in &self.terms {
+            let val = env
+                .get(v)
+                .copied()
+                .ok_or_else(|| CoreError::UnboundLoopVar(interner.resolve(*v).to_owned()))?;
+            acc += coeff * val;
+        }
+        Ok(acc)
+    }
+}
+
+/// A symbolic identifier: a base name plus affine index expressions, one per
+/// "dot level" (e.g. `M₁.₍₂ᵢ₎.ⱼ` has three levels).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymIdent {
+    /// Interned base name.
+    pub sym: Symbol,
+    /// Index expressions, outermost level first.
+    pub idx: Vec<IdxExpr>,
+}
+
+impl SymIdent {
+    /// An identifier with no indices.
+    pub fn plain(sym: Symbol) -> Self {
+        SymIdent { sym, idx: vec![] }
+    }
+
+    /// An identifier with the given index expressions.
+    pub fn indexed(sym: Symbol, idx: Vec<IdxExpr>) -> Self {
+        SymIdent { sym, idx }
+    }
+}
+
+/// Identifier of a data table registered with [`Program::add_table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(pub u32);
+
+/// A multi-dimensional table of constant [`Value`]s that symbolic
+/// expressions can index with loop counters (e.g. the input objects `oᵢ`,
+/// or precomputed pairwise distances `dist(oₗ, oₚ)`).
+#[derive(Debug, Clone)]
+pub struct DataTable {
+    /// Dimension sizes, outermost first.
+    pub dims: Vec<usize>,
+    /// Row-major values; `values.len() == dims.iter().product()`.
+    pub values: Vec<Value>,
+}
+
+impl DataTable {
+    /// Creates a table, checking that the value count matches the shape.
+    pub fn new(dims: Vec<usize>, values: Vec<Value>) -> Self {
+        let expect: usize = dims.iter().product();
+        assert_eq!(values.len(), expect, "data table shape mismatch");
+        DataTable { dims, values }
+    }
+
+    /// Row-major lookup with bounds checking.
+    pub fn get(&self, idx: &[i64]) -> Result<&Value, CoreError> {
+        if idx.len() != self.dims.len() {
+            return Err(CoreError::ValueType(format!(
+                "table indexed with {} indices but has {} dimensions",
+                idx.len(),
+                self.dims.len()
+            )));
+        }
+        let mut flat = 0usize;
+        for (i, (&ix, &dim)) in idx.iter().zip(self.dims.iter()).enumerate() {
+            if ix < 0 || ix as usize >= dim {
+                return Err(CoreError::ValueType(format!(
+                    "table index {ix} out of range 0..{dim} at dimension {i}"
+                )));
+            }
+            flat = flat * dim + ix as usize;
+        }
+        Ok(&self.values[flat])
+    }
+}
+
+/// The source of a `⊗`-payload: a literal constant or a data-table lookup
+/// parameterised by loop counters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValSrc {
+    /// A fixed value.
+    Const(Value),
+    /// A value read from a data table at a loop-dependent index.
+    Data { table: TableId, index: Vec<IdxExpr> },
+}
+
+/// A symbolic Boolean event expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymEvent {
+    /// ⊤
+    Tru,
+    /// ⊥
+    Fls,
+    /// An input random variable.
+    Var(Var),
+    /// Negation.
+    Not(Rc<SymEvent>),
+    /// N-ary conjunction.
+    And(Vec<Rc<SymEvent>>),
+    /// N-ary disjunction.
+    Or(Vec<Rc<SymEvent>>),
+    /// Comparison atom.
+    Atom(CmpOp, Rc<SymCVal>, Rc<SymCVal>),
+    /// Reference to a named declaration.
+    Ref(SymIdent),
+    /// `∧_{var=lo..hi} body` (inclusive `lo`, exclusive `hi`).
+    BigAnd {
+        /// Bound counter.
+        var: Symbol,
+        /// Lower bound (inclusive).
+        lo: IdxExpr,
+        /// Upper bound (exclusive).
+        hi: IdxExpr,
+        /// Loop body.
+        body: Rc<SymEvent>,
+    },
+    /// `∨_{var=lo..hi} body`.
+    BigOr {
+        /// Bound counter.
+        var: Symbol,
+        /// Lower bound (inclusive).
+        lo: IdxExpr,
+        /// Upper bound (exclusive).
+        hi: IdxExpr,
+        /// Loop body.
+        body: Rc<SymEvent>,
+    },
+}
+
+/// A symbolic conditional value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymCVal {
+    /// `⊤ ⊗ v`.
+    Lit(ValSrc),
+    /// `Φ ⊗ v`.
+    Cond(Rc<SymEvent>, ValSrc),
+    /// `Φ ∧ c`.
+    Guard(Rc<SymEvent>, Rc<SymCVal>),
+    /// N-ary sum.
+    Sum(Vec<Rc<SymCVal>>),
+    /// N-ary product.
+    Prod(Vec<Rc<SymCVal>>),
+    /// Inverse.
+    Inv(Rc<SymCVal>),
+    /// Integer power.
+    Pow(Rc<SymCVal>, i32),
+    /// Distance.
+    Dist(Rc<SymCVal>, Rc<SymCVal>),
+    /// Reference to a named declaration.
+    Ref(SymIdent),
+    /// `Σ_{var=lo..hi} body`.
+    BigSum {
+        /// Bound counter.
+        var: Symbol,
+        /// Lower bound (inclusive).
+        lo: IdxExpr,
+        /// Upper bound (exclusive).
+        hi: IdxExpr,
+        /// Loop body.
+        body: Rc<SymCVal>,
+    },
+    /// `Π_{var=lo..hi} body`.
+    BigProd {
+        /// Bound counter.
+        var: Symbol,
+        /// Lower bound (inclusive).
+        lo: IdxExpr,
+        /// Upper bound (exclusive).
+        hi: IdxExpr,
+        /// Loop body.
+        body: Rc<SymCVal>,
+    },
+}
+
+/// One item of an event program: a declaration or a `∀`-loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `EID ≡ EVENT` (Boolean).
+    DeclEvent {
+        /// Left-hand side.
+        lhs: SymIdent,
+        /// Right-hand side.
+        rhs: Rc<SymEvent>,
+    },
+    /// `EID ≡ CVAL` (numeric).
+    DeclCVal {
+        /// Left-hand side.
+        lhs: SymIdent,
+        /// Right-hand side.
+        rhs: Rc<SymCVal>,
+    },
+    /// `∀ var in lo..hi: body` (inclusive `lo`, exclusive `hi`).
+    Loop {
+        /// Bound counter.
+        var: Symbol,
+        /// Lower bound (inclusive).
+        lo: IdxExpr,
+        /// Upper bound (exclusive).
+        hi: IdxExpr,
+        /// Loop body.
+        body: Vec<Item>,
+    },
+}
+
+/// How a compilation target is selected from the grounded definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetSpec {
+    /// A single identifier with concrete indices.
+    Exact(SymIdent),
+    /// Every grounded definition whose base name matches.
+    Family(Symbol),
+}
+
+/// A symbolic event program: data tables, items, and compilation targets.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Identifier interner.
+    pub interner: Interner,
+    /// Registered data tables.
+    pub tables: Vec<DataTable>,
+    /// Top-level items in declaration order.
+    pub items: Vec<Item>,
+    /// Compilation-target selectors.
+    pub targets: Vec<TargetSpec>,
+    n_vars: u32,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a name.
+    pub fn sym(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    /// Registers a fresh input random variable and returns it.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.n_vars);
+        self.n_vars += 1;
+        v
+    }
+
+    /// Declares that variables `0..n` are in use (for programs whose events
+    /// were built with externally allocated variables).
+    pub fn ensure_vars(&mut self, n: u32) {
+        self.n_vars = self.n_vars.max(n);
+    }
+
+    /// Number of input random variables.
+    pub fn n_vars(&self) -> u32 {
+        self.n_vars
+    }
+
+    /// Registers a data table and returns its id.
+    pub fn add_table(&mut self, table: DataTable) -> TableId {
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(table);
+        id
+    }
+
+    /// Appends an item.
+    pub fn push(&mut self, item: Item) {
+        self.items.push(item);
+    }
+
+    /// Declares a top-level (unindexed) Boolean event and returns its
+    /// identifier.
+    pub fn declare_event(&mut self, name: &str, rhs: Rc<SymEvent>) -> SymIdent {
+        let lhs = SymIdent::plain(self.sym(name));
+        self.items.push(Item::DeclEvent {
+            lhs: lhs.clone(),
+            rhs,
+        });
+        lhs
+    }
+
+    /// Declares a top-level (unindexed) c-value and returns its identifier.
+    pub fn declare_cval(&mut self, name: &str, rhs: Rc<SymCVal>) -> SymIdent {
+        let lhs = SymIdent::plain(self.sym(name));
+        self.items.push(Item::DeclCVal {
+            lhs: lhs.clone(),
+            rhs,
+        });
+        lhs
+    }
+
+    /// Declares an indexed Boolean event with *concrete* indices.
+    pub fn declare_event_at(&mut self, name: &str, idx: &[i64], rhs: Rc<SymEvent>) -> SymIdent {
+        let lhs = SymIdent::indexed(
+            self.sym(name),
+            idx.iter().map(|&i| IdxExpr::konst(i)).collect(),
+        );
+        self.items.push(Item::DeclEvent {
+            lhs: lhs.clone(),
+            rhs,
+        });
+        lhs
+    }
+
+    /// Declares an indexed c-value with *concrete* indices.
+    pub fn declare_cval_at(&mut self, name: &str, idx: &[i64], rhs: Rc<SymCVal>) -> SymIdent {
+        let lhs = SymIdent::indexed(
+            self.sym(name),
+            idx.iter().map(|&i| IdxExpr::konst(i)).collect(),
+        );
+        self.items.push(Item::DeclCVal {
+            lhs: lhs.clone(),
+            rhs,
+        });
+        lhs
+    }
+
+    /// Registers a single-identifier compilation target.
+    pub fn add_target(&mut self, ident: SymIdent) {
+        self.targets.push(TargetSpec::Exact(ident));
+    }
+
+    /// Registers every grounded definition with base name `name` as a
+    /// compilation target.
+    pub fn add_target_family(&mut self, name: &str) {
+        let s = self.sym(name);
+        self.targets.push(TargetSpec::Family(s));
+    }
+
+    /// Instantiates all loops, resolving references, producing a flat
+    /// [`GroundProgram`].
+    pub fn ground(&self) -> Result<GroundProgram, CoreError> {
+        ground_program(self)
+    }
+
+    // --- symbolic expression helpers -------------------------------------
+
+    /// A variable literal.
+    pub fn var(v: Var) -> Rc<SymEvent> {
+        Rc::new(SymEvent::Var(v))
+    }
+
+    /// A negated variable literal.
+    pub fn nvar(v: Var) -> Rc<SymEvent> {
+        Rc::new(SymEvent::Not(Rc::new(SymEvent::Var(v))))
+    }
+
+    /// Smart symbolic conjunction (constant folding only; flattening happens
+    /// at grounding).
+    pub fn and(parts: impl IntoIterator<Item = Rc<SymEvent>>) -> Rc<SymEvent> {
+        let parts: Vec<_> = parts.into_iter().collect();
+        match parts.len() {
+            0 => Rc::new(SymEvent::Tru),
+            1 => parts.into_iter().next().unwrap(),
+            _ => Rc::new(SymEvent::And(parts)),
+        }
+    }
+
+    /// Smart symbolic disjunction.
+    pub fn or(parts: impl IntoIterator<Item = Rc<SymEvent>>) -> Rc<SymEvent> {
+        let parts: Vec<_> = parts.into_iter().collect();
+        match parts.len() {
+            0 => Rc::new(SymEvent::Fls),
+            1 => parts.into_iter().next().unwrap(),
+            _ => Rc::new(SymEvent::Or(parts)),
+        }
+    }
+
+    /// Symbolic negation.
+    pub fn not(e: Rc<SymEvent>) -> Rc<SymEvent> {
+        Rc::new(SymEvent::Not(e))
+    }
+
+    /// Reference to a named event/c-value.
+    pub fn eref(ident: SymIdent) -> Rc<SymEvent> {
+        Rc::new(SymEvent::Ref(ident))
+    }
+
+    /// C-value reference to a named declaration.
+    pub fn cref(ident: SymIdent) -> Rc<SymCVal> {
+        Rc::new(SymCVal::Ref(ident))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_expr_eval() {
+        let mut int = Interner::new();
+        let i = int.intern("i");
+        let mut env = HashMap::new();
+        env.insert(i, 3i64);
+        assert_eq!(IdxExpr::konst(7).eval(&env, &int).unwrap(), 7);
+        assert_eq!(IdxExpr::var(i).eval(&env, &int).unwrap(), 3);
+        assert_eq!(IdxExpr::affine(i, 2, -1).eval(&env, &int).unwrap(), 5);
+    }
+
+    #[test]
+    fn idx_expr_unbound_var_errors() {
+        let mut int = Interner::new();
+        let j = int.intern("j");
+        let env = HashMap::new();
+        assert!(matches!(
+            IdxExpr::var(j).eval(&env, &int),
+            Err(CoreError::UnboundLoopVar(_))
+        ));
+    }
+
+    #[test]
+    fn affine_zero_coeff_is_constant() {
+        let mut int = Interner::new();
+        let i = int.intern("i");
+        let e = IdxExpr::affine(i, 0, 9);
+        assert!(e.terms.is_empty());
+        assert_eq!(e.konst, 9);
+    }
+
+    #[test]
+    fn data_table_shape_and_lookup() {
+        let t = DataTable::new(
+            vec![2, 3],
+            (0..6).map(|i| Value::Num(i as f64)).collect(),
+        );
+        assert_eq!(t.get(&[1, 2]).unwrap(), &Value::Num(5.0));
+        assert_eq!(t.get(&[0, 0]).unwrap(), &Value::Num(0.0));
+        assert!(t.get(&[2, 0]).is_err());
+        assert!(t.get(&[0, -1]).is_err());
+        assert!(t.get(&[0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn data_table_rejects_bad_shape() {
+        DataTable::new(vec![2, 2], vec![Value::Num(0.0)]);
+    }
+
+    #[test]
+    fn fresh_vars_are_sequential() {
+        let mut p = Program::new();
+        assert_eq!(p.fresh_var(), Var(0));
+        assert_eq!(p.fresh_var(), Var(1));
+        assert_eq!(p.n_vars(), 2);
+        p.ensure_vars(10);
+        assert_eq!(p.n_vars(), 10);
+        p.ensure_vars(5);
+        assert_eq!(p.n_vars(), 10);
+    }
+}

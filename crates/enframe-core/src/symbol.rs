@@ -1,0 +1,91 @@
+//! String interning for event identifiers.
+//!
+//! Event programs for data-mining tasks declare very large numbers of
+//! identifiers that share a small set of base names (`InCl`, `DistSum`,
+//! `Centre`, `M`, …) parameterised by indices. Interning the base names keeps
+//! identifiers to a couple of machine words and makes comparisons O(1).
+
+use std::collections::HashMap;
+
+/// An interned string. Cheap to copy, hash, and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+/// A string interner. Each [`crate::Program`] owns one.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = Symbol(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up a previously interned name.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `s` was produced by a different interner.
+    pub fn resolve(&self, s: Symbol) -> &str {
+        &self.names[s.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("InCl");
+        let b = i.intern("InCl");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("M");
+        let b = i.intern("Centre");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "M");
+        assert_eq!(i.resolve(b), "Centre");
+    }
+
+    #[test]
+    fn get_returns_none_for_unknown() {
+        let i = Interner::new();
+        assert!(i.get("nope").is_none());
+        assert!(i.is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! The three correlation schemes of the evaluation (paper §5,
+//! "Uncertainty").
+//!
+//! Data points are divided into *lineage groups* (default size 4): points
+//! in a group share an identical lineage event — "realistic for uncertain
+//! time-series sensor data: readings from a small time window have
+//! identical correlations and uncertainty". A configurable fraction of
+//! groups is *certain* (lineage ⊤). Variable probabilities are drawn
+//! uniformly from `[0.5, 0.8]`, the paper's range.
+//!
+//! * **Positive**: each uncertain group's event is a disjunction of `l`
+//!   distinct positive literals from a pool of `v` variables — any two
+//!   points are positively correlated or independent.
+//! * **Mutex**: groups are partitioned into mutex sets of (at most) `m`
+//!   points; within a set, presence is encoded by the chain
+//!   `Φⱼ = ¬x₁ ∧ … ∧ ¬xⱼ₋₁ ∧ xⱼ`, so any two groups of a set are mutually
+//!   exclusive and sets are independent.
+//! * **Conditional**: a Markov chain. With `Φᵢ` the event that group `i`
+//!   exists, `Φᵢ₊₁ = (Φᵢ ∧ xᵗᵢ₊₁) ∨ (¬Φᵢ ∧ xᶠᵢ₊₁)` — two fresh variables
+//!   per group.
+
+use enframe_core::{Event, Var, VarTable};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// Which correlation scheme to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// Disjunctions of `l` positive literals over a pool of `v` variables.
+    Positive {
+        /// Literals per event.
+        l: usize,
+        /// Variable-pool size.
+        v: usize,
+    },
+    /// Mutex sets of (at most) `m` points.
+    Mutex {
+        /// Mutex-set cardinality in points.
+        m: usize,
+    },
+    /// Markov-chain conditional correlations.
+    Conditional,
+}
+
+/// Generation options shared by all schemes.
+#[derive(Debug, Clone, Copy)]
+pub struct LineageOpts {
+    /// Lineage-group size (points per identical-lineage group).
+    pub group_size: usize,
+    /// Fraction of groups that are certain (lineage ⊤).
+    pub certain_frac: f64,
+    /// Lower bound of the variable-probability range.
+    pub p_lo: f64,
+    /// Upper bound of the variable-probability range.
+    pub p_hi: f64,
+}
+
+impl Default for LineageOpts {
+    fn default() -> Self {
+        LineageOpts {
+            group_size: 4,
+            certain_frac: 0.0,
+            p_lo: 0.5,
+            p_hi: 0.8,
+        }
+    }
+}
+
+/// Generated lineage: one event per data point plus the variable table.
+#[derive(Debug, Clone)]
+pub struct Correlations {
+    /// Lineage event per point (groups share `Rc`s).
+    pub lineage: Vec<Rc<Event>>,
+    /// Probabilities of the generated variables.
+    pub var_table: VarTable,
+}
+
+/// Generates lineage for `n` points under the given scheme.
+///
+/// # Panics
+/// Panics if option values are out of range (e.g. `l > v` for the positive
+/// scheme, zero group size).
+pub fn generate_lineage(n: usize, scheme: Scheme, opts: &LineageOpts, seed: u64) -> Correlations {
+    assert!(opts.group_size >= 1, "group size must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&opts.certain_frac),
+        "certain fraction out of range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_groups = n.div_ceil(opts.group_size);
+    // Decide which groups are certain.
+    let certain: Vec<bool> = (0..n_groups)
+        .map(|_| rng.gen::<f64>() < opts.certain_frac)
+        .collect();
+    let uncertain_groups: Vec<usize> = (0..n_groups).filter(|&g| !certain[g]).collect();
+
+    // Certain groups intentionally share one ⊤ event (cloning an `Rc` is a
+    // refcount bump; uncertain groups are overwritten below).
+    #[allow(clippy::rc_clone_in_vec_init)]
+    let mut group_events: Vec<Rc<Event>> = vec![Rc::new(Event::Tru); n_groups];
+    let n_vars: usize;
+    match scheme {
+        Scheme::Positive { l, v } => {
+            assert!(l >= 1 && l <= v, "need 1 <= l <= v for positive lineage");
+            n_vars = v;
+            let pool: Vec<Var> = (0..v as u32).map(Var).collect();
+            for &g in &uncertain_groups {
+                let mut picks = pool.clone();
+                picks.shuffle(&mut rng);
+                picks.truncate(l);
+                group_events[g] = Event::or(picks.iter().map(|&x| Event::var(x)));
+            }
+        }
+        Scheme::Mutex { m } => {
+            assert!(m >= 1, "mutex cardinality must be at least 1");
+            // m points per set = ceil(m / group_size) groups per set.
+            let groups_per_set = (m.div_ceil(opts.group_size)).max(1);
+            let mut next_var = 0u32;
+            for set in uncertain_groups.chunks(groups_per_set) {
+                let set_vars: Vec<Var> =
+                    (0..set.len()).map(|j| Var(next_var + j as u32)).collect();
+                next_var += set.len() as u32;
+                for (j, &g) in set.iter().enumerate() {
+                    let mut conj: Vec<Rc<Event>> =
+                        set_vars[..j].iter().map(|&x| Event::nvar(x)).collect();
+                    conj.push(Event::var(set_vars[j]));
+                    group_events[g] = Event::and(conj);
+                }
+            }
+            n_vars = next_var as usize;
+        }
+        Scheme::Conditional => {
+            // Φ₀ = x₀; Φᵢ₊₁ = (Φᵢ ∧ xᵗ) ∨ (¬Φᵢ ∧ xᶠ).
+            let mut next_var = 0u32;
+            let mut prev: Option<Rc<Event>> = None;
+            for &g in &uncertain_groups {
+                let ev = match &prev {
+                    None => {
+                        let x = Var(next_var);
+                        next_var += 1;
+                        Event::var(x)
+                    }
+                    Some(phi) => {
+                        let xt = Var(next_var);
+                        let xf = Var(next_var + 1);
+                        next_var += 2;
+                        Event::or([
+                            Event::and([phi.clone(), Event::var(xt)]),
+                            Event::and([Event::not(phi.clone()), Event::var(xf)]),
+                        ])
+                    }
+                };
+                group_events[g] = ev.clone();
+                prev = Some(ev);
+            }
+            n_vars = next_var as usize;
+        }
+    }
+
+    let probs: Vec<f64> = (0..n_vars)
+        .map(|_| rng.gen_range(opts.p_lo..=opts.p_hi))
+        .collect();
+    let lineage: Vec<Rc<Event>> = (0..n)
+        .map(|i| group_events[i / opts.group_size].clone())
+        .collect();
+    Correlations {
+        lineage,
+        var_table: VarTable::new(probs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enframe_core::Valuation;
+
+    fn opts() -> LineageOpts {
+        LineageOpts::default()
+    }
+
+    #[test]
+    fn groups_share_lineage() {
+        let c = generate_lineage(
+            8,
+            Scheme::Positive { l: 2, v: 6 },
+            &opts(),
+            7,
+        );
+        assert_eq!(c.lineage.len(), 8);
+        for g in 0..2 {
+            for i in 1..4 {
+                assert!(
+                    Rc::ptr_eq(&c.lineage[g * 4], &c.lineage[g * 4 + i]),
+                    "group {g} point {i} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positive_scheme_uses_pool_of_v_vars() {
+        let c = generate_lineage(16, Scheme::Positive { l: 3, v: 10 }, &opts(), 1);
+        assert_eq!(c.var_table.len(), 10);
+        for phi in &c.lineage {
+            let mut vars = Vec::new();
+            phi.collect_vars(&mut vars);
+            vars.sort();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "each event has l distinct literals");
+        }
+    }
+
+    #[test]
+    fn probabilities_in_paper_range() {
+        let c = generate_lineage(20, Scheme::Positive { l: 2, v: 8 }, &opts(), 3);
+        for v in c.var_table.vars() {
+            let p = c.var_table.prob(v);
+            assert!((0.5..=0.8).contains(&p));
+        }
+    }
+
+    #[test]
+    fn mutex_sets_are_mutually_exclusive() {
+        // 12 points, group size 4 → 3 groups; m = 12 → one set of 3 groups.
+        let c = generate_lineage(12, Scheme::Mutex { m: 12 }, &opts(), 5);
+        let n = c.var_table.len();
+        assert_eq!(n, 3);
+        // In every world, at most one group's lineage holds.
+        for code in 0..(1u64 << n) {
+            let nu = Valuation::from_code(n, code);
+            let present: Vec<bool> = [0usize, 4, 8]
+                .iter()
+                .map(|&i| c.lineage[i].eval_closed(&nu).unwrap())
+                .collect();
+            let count = present.iter().filter(|&&b| b).count();
+            assert!(count <= 1, "world {code:b}: {present:?}");
+        }
+    }
+
+    #[test]
+    fn conditional_chain_uses_two_vars_per_step() {
+        let c = generate_lineage(16, Scheme::Conditional, &opts(), 11);
+        // 4 groups: 1 + 2·3 = 7 variables.
+        assert_eq!(c.var_table.len(), 7);
+        // The chain gives every group a satisfiable and falsifiable event.
+        let n = c.var_table.len();
+        for g in 0..4 {
+            let phi = &c.lineage[g * 4];
+            let mut seen_true = false;
+            let mut seen_false = false;
+            for code in 0..(1u64 << n) {
+                match phi.eval_closed(&Valuation::from_code(n, code)).unwrap() {
+                    true => seen_true = true,
+                    false => seen_false = true,
+                }
+                if seen_true && seen_false {
+                    break;
+                }
+            }
+            assert!(seen_true && seen_false, "group {g} event is constant");
+        }
+    }
+
+    #[test]
+    fn certain_fraction_produces_certain_groups() {
+        let c = generate_lineage(
+            40,
+            Scheme::Positive { l: 2, v: 10 },
+            &LineageOpts {
+                certain_frac: 1.0,
+                ..opts()
+            },
+            2,
+        );
+        assert!(c
+            .lineage
+            .iter()
+            .all(|phi| matches!(**phi, Event::Tru)));
+        let c2 = generate_lineage(
+            40,
+            Scheme::Positive { l: 2, v: 10 },
+            &LineageOpts {
+                certain_frac: 0.0,
+                ..opts()
+            },
+            2,
+        );
+        assert!(c2
+            .lineage
+            .iter()
+            .all(|phi| !matches!(**phi, Event::Tru)));
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let a = generate_lineage(12, Scheme::Mutex { m: 8 }, &opts(), 42);
+        let b = generate_lineage(12, Scheme::Mutex { m: 8 }, &opts(), 42);
+        assert_eq!(a.var_table, b.var_table);
+        for (x, y) in a.lineage.iter().zip(&b.lineage) {
+            assert_eq!(format!("{x}"), format!("{y}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= l <= v")]
+    fn positive_requires_l_le_v() {
+        generate_lineage(4, Scheme::Positive { l: 5, v: 3 }, &opts(), 0);
+    }
+}

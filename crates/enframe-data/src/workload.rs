@@ -1,0 +1,113 @@
+//! Complete clustering workloads for the figure harnesses.
+
+use crate::correlations::{generate_lineage, LineageOpts, Scheme};
+use crate::sensor::{generate_sensor_points, SensorConfig};
+use enframe_cluster::{farthest_first, DistanceKind, Point};
+use enframe_core::VarTable;
+use enframe_translate::env::{clustering_env, ProbEnv, ProbObjects};
+
+/// A ready-to-run k-medoids workload: probabilistic environment, variable
+/// probabilities, and the underlying deterministic data.
+#[derive(Debug, Clone)]
+pub struct ClusteringWorkload {
+    /// The probabilistic environment for translation / naïve execution.
+    pub env: ProbEnv,
+    /// Variable probabilities.
+    pub vt: VarTable,
+    /// The raw points.
+    pub points: Vec<Vec<f64>>,
+    /// Seed medoid indices chosen by farthest-first traversal.
+    pub seeds: Vec<usize>,
+}
+
+/// Builds a k-medoids workload over synthetic sensor data with the given
+/// correlation scheme. `seed` controls both data and lineage generation.
+pub fn kmedoids_workload(
+    n: usize,
+    k: usize,
+    iterations: usize,
+    scheme: Scheme,
+    opts: &LineageOpts,
+    seed: u64,
+) -> ClusteringWorkload {
+    let points = generate_sensor_points(&SensorConfig {
+        n,
+        seed,
+        ..SensorConfig::default()
+    });
+    let cluster_points: Vec<Point> = points.iter().map(|p| Point::new(p.clone())).collect();
+    let seeds = farthest_first(&cluster_points, k, DistanceKind::Euclidean);
+    let corr = generate_lineage(n, scheme, opts, seed.wrapping_add(1));
+    let n_vars = corr.var_table.len() as u32;
+    let objects = ProbObjects::new(points.clone(), corr.lineage);
+    let env = clustering_env(objects, k, iterations, seeds.clone(), n_vars);
+    ClusteringWorkload {
+        env,
+        vt: corr.var_table,
+        points,
+        seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_consistent() {
+        let w = kmedoids_workload(
+            24,
+            2,
+            3,
+            Scheme::Positive { l: 3, v: 8 },
+            &LineageOpts::default(),
+            7,
+        );
+        assert_eq!(w.points.len(), 24);
+        assert_eq!(w.seeds.len(), 2);
+        assert_eq!(w.vt.len(), 8);
+        assert_eq!(w.env.n_vars, 8);
+        let objs = w.env.objects().unwrap();
+        assert_eq!(objs.len(), 24);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let mk = || {
+            kmedoids_workload(
+                16,
+                2,
+                2,
+                Scheme::Mutex { m: 8 },
+                &LineageOpts::default(),
+                3,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.vt, b.vt);
+    }
+
+    #[test]
+    fn mutex_workload_variable_count_scales_with_n() {
+        let small = kmedoids_workload(
+            48,
+            2,
+            2,
+            Scheme::Mutex { m: 12 },
+            &LineageOpts::default(),
+            1,
+        );
+        let large = kmedoids_workload(
+            96,
+            2,
+            2,
+            Scheme::Mutex { m: 12 },
+            &LineageOpts::default(),
+            1,
+        );
+        assert!(large.vt.len() > small.vt.len());
+    }
+}

@@ -1,0 +1,255 @@
+//! Abstract syntax of the user language (paper Figure 4).
+
+use std::fmt;
+
+/// A parsed user program: a sequence of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserProgram {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lval = expr`
+    Assign {
+        /// Assignment target (name or indexed name).
+        target: Lval,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `(a, b, ...) = loadData() | loadParams()` — positional tuple binding
+    /// of an external call's results.
+    TupleAssign {
+        /// Names bound positionally.
+        names: Vec<String>,
+        /// Which external primitive is called.
+        call: ExtCall,
+    },
+    /// `name = init()` — single binding of an external call.
+    ExtAssign {
+        /// The bound name.
+        name: String,
+        /// Which external primitive is called.
+        call: ExtCall,
+    },
+    /// `for var in range(lo, hi): body`
+    For {
+        /// Loop counter name.
+        var: String,
+        /// Lower bound (inclusive).
+        lo: Expr,
+        /// Upper bound (exclusive).
+        hi: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// An assignment target: `M`, `M[i]`, `M[i][l]`, …
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lval {
+    /// A plain variable.
+    Name(String),
+    /// An indexed location.
+    Index(Box<Lval>, Box<Expr>),
+}
+
+impl Lval {
+    /// The base variable name of the target.
+    pub fn base_name(&self) -> &str {
+        match self {
+            Lval::Name(n) => n,
+            Lval::Index(inner, _) => inner.base_name(),
+        }
+    }
+
+    /// Number of index levels (0 for a plain name).
+    pub fn depth(&self) -> usize {
+        match self {
+            Lval::Name(_) => 0,
+            Lval::Index(inner, _) => inner.depth() + 1,
+        }
+    }
+
+    /// The index expressions from outermost to innermost.
+    pub fn indices(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        while let Lval::Index(inner, idx) = cur {
+            out.push(idx.as_ref());
+            cur = inner;
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// External data primitives (paper §2: "Input data").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtCall {
+    /// `loadData()`
+    LoadData,
+    /// `loadParams()`
+    LoadParams,
+    /// `init()`
+    Init,
+}
+
+impl fmt::Display for ExtCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtCall::LoadData => write!(f, "loadData()"),
+            ExtCall::LoadParams => write!(f, "loadParams()"),
+            ExtCall::Init => write!(f, "init()"),
+        }
+    }
+}
+
+/// A reduce aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceKind {
+    /// `reduce_and`
+    And,
+    /// `reduce_or`
+    Or,
+    /// `reduce_sum`
+    Sum,
+    /// `reduce_mult`
+    Mult,
+    /// `reduce_count`
+    Count,
+}
+
+impl ReduceKind {
+    /// Parses a function name into a reduce kind.
+    pub fn from_name(name: &str) -> Option<ReduceKind> {
+        Some(match name {
+            "reduce_and" => ReduceKind::And,
+            "reduce_or" => ReduceKind::Or,
+            "reduce_sum" => ReduceKind::Sum,
+            "reduce_mult" => ReduceKind::Mult,
+            "reduce_count" => ReduceKind::Count,
+            _ => return None,
+        })
+    }
+}
+
+/// Tie-breaking helpers (paper §2.2 "Breaking ties").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieKind {
+    /// `breakTies(M)` on a 1-D Boolean array: keep the first `True`.
+    One,
+    /// `breakTies1(M)`: fix the **first** dimension, break ties along the
+    /// second (one winner per row).
+    Dim1,
+    /// `breakTies2(M)`: fix the **second** dimension, break ties along the
+    /// first (one winner per column).
+    Dim2,
+}
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `==`
+    Eq,
+}
+
+/// A list comprehension `[expr for var in range(lo, hi) if cond]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListCompr {
+    /// Element expression.
+    pub expr: Box<Expr>,
+    /// Comprehension counter.
+    pub var: String,
+    /// Lower bound (inclusive).
+    pub lo: Box<Expr>,
+    /// Upper bound (exclusive).
+    pub hi: Box<Expr>,
+    /// Optional filter.
+    pub cond: Option<Box<Expr>>,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Name(String),
+    /// Indexing `e[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `[None] * e` array initialisation.
+    ArrayInit(Box<Expr>),
+    /// Comparison `a θ b`.
+    Compare(Cmp, Box<Expr>, Box<Expr>),
+    /// Addition `a + b`.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction `a - b` (sugar used in index arithmetic).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication `a * b`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `reduce_*(list-comprehension)`.
+    Reduce(ReduceKind, ListCompr),
+    /// `pow(a, r)`.
+    Pow(Box<Expr>, Box<Expr>),
+    /// `invert(a)`.
+    Invert(Box<Expr>),
+    /// `dist(a, b)`.
+    Dist(Box<Expr>, Box<Expr>),
+    /// `scalar_mult(s, v)`.
+    ScalarMult(Box<Expr>, Box<Expr>),
+    /// `breakTies*(M)`.
+    BreakTies(TieKind, Box<Expr>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lval_helpers() {
+        // M[i][l]
+        let lv = Lval::Index(
+            Box::new(Lval::Index(
+                Box::new(Lval::Name("M".into())),
+                Box::new(Expr::Name("i".into())),
+            )),
+            Box::new(Expr::Name("l".into())),
+        );
+        assert_eq!(lv.base_name(), "M");
+        assert_eq!(lv.depth(), 2);
+        let idx = lv.indices();
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx[0], &Expr::Name("i".into()));
+        assert_eq!(idx[1], &Expr::Name("l".into()));
+    }
+
+    #[test]
+    fn reduce_kind_from_name() {
+        assert_eq!(ReduceKind::from_name("reduce_and"), Some(ReduceKind::And));
+        assert_eq!(ReduceKind::from_name("reduce_count"), Some(ReduceKind::Count));
+        assert_eq!(ReduceKind::from_name("reduce_max"), None);
+    }
+
+    #[test]
+    fn ext_call_display() {
+        assert_eq!(ExtCall::LoadData.to_string(), "loadData()");
+        assert_eq!(ExtCall::Init.to_string(), "init()");
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the user-language front-end.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from lexing, parsing, checking, or interpreting user programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// Lexical error (bad character, inconsistent indentation, …).
+    Lex { pos: Pos, msg: String },
+    /// Syntax error.
+    Parse { pos: Pos, msg: String },
+    /// Static type/shape error.
+    Type(String),
+    /// Runtime error during interpretation (only possible for programs that
+    /// failed to be checked, or for host-environment mismatches).
+    Runtime(String),
+}
+
+impl LangError {
+    pub(crate) fn lex(pos: Pos, msg: impl Into<String>) -> Self {
+        LangError::Lex {
+            pos,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn parse(pos: Pos, msg: impl Into<String>) -> Self {
+        LangError::Parse {
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, msg } => write!(f, "lexical error at {pos}: {msg}"),
+            LangError::Parse { pos, msg } => write!(f, "syntax error at {pos}: {msg}"),
+            LangError::Type(msg) => write!(f, "type error: {msg}"),
+            LangError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

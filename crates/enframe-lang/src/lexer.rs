@@ -1,0 +1,493 @@
+//! Indentation-aware lexer for the user language.
+//!
+//! Python conventions implemented:
+//! * `#` comments run to end of line;
+//! * blank lines produce no tokens;
+//! * leading whitespace produces `Indent`/`Dedent` tokens against an
+//!   indentation stack (spaces only; tabs are rejected for sanity);
+//! * newlines inside `(...)`/`[...]` are joined implicitly.
+
+use crate::error::{LangError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `True`
+    True,
+    /// `False`
+    False,
+    /// `None`
+    NoneLit,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `if`
+    If,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// End of logical line.
+    Newline,
+    /// Increase of indentation level.
+    Indent,
+    /// Decrease of indentation level.
+    Dedent,
+    /// End of input (after closing all indents).
+    Eof,
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}
+
+/// Tokenizes `src` into a vector of spanned tokens ending with `Eof`.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out: Vec<Spanned> = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut bracket_depth = 0usize;
+
+    for (line_no, raw_line) in src.lines().enumerate() {
+        let line_no = line_no as u32 + 1;
+        // Strip comments (no string literals in the language).
+        let line = match raw_line.find('#') {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
+        };
+        if line.trim().is_empty() && bracket_depth == 0 {
+            continue;
+        }
+
+        // Indentation handling only outside brackets.
+        if bracket_depth == 0 {
+            let mut indent = 0usize;
+            for ch in line.chars() {
+                match ch {
+                    ' ' => indent += 1,
+                    '\t' => {
+                        return Err(LangError::lex(
+                            Pos {
+                                line: line_no,
+                                col: indent as u32 + 1,
+                            },
+                            "tab characters are not allowed in indentation",
+                        ))
+                    }
+                    _ => break,
+                }
+            }
+            let current = *indents.last().unwrap();
+            let pos = Pos {
+                line: line_no,
+                col: 1,
+            };
+            if indent > current {
+                indents.push(indent);
+                out.push(Spanned {
+                    tok: Tok::Indent,
+                    pos,
+                });
+            } else {
+                while indent < *indents.last().unwrap() {
+                    indents.pop();
+                    out.push(Spanned {
+                        tok: Tok::Dedent,
+                        pos,
+                    });
+                }
+                if indent != *indents.last().unwrap() {
+                    return Err(LangError::lex(
+                        pos,
+                        "inconsistent dedent: no enclosing block at this indentation",
+                    ));
+                }
+            }
+        }
+
+        lex_line(line, line_no, &mut out, &mut bracket_depth)?;
+
+        if bracket_depth == 0 {
+            // Emit a newline after each logical line (unless the physical
+            // line had no tokens, which cannot happen here because blank
+            // lines were skipped).
+            let col = line.chars().count() as u32 + 1;
+            out.push(Spanned {
+                tok: Tok::Newline,
+                pos: Pos { line: line_no, col },
+            });
+        }
+    }
+
+    if bracket_depth != 0 {
+        return Err(LangError::lex(
+            Pos { line: 0, col: 0 },
+            "unterminated bracket at end of input",
+        ));
+    }
+    let end = Pos {
+        line: src.lines().count() as u32 + 1,
+        col: 1,
+    };
+    while indents.len() > 1 {
+        indents.pop();
+        out.push(Spanned {
+            tok: Tok::Dedent,
+            pos: end,
+        });
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: end,
+    });
+    Ok(out)
+}
+
+fn lex_line(
+    line: &str,
+    line_no: u32,
+    out: &mut Vec<Spanned>,
+    bracket_depth: &mut usize,
+) -> Result<(), LangError> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos {
+            line: line_no,
+            col: i as u32 + 1,
+        };
+        match c {
+            ' ' => {
+                i += 1;
+            }
+            '(' => {
+                *bracket_depth += 1;
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos,
+                });
+                i += 1;
+            }
+            ')' => {
+                *bracket_depth = bracket_depth.checked_sub(1).ok_or_else(|| {
+                    LangError::lex(pos, "unmatched closing parenthesis")
+                })?;
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos,
+                });
+                i += 1;
+            }
+            '[' => {
+                *bracket_depth += 1;
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    pos,
+                });
+                i += 1;
+            }
+            ']' => {
+                *bracket_depth = bracket_depth.checked_sub(1).ok_or_else(|| {
+                    LangError::lex(pos, "unmatched closing bracket")
+                })?;
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    pos,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos,
+                });
+                i += 1;
+            }
+            ':' => {
+                out.push(Spanned {
+                    tok: Tok::Colon,
+                    pos,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    pos,
+                });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    pos,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    pos,
+                });
+                i += 1;
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Spanned {
+                        tok: Tok::EqEq,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Assign,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Tok::Le, pos });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, pos });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Tok::Ge, pos });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, pos });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < chars.len() && chars[i] == '.' {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < chars.len() && (chars[i] == '+' || chars[i] == '-') {
+                        i += 1;
+                    }
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| {
+                        LangError::lex(pos, format!("invalid float literal `{text}`"))
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        LangError::lex(pos, format!("invalid integer literal `{text}`"))
+                    })?)
+                };
+                out.push(Spanned { tok, pos });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "for" => Tok::For,
+                    "in" => Tok::In,
+                    "if" => Tok::If,
+                    "True" => Tok::True,
+                    "False" => Tok::False,
+                    "None" => Tok::NoneLit,
+                    _ => Tok::Ident(word),
+                };
+                out.push(Spanned { tok, pos });
+            }
+            other => {
+                return Err(LangError::lex(
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            toks("V = 2"),
+            vec![
+                Tok::Ident("V".into()),
+                Tok::Assign,
+                Tok::Int(2),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let t = toks("# header\n\nV = 1 # trailing\n");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("V".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indent_dedent_blocks() {
+        let src = "for i in range(0,2):\n    M = 1\nV = 2\n";
+        let t = toks(src);
+        assert!(t.contains(&Tok::Indent));
+        assert!(t.contains(&Tok::Dedent));
+        let i_pos = t.iter().position(|x| *x == Tok::Indent).unwrap();
+        let d_pos = t.iter().position(|x| *x == Tok::Dedent).unwrap();
+        assert!(i_pos < d_pos);
+    }
+
+    #[test]
+    fn nested_dedents_close_in_order() {
+        let src = "for i in range(0,2):\n  for j in range(0,2):\n    M = 1\nV = 2\n";
+        let t = toks(src);
+        let dedents = t.iter().filter(|x| **x == Tok::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn implicit_line_joining_in_brackets() {
+        let src = "M = reduce_and(\n    [1 for i in range(0,2)])\n";
+        let t = toks(src);
+        // Only one Newline (at the very end of the logical line).
+        let newlines = t.iter().filter(|x| **x == Tok::Newline).count();
+        assert_eq!(newlines, 1);
+        assert!(!t.contains(&Tok::Indent));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <= b >= c < d > e == f")[..11],
+            [
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Ident("c".into()),
+                Tok::Lt,
+                Tok::Ident("d".into()),
+                Tok::Gt,
+                Tok::Ident("e".into()),
+                Tok::EqEq,
+                Tok::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        assert_eq!(toks("x = 1.5")[2], Tok::Float(1.5));
+        assert_eq!(toks("x = 1e3")[2], Tok::Float(1000.0));
+        assert_eq!(toks("x = 42")[2], Tok::Int(42));
+    }
+
+    #[test]
+    fn rejects_tabs_in_indentation() {
+        assert!(matches!(
+            lex("for i in range(0,1):\n\tx = 1\n"),
+            Err(LangError::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_dedent() {
+        let src = "for i in range(0,1):\n    x = 1\n  y = 2\n";
+        assert!(matches!(lex(src), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_unbalanced_brackets() {
+        assert!(lex("x = (1 + 2\n").is_err());
+        assert!(lex("x = 1)\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(matches!(lex("x = 1 @ 2"), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn keywords_recognised() {
+        let t = toks("for i in range(0,2): pass_like");
+        assert_eq!(t[0], Tok::For);
+        assert_eq!(t[2], Tok::In);
+        assert_eq!(t[3], Tok::Ident("range".into()));
+    }
+}

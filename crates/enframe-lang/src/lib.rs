@@ -1,0 +1,46 @@
+//! # enframe-lang — the ENFrame user language
+//!
+//! ENFrame users write programs in a fragment of Python (paper §2, grammar
+//! in Figure 4) featuring assignments, bounded-range `for` loops, list
+//! comprehension, `reduce_*` aggregates, tie-breaking helpers, and the
+//! abstract data primitives `loadData()` / `loadParams()` / `init()`.
+//!
+//! This crate provides the full front-end for that language:
+//!
+//! * [`lexer`] — an indentation-aware tokenizer (Python-style
+//!   `INDENT`/`DEDENT`, `#` comments, implicit line joining inside
+//!   brackets);
+//! * [`parser`] — a recursive-descent parser producing the [`ast`];
+//! * [`check`] — a type-and-shape checker that validates a program against
+//!   concrete data bindings (array sizes are known at compile time because
+//!   all loops are bounded);
+//! * [`interp`] — a deterministic interpreter with the *undefined-aware*
+//!   semantics of the event language (§3.2), so that running a program on
+//!   one possible world agrees exactly with evaluating the translated event
+//!   program under the corresponding valuation;
+//! * [`programs`] — the three canonical user programs of the paper
+//!   (k-means, k-medoids, Markov clustering), Figures 1–3.
+//!
+//! ```
+//! use enframe_lang::{parse, programs};
+//!
+//! let ast = parse(programs::K_MEDOIDS).expect("the paper's program parses");
+//! assert!(ast.stmts.len() >= 4);
+//! ```
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod programs;
+pub mod rtvalue;
+
+pub use ast::{Expr, ListCompr, Lval, ReduceKind, Stmt, UserProgram};
+pub use check::check_program;
+pub use error::LangError;
+pub use interp::{ExternalEnv, Interp, SimpleEnv};
+pub use parser::parse;
+pub use rtvalue::RtValue;

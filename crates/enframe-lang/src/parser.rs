@@ -1,0 +1,578 @@
+//! Recursive-descent parser for the user language (grammar of Figure 4).
+
+use crate::ast::*;
+use crate::error::{LangError, Pos};
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Parses a user program from source text.
+pub fn parse(src: &str) -> Result<UserProgram, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmts = p.stmt_list(true)?;
+    p.expect(&Tok::Eof)?;
+    Ok(UserProgram { stmts })
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> Pos {
+        self.toks[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), LangError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.here(),
+                format!("expected {want:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(LangError::parse(
+                self.here(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Parses statements until `Dedent`/`Eof` (or only `Eof` at top level).
+    fn stmt_list(&mut self, top: bool) -> Result<Vec<Stmt>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Dedent if !top => break,
+                Tok::Newline => {
+                    self.bump();
+                }
+                _ => out.push(self.stmt()?),
+            }
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek() {
+            Tok::For => self.for_stmt(),
+            Tok::LParen => self.tuple_assign(),
+            Tok::Ident(_) => self.assign(),
+            other => Err(LangError::parse(
+                self.here(),
+                format!("expected statement, found {other:?}"),
+            )),
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.expect(&Tok::For)?;
+        let var = self.expect_ident()?;
+        self.expect(&Tok::In)?;
+        let range_name = self.expect_ident()?;
+        if range_name != "range" {
+            return Err(LangError::parse(
+                self.here(),
+                format!("for loops must iterate over range(..), found `{range_name}`"),
+            ));
+        }
+        self.expect(&Tok::LParen)?;
+        let lo = self.expr()?;
+        self.expect(&Tok::Comma)?;
+        let hi = self.expr()?;
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Colon)?;
+        self.expect(&Tok::Newline)?;
+        self.expect(&Tok::Indent)?;
+        let body = self.stmt_list(false)?;
+        self.expect(&Tok::Dedent)?;
+        Ok(Stmt::For { var, lo, hi, body })
+    }
+
+    fn tuple_assign(&mut self) -> Result<Stmt, LangError> {
+        self.expect(&Tok::LParen)?;
+        let mut names = vec![self.expect_ident()?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            names.push(self.expect_ident()?);
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Assign)?;
+        let call = self.ext_call()?;
+        self.expect(&Tok::Newline)?;
+        Ok(Stmt::TupleAssign { names, call })
+    }
+
+    fn ext_call(&mut self) -> Result<ExtCall, LangError> {
+        let name = self.expect_ident()?;
+        let call = match name.as_str() {
+            "loadData" => ExtCall::LoadData,
+            "loadParams" => ExtCall::LoadParams,
+            "init" => ExtCall::Init,
+            other => {
+                return Err(LangError::parse(
+                    self.here(),
+                    format!("expected external call, found `{other}`"),
+                ))
+            }
+        };
+        self.expect(&Tok::LParen)?;
+        self.expect(&Tok::RParen)?;
+        Ok(call)
+    }
+
+    fn assign(&mut self) -> Result<Stmt, LangError> {
+        let target = self.lval()?;
+        self.expect(&Tok::Assign)?;
+        // `name = init()` / `name = loadData()` style single binding.
+        if let Tok::Ident(name) = self.peek() {
+            if matches!(name.as_str(), "loadData" | "loadParams" | "init")
+                && self.peek2() == Some(&Tok::LParen)
+            {
+                if target.depth() != 0 {
+                    return Err(LangError::parse(
+                        self.here(),
+                        "external calls can only be bound to plain names",
+                    ));
+                }
+                let call = self.ext_call()?;
+                self.expect(&Tok::Newline)?;
+                return Ok(Stmt::ExtAssign {
+                    name: target.base_name().to_owned(),
+                    call,
+                });
+            }
+        }
+        let expr = self.expr()?;
+        self.expect(&Tok::Newline)?;
+        Ok(Stmt::Assign { target, expr })
+    }
+
+    fn lval(&mut self) -> Result<Lval, LangError> {
+        let name = self.expect_ident()?;
+        let mut lv = Lval::Name(name);
+        while self.peek() == &Tok::LBracket {
+            self.bump();
+            let idx = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            lv = Lval::Index(Box::new(lv), Box::new(idx));
+        }
+        Ok(lv)
+    }
+
+    /// expr := add [cmpop add]
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Le => Cmp::Le,
+            Tok::Lt => Cmp::Lt,
+            Tok::Ge => Cmp::Ge,
+            Tok::Gt => Cmp::Gt,
+            Tok::EqEq => Cmp::Eq,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Compare(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    /// add := mul { ('+'|'-') mul }
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    let rhs = self.mul_expr()?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Tok::Minus => {
+                    self.bump();
+                    let rhs = self.mul_expr()?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    /// mul := unary { '*' unary }
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == &Tok::Star {
+            self.bump();
+            let rhs = self.unary()?;
+            // `[None] * e` array initialisation.
+            if let Expr::ArrayInit(inner) = &lhs {
+                if matches!(**inner, Expr::Int(0)) {
+                    lhs = Expr::ArrayInit(Box::new(rhs));
+                    continue;
+                }
+            }
+            lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// unary := '-' unary | postfix
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.peek() == &Tok::Minus {
+            self.bump();
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Int(i) => Expr::Int(-i),
+                Expr::Float(f) => Expr::Float(-f),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        self.postfix()
+    }
+
+    /// postfix := atom { '[' expr ']' }
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.atom()?;
+        while self.peek() == &Tok::LBracket {
+            self.bump();
+            let idx = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Expr::Int(i))
+            }
+            Tok::Float(f) => {
+                self.bump();
+                Ok(Expr::Float(f))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                // `[None]` marker for array initialisation; the `* size`
+                // part is applied by `mul_expr`.
+                self.bump();
+                if self.peek() == &Tok::NoneLit {
+                    self.bump();
+                    self.expect(&Tok::RBracket)?;
+                    // Placeholder size 0; replaced in mul_expr.
+                    Ok(Expr::ArrayInit(Box::new(Expr::Int(0))))
+                } else {
+                    Err(LangError::parse(
+                        self.here(),
+                        "list comprehensions are only allowed inside reduce_* calls",
+                    ))
+                }
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    self.call(name)
+                } else {
+                    Ok(Expr::Name(name))
+                }
+            }
+            other => Err(LangError::parse(
+                self.here(),
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+
+    fn call(&mut self, name: String) -> Result<Expr, LangError> {
+        self.expect(&Tok::LParen)?;
+        if let Some(kind) = ReduceKind::from_name(&name) {
+            let compr = self.list_compr()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(Expr::Reduce(kind, compr));
+        }
+        let expr = match name.as_str() {
+            "pow" => {
+                let a = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.expr()?;
+                Expr::Pow(Box::new(a), Box::new(b))
+            }
+            "invert" => Expr::Invert(Box::new(self.expr()?)),
+            "dist" => {
+                let a = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.expr()?;
+                Expr::Dist(Box::new(a), Box::new(b))
+            }
+            "scalar_mult" => {
+                let a = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.expr()?;
+                Expr::ScalarMult(Box::new(a), Box::new(b))
+            }
+            "breakTies" => Expr::BreakTies(TieKind::One, Box::new(self.expr()?)),
+            "breakTies1" => Expr::BreakTies(TieKind::Dim1, Box::new(self.expr()?)),
+            "breakTies2" => Expr::BreakTies(TieKind::Dim2, Box::new(self.expr()?)),
+            "loadData" | "loadParams" | "init" => {
+                return Err(LangError::parse(
+                    self.here(),
+                    format!("`{name}` can only appear as the sole right-hand side of an assignment"),
+                ))
+            }
+            other => {
+                return Err(LangError::parse(
+                    self.here(),
+                    format!("unknown function `{other}`"),
+                ))
+            }
+        };
+        self.expect(&Tok::RParen)?;
+        Ok(expr)
+    }
+
+    /// list_compr := '[' expr 'for' ID 'in' 'range' '(' expr ',' expr ')'
+    ///               ['if' expr] ']'
+    fn list_compr(&mut self) -> Result<ListCompr, LangError> {
+        self.expect(&Tok::LBracket)?;
+        let expr = self.expr()?;
+        self.expect(&Tok::For)?;
+        let var = self.expect_ident()?;
+        self.expect(&Tok::In)?;
+        let range_name = self.expect_ident()?;
+        if range_name != "range" {
+            return Err(LangError::parse(
+                self.here(),
+                "list comprehensions must iterate over range(..)",
+            ));
+        }
+        self.expect(&Tok::LParen)?;
+        let lo = self.expr()?;
+        self.expect(&Tok::Comma)?;
+        let hi = self.expr()?;
+        self.expect(&Tok::RParen)?;
+        let cond = if self.peek() == &Tok::If {
+            self.bump();
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(ListCompr {
+            expr: Box::new(expr),
+            var,
+            lo: Box::new(lo),
+            hi: Box::new(hi),
+            cond,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_assignments() {
+        let p = parse("V = 2\nW = V\n").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        assert!(matches!(&p.stmts[0], Stmt::Assign { target: Lval::Name(n), expr: Expr::Int(2) } if n == "V"));
+    }
+
+    #[test]
+    fn parses_indexed_assignment() {
+        let p = parse("M[2] = True\nM[i] = W\n").unwrap();
+        match &p.stmts[0] {
+            Stmt::Assign { target, expr } => {
+                assert_eq!(target.base_name(), "M");
+                assert_eq!(target.depth(), 1);
+                assert_eq!(expr, &Expr::Bool(true));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_array_init() {
+        let p = parse("M = [None] * k\n").unwrap();
+        match &p.stmts[0] {
+            Stmt::Assign { expr, .. } => {
+                assert_eq!(expr, &Expr::ArrayInit(Box::new(Expr::Name("k".into()))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tuple_assign() {
+        let p = parse("(O, n) = loadData()\n(k, iter) = loadParams()\nM = init()\n").unwrap();
+        assert_eq!(
+            p.stmts[0],
+            Stmt::TupleAssign {
+                names: vec!["O".into(), "n".into()],
+                call: ExtCall::LoadData
+            }
+        );
+        assert_eq!(
+            p.stmts[2],
+            Stmt::ExtAssign {
+                name: "M".into(),
+                call: ExtCall::Init
+            }
+        );
+    }
+
+    #[test]
+    fn parses_for_loop_with_body() {
+        let src = "for i in range(0,k):\n    M[i] = 1\n";
+        let p = parse(src).unwrap();
+        match &p.stmts[0] {
+            Stmt::For { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reduce_with_comprehension() {
+        let src = "x = reduce_sum([1 for i in range(0,n) if B[i]])\n";
+        let p = parse(src).unwrap();
+        match &p.stmts[0] {
+            Stmt::Assign {
+                expr: Expr::Reduce(ReduceKind::Sum, compr),
+                ..
+            } => {
+                assert_eq!(compr.var, "i");
+                assert!(compr.cond.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multiline_reduce() {
+        let src = "x = reduce_and(\n    [(dist(O[l],M[i]) <= dist(O[l],M[j])) for j in range(0,k)])\n";
+        let p = parse(src).unwrap();
+        assert!(matches!(
+            &p.stmts[0],
+            Stmt::Assign {
+                expr: Expr::Reduce(ReduceKind::And, _),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_builtin_calls() {
+        let src = "a = pow(N[i][j], r) * invert(b)\nc = scalar_mult(s, v)\nd = dist(x, y)\ne = breakTies2(InCl)\n";
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts.len(), 4);
+        assert!(matches!(&p.stmts[3], Stmt::Assign { expr: Expr::BreakTies(TieKind::Dim2, _), .. }));
+    }
+
+    #[test]
+    fn parses_comparison_precedence() {
+        // a + b <= c * d  parses as (a+b) <= (c*d)
+        let p = parse("x = a + b <= c * d\n").unwrap();
+        match &p.stmts[0] {
+            Stmt::Assign {
+                expr: Expr::Compare(Cmp::Le, l, r),
+                ..
+            } => {
+                assert!(matches!(**l, Expr::Add(_, _)));
+                assert!(matches!(**r, Expr::Mul(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let p = parse("x = -3\ny = -2.5\n").unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::Assign { expr: Expr::Int(-3), .. }));
+        assert!(matches!(&p.stmts[1], Stmt::Assign { expr: Expr::Float(f), .. } if *f == -2.5));
+    }
+
+    #[test]
+    fn rejects_bare_list_comprehension() {
+        assert!(parse("x = [1 for i in range(0,2)]\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        assert!(parse("x = frobnicate(1)\n").is_err());
+    }
+
+    #[test]
+    fn rejects_ext_call_in_expression() {
+        assert!(parse("x = 1 + loadData()\n").is_err());
+    }
+
+    #[test]
+    fn rejects_for_without_range() {
+        assert!(parse("for i in items(0,2):\n    x = 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_indexed_ext_binding() {
+        assert!(parse("M[0] = init()\n").is_err());
+    }
+
+    #[test]
+    fn parses_nested_loops() {
+        let src = "\
+for i in range(0,k):
+    InCl[i] = [None] * n
+    for l in range(0,n):
+        InCl[i][l] = True
+";
+        let p = parse(src).unwrap();
+        match &p.stmts[0] {
+            Stmt::For { body, .. } => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(&body[1], Stmt::For { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Pretty-printer for user programs.
+//!
+//! Renders an [`UserProgram`] back to concrete syntax that re-parses to the
+//! same AST (round-trip property-tested below). Useful for program
+//! transformations, error reporting, and persisting generated programs.
+
+use crate::ast::*;
+
+/// Renders a program as source text (4-space indentation).
+pub fn print_program(p: &UserProgram) -> String {
+    let mut out = String::new();
+    for s in &p.stmts {
+        print_stmt(s, 0, &mut out);
+    }
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::TupleAssign { names, call } => {
+            out.push('(');
+            out.push_str(&names.join(", "));
+            out.push_str(") = ");
+            out.push_str(&call.to_string());
+            out.push('\n');
+        }
+        Stmt::ExtAssign { name, call } => {
+            out.push_str(name);
+            out.push_str(" = ");
+            out.push_str(&call.to_string());
+            out.push('\n');
+        }
+        Stmt::Assign { target, expr } => {
+            print_lval(target, out);
+            out.push_str(" = ");
+            print_expr(expr, out);
+            out.push('\n');
+        }
+        Stmt::For { var, lo, hi, body } => {
+            out.push_str("for ");
+            out.push_str(var);
+            out.push_str(" in range(");
+            print_expr(lo, out);
+            out.push_str(", ");
+            print_expr(hi, out);
+            out.push_str("):\n");
+            for b in body {
+                print_stmt(b, level + 1, out);
+            }
+        }
+    }
+}
+
+fn print_lval(lv: &Lval, out: &mut String) {
+    match lv {
+        Lval::Name(n) => out.push_str(n),
+        Lval::Index(base, idx) => {
+            print_lval(base, out);
+            out.push('[');
+            print_expr(idx, out);
+            out.push(']');
+        }
+    }
+}
+
+fn cmp_str(op: Cmp) -> &'static str {
+    match op {
+        Cmp::Le => "<=",
+        Cmp::Lt => "<",
+        Cmp::Ge => ">=",
+        Cmp::Gt => ">",
+        Cmp::Eq => "==",
+    }
+}
+
+fn reduce_name(kind: ReduceKind) -> &'static str {
+    match kind {
+        ReduceKind::And => "reduce_and",
+        ReduceKind::Or => "reduce_or",
+        ReduceKind::Sum => "reduce_sum",
+        ReduceKind::Mult => "reduce_mult",
+        ReduceKind::Count => "reduce_count",
+    }
+}
+
+fn tie_name(kind: TieKind) -> &'static str {
+    match kind {
+        TieKind::One => "breakTies",
+        TieKind::Dim1 => "breakTies1",
+        TieKind::Dim2 => "breakTies2",
+    }
+}
+
+/// Prints an expression. Sub-expressions of binary operators are
+/// parenthesised, which is always re-parseable (precedence-exact printing
+/// would be prettier; correctness matters more here).
+fn print_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Int(i) => {
+            if *i < 0 {
+                out.push_str(&format!("(0 - {})", -i));
+            } else {
+                out.push_str(&i.to_string());
+            }
+        }
+        Expr::Float(f) => {
+            let s = if f.fract() == 0.0 && f.is_finite() && *f >= 0.0 {
+                format!("{f:.1}")
+            } else if *f < 0.0 {
+                return out.push_str(&format!("(0.0 - {})", -f));
+            } else {
+                format!("{f}")
+            };
+            out.push_str(&s);
+        }
+        Expr::Bool(b) => out.push_str(if *b { "True" } else { "False" }),
+        Expr::Name(n) => out.push_str(n),
+        Expr::Index(base, idx) => {
+            print_expr(base, out);
+            out.push('[');
+            print_expr(idx, out);
+            out.push(']');
+        }
+        Expr::ArrayInit(n) => {
+            out.push_str("[None] * ");
+            paren(n, out);
+        }
+        Expr::Compare(op, a, b) => {
+            paren(a, out);
+            out.push(' ');
+            out.push_str(cmp_str(*op));
+            out.push(' ');
+            paren(b, out);
+        }
+        Expr::Add(a, b) => {
+            paren(a, out);
+            out.push_str(" + ");
+            paren(b, out);
+        }
+        Expr::Sub(a, b) => {
+            paren(a, out);
+            out.push_str(" - ");
+            paren(b, out);
+        }
+        Expr::Mul(a, b) => {
+            paren(a, out);
+            out.push_str(" * ");
+            paren(b, out);
+        }
+        Expr::Neg(a) => {
+            out.push_str("(0 - ");
+            print_expr(a, out);
+            out.push(')');
+        }
+        Expr::Reduce(kind, compr) => {
+            out.push_str(reduce_name(*kind));
+            out.push_str("([");
+            print_expr(&compr.expr, out);
+            out.push_str(" for ");
+            out.push_str(&compr.var);
+            out.push_str(" in range(");
+            print_expr(&compr.lo, out);
+            out.push_str(", ");
+            print_expr(&compr.hi, out);
+            out.push(')');
+            if let Some(cond) = &compr.cond {
+                out.push_str(" if ");
+                print_expr(cond, out);
+            }
+            out.push_str("])");
+        }
+        Expr::Pow(a, r) => {
+            out.push_str("pow(");
+            print_expr(a, out);
+            out.push_str(", ");
+            print_expr(r, out);
+            out.push(')');
+        }
+        Expr::Invert(a) => {
+            out.push_str("invert(");
+            print_expr(a, out);
+            out.push(')');
+        }
+        Expr::Dist(a, b) => {
+            out.push_str("dist(");
+            print_expr(a, out);
+            out.push_str(", ");
+            print_expr(b, out);
+            out.push(')');
+        }
+        Expr::ScalarMult(a, b) => {
+            out.push_str("scalar_mult(");
+            print_expr(a, out);
+            out.push_str(", ");
+            print_expr(b, out);
+            out.push(')');
+        }
+        Expr::BreakTies(kind, a) => {
+            out.push_str(tie_name(*kind));
+            out.push('(');
+            print_expr(a, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Prints a sub-expression with parentheses when it is a binary form.
+fn paren(e: &Expr, out: &mut String) {
+    let needs = matches!(
+        e,
+        Expr::Compare(..) | Expr::Add(..) | Expr::Sub(..) | Expr::Mul(..) | Expr::ArrayInit(..)
+    );
+    if needs {
+        out.push('(');
+        print_expr(e, out);
+        out.push(')');
+    } else {
+        print_expr(e, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::programs;
+
+    fn round_trip(src: &str) {
+        let ast1 = parse(src).expect("original parses");
+        let printed = print_program(&ast1);
+        let ast2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed program fails to parse: {e}\n{printed}"));
+        assert_eq!(ast1, ast2, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_the_paper_programs() {
+        round_trip(programs::K_MEDOIDS);
+        round_trip(programs::K_MEANS);
+        round_trip(programs::MCL);
+    }
+
+    #[test]
+    fn round_trips_assorted_constructs() {
+        round_trip("V = 2\nW = V\nM = [None] * 3\nM[1] = True\n");
+        round_trip("x = reduce_count([1 for i in range(0,5) if i > 2])\n");
+        round_trip("y = pow(2, 3) * invert(4)\n");
+        round_trip("B = [None] * 2\nB[0] = True\nB[1] = False\nB = breakTies(B)\n");
+        round_trip("for i in range(0,2):\n    for j in range(0,2):\n        z = i + j\n");
+        round_trip("n = 0 - 3\nm = 1 - n\n");
+    }
+
+    #[test]
+    fn printed_kmedoids_is_executable() {
+        use crate::interp::{Interp, SimpleEnv};
+        use crate::rtvalue::RtValue;
+        let ast = parse(programs::K_MEDOIDS).unwrap();
+        let printed = print_program(&ast);
+        let reparsed = parse(&printed).unwrap();
+        let env = SimpleEnv {
+            data: vec![
+                RtValue::Array(vec![
+                    RtValue::point(&[0.0]),
+                    RtValue::point(&[1.0]),
+                    RtValue::point(&[5.0]),
+                    RtValue::point(&[6.0]),
+                ]),
+                RtValue::Int(4),
+            ],
+            params: vec![RtValue::Int(2), RtValue::Int(3)],
+            init_value: RtValue::Array(vec![
+                RtValue::point(&[1.0]),
+                RtValue::point(&[6.0]),
+            ]),
+        };
+        let mut a = Interp::new(&env);
+        a.run(&ast).unwrap();
+        let mut b = Interp::new(&env);
+        b.run(&reparsed).unwrap();
+        assert_eq!(a.get("M"), b.get("M"));
+        assert_eq!(a.get("InCl"), b.get("InCl"));
+    }
+}

@@ -1,0 +1,110 @@
+//! The three canonical user programs of the paper (Figures 1–3), verbatim
+//! modulo whitespace. They parse with [`crate::parse`], interpret with
+//! [`crate::Interp`], and translate to event programs with
+//! `enframe-translate`.
+
+/// K-medoids clustering (paper Figure 1, left).
+pub const K_MEDOIDS: &str = "\
+(O, n) = loadData()                # list and number of objects
+(k, iter) = loadParams()           # number of clusters and iterations
+M = init()                         # initialise medoids
+for it in range(0,iter):           # clustering iterations
+    InCl = [None] * k              # assignment phase
+    for i in range(0,k):
+        InCl[i] = [None] * n
+        for l in range(0,n):
+            InCl[i][l] = reduce_and(
+                [(dist(O[l],M[i]) <= dist(O[l],M[j])) for j in range(0,k)])
+    InCl = breakTies2(InCl)        # each object is in exactly one cluster
+    DistSum = [None] * k           # update phase
+    for i in range(0,k):
+        DistSum[i] = [None] * n
+        for l in range(0,n):
+            DistSum[i][l] = reduce_sum(
+                [dist(O[l],O[p]) for p in range(0,n) if InCl[i][p]])
+    Centre = [None] * k
+    for i in range(0,k):
+        Centre[i] = [None] * n
+        for l in range(0,n):
+            Centre[i][l] = reduce_and(
+                [DistSum[i][l] <= DistSum[i][p] for p in range(0,n)])
+    Centre = breakTies1(Centre)    # enforce one Centre per cluster
+    M = [None] * k
+    for i in range(0,k):
+        M[i] = reduce_sum([O[l] for l in range(0,n) if Centre[i][l]])
+";
+
+/// K-means clustering (paper Figure 2, left).
+pub const K_MEANS: &str = "\
+(O, n) = loadData()                # list and number of objects
+(k, iter) = loadParams()           # number of clusters and iterations
+M = init()                         # initialise centroids
+for it in range(0,iter):           # clustering iterations
+    InCl = [None] * k              # assignment phase
+    for i in range(0,k):
+        InCl[i] = [None] * n
+        for l in range(0,n):
+            InCl[i][l] = reduce_and(
+                [dist(O[l],M[i]) <= dist(O[l],M[j]) for j in range(0,k)])
+    InCl = breakTies2(InCl)        # each object is in exactly one cluster
+    M = [None] * k                 # update phase
+    for i in range(0,k):
+        M[i] = scalar_mult(invert(
+            reduce_count([1 for l in range(0,n) if InCl[i][l]])),
+            reduce_sum([O[l] for l in range(0,n) if InCl[i][l]]))
+";
+
+/// Markov clustering (paper Figure 3, left).
+pub const MCL: &str = "\
+(O, n, M) = loadData()             # M is a stochastic n*n matrix of
+                                   # edge weights, O is list of nodes
+(r, iter) = loadParams()           # Hadamard power, number of iterations
+for it in range(0,iter):
+    N = [None] * n                 # expansion phase
+    for i in range(0,n):
+        N[i] = [None] * n
+        for j in range(0,n):
+            N[i][j] = reduce_sum([M[i][k]*M[k][j] for k in range(0,n)])
+    M = [None] * n                 # inflation phase
+    for i in range(0,n):
+        M[i] = [None] * n
+        for j in range(0,n):
+            M[i][j] = pow(N[i][j],r)*invert(
+                reduce_sum([pow(N[i][k],r) for k in range(0,n)]))
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn all_three_programs_parse() {
+        for (name, src) in [("kmedoids", K_MEDOIDS), ("kmeans", K_MEANS), ("mcl", MCL)] {
+            let p = parse(src);
+            assert!(p.is_ok(), "{name} failed to parse: {:?}", p.err());
+        }
+    }
+
+    #[test]
+    fn kmedoids_has_expected_structure() {
+        let p = parse(K_MEDOIDS).unwrap();
+        // loadData, loadParams, init, main loop.
+        assert_eq!(p.stmts.len(), 4);
+        match &p.stmts[3] {
+            crate::ast::Stmt::For { var, body, .. } => {
+                assert_eq!(var, "it");
+                // InCl init, loop, breakTies2, DistSum init, loop, Centre
+                // init, loop, breakTies1, M init, loop.
+                assert_eq!(body.len(), 10);
+            }
+            other => panic!("expected main loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mcl_has_expected_structure() {
+        let p = parse(MCL).unwrap();
+        assert_eq!(p.stmts.len(), 3);
+    }
+}

@@ -1,0 +1,322 @@
+//! Runtime values of the user-language interpreter.
+//!
+//! The interpreter evaluates user programs with the **probabilistic
+//! interpretation's** value semantics (paper §3.2): scalars and points are
+//! extended with the undefined element `u`, which is the additive identity,
+//! absorbs multiplication, and makes comparisons vacuously true. `None` in
+//! array initialisers is represented as [`RtValue::Undef`] too — an
+//! uninitialised slot reads as undefined, exactly like an event whose guard
+//! is false.
+//!
+//! This choice is what makes "run the user program on one possible world"
+//! agree bit-for-bit with "evaluate the translated event program under the
+//! corresponding valuation" — the translation-soundness property tested in
+//! `tests/translation_equivalence.rs`.
+
+use crate::ast::Cmp;
+use crate::error::LangError;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RtValue {
+    /// The undefined element `u` (also the value of `None` slots).
+    #[default]
+    Undef,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// A point in the feature space.
+    Point(Vec<f64>),
+    /// An array (list) of values.
+    Array(Vec<RtValue>),
+}
+
+impl RtValue {
+    /// Builds a point value.
+    pub fn point(coords: &[f64]) -> RtValue {
+        RtValue::Point(coords.to_vec())
+    }
+
+    /// True iff undefined.
+    pub fn is_undef(&self) -> bool {
+        matches!(self, RtValue::Undef)
+    }
+
+    /// Numeric payload as f64 (Int or Float).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            RtValue::Int(i) => Some(*i as f64),
+            RtValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer payload.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            RtValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            RtValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RtValue::Undef => "undefined",
+            RtValue::Bool(_) => "bool",
+            RtValue::Int(_) => "int",
+            RtValue::Float(_) => "float",
+            RtValue::Point(_) => "point",
+            RtValue::Array(_) => "array",
+        }
+    }
+
+    fn type_err(op: &str, a: &RtValue, b: &RtValue) -> LangError {
+        LangError::Runtime(format!("cannot {op} {} and {}", a.kind(), b.kind()))
+    }
+
+    /// Extended addition (`u + x = x`).
+    pub fn add(&self, rhs: &RtValue) -> Result<RtValue, LangError> {
+        use RtValue::*;
+        Ok(match (self, rhs) {
+            (Undef, v) | (v, Undef) => v.clone(),
+            (Int(a), Int(b)) => Int(a + b),
+            (Int(a), Float(b)) => Float(*a as f64 + b),
+            (Float(a), Int(b)) => Float(a + *b as f64),
+            (Float(a), Float(b)) => Float(a + b),
+            (Point(a), Point(b)) => {
+                if a.len() != b.len() {
+                    return Err(LangError::Runtime(format!(
+                        "adding points of dimension {} and {}",
+                        a.len(),
+                        b.len()
+                    )));
+                }
+                Point(a.iter().zip(b).map(|(x, y)| x + y).collect())
+            }
+            (a, b) => return Err(Self::type_err("add", a, b)),
+        })
+    }
+
+    /// Extended subtraction (defined on defined numerics only; used for
+    /// index arithmetic and symmetric to `add` otherwise).
+    pub fn sub(&self, rhs: &RtValue) -> Result<RtValue, LangError> {
+        use RtValue::*;
+        Ok(match (self, rhs) {
+            (Undef, _) | (_, Undef) => Undef,
+            (Int(a), Int(b)) => Int(a - b),
+            (Int(a), Float(b)) => Float(*a as f64 - b),
+            (Float(a), Int(b)) => Float(a - *b as f64),
+            (Float(a), Float(b)) => Float(a - b),
+            (Point(a), Point(b)) => {
+                if a.len() != b.len() {
+                    return Err(LangError::Runtime("point dimension mismatch".into()));
+                }
+                Point(a.iter().zip(b).map(|(x, y)| x - y).collect())
+            }
+            (a, b) => return Err(Self::type_err("subtract", a, b)),
+        })
+    }
+
+    /// Extended multiplication (`u · x = u`); scalar·point scales.
+    pub fn mul(&self, rhs: &RtValue) -> Result<RtValue, LangError> {
+        use RtValue::*;
+        Ok(match (self, rhs) {
+            (Undef, _) | (_, Undef) => Undef,
+            (Int(a), Int(b)) => Int(a * b),
+            (Int(a), Float(b)) => Float(*a as f64 * b),
+            (Float(a), Int(b)) => Float(a * *b as f64),
+            (Float(a), Float(b)) => Float(a * b),
+            (Int(a), Point(p)) | (Point(p), Int(a)) => {
+                Point(p.iter().map(|x| x * *a as f64).collect())
+            }
+            (Float(a), Point(p)) | (Point(p), Float(a)) => {
+                Point(p.iter().map(|x| x * a).collect())
+            }
+            (a, b) => return Err(Self::type_err("multiply", a, b)),
+        })
+    }
+
+    /// Extended inverse (`0⁻¹ = u`, `u⁻¹ = u`).
+    pub fn invert(&self) -> Result<RtValue, LangError> {
+        match self {
+            RtValue::Undef => Ok(RtValue::Undef),
+            RtValue::Int(0) => Ok(RtValue::Undef),
+            RtValue::Int(i) => Ok(RtValue::Float(1.0 / *i as f64)),
+            RtValue::Float(f) if *f == 0.0 => Ok(RtValue::Undef),
+            RtValue::Float(f) => Ok(RtValue::Float(1.0 / f)),
+            other => Err(LangError::Runtime(format!(
+                "cannot invert {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extended integer power (`uʳ = u`; `0⁻ʳ = u`).
+    pub fn pow(&self, r: i64) -> Result<RtValue, LangError> {
+        match self {
+            RtValue::Undef => Ok(RtValue::Undef),
+            RtValue::Int(i) => {
+                if *i == 0 && r < 0 {
+                    Ok(RtValue::Undef)
+                } else {
+                    Ok(RtValue::Float((*i as f64).powi(r as i32)))
+                }
+            }
+            RtValue::Float(f) => {
+                if *f == 0.0 && r < 0 {
+                    Ok(RtValue::Undef)
+                } else {
+                    Ok(RtValue::Float(f.powi(r as i32)))
+                }
+            }
+            other => Err(LangError::Runtime(format!(
+                "cannot exponentiate {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Euclidean distance; undefined if either side is undefined.
+    pub fn dist(&self, rhs: &RtValue) -> Result<RtValue, LangError> {
+        use RtValue::*;
+        Ok(match (self, rhs) {
+            (Undef, _) | (_, Undef) => Undef,
+            (Point(a), Point(b)) => {
+                if a.len() != b.len() {
+                    return Err(LangError::Runtime("point dimension mismatch".into()));
+                }
+                Float(
+                    a.iter()
+                        .zip(b)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        .sqrt(),
+                )
+            }
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Float((x - y).abs()),
+                _ => return Err(Self::type_err("take distance between", a, b)),
+            },
+        })
+    }
+
+    /// Undefined-aware comparison: true if either side is undefined (§3.2).
+    pub fn compare(&self, op: Cmp, rhs: &RtValue) -> Result<bool, LangError> {
+        use RtValue::*;
+        match (self, rhs) {
+            (Undef, _) | (_, Undef) => Ok(true),
+            (Bool(a), Bool(b)) if op == Cmp::Eq => Ok(a == b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Ok(match op {
+                    Cmp::Le => x <= y,
+                    Cmp::Lt => x < y,
+                    Cmp::Ge => x >= y,
+                    Cmp::Gt => x > y,
+                    Cmp::Eq => x == y,
+                }),
+                _ => Err(Self::type_err("compare", a, b)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undef_laws() {
+        let u = RtValue::Undef;
+        let x = RtValue::Float(3.0);
+        assert_eq!(u.add(&x).unwrap(), x);
+        assert!(u.mul(&x).unwrap().is_undef());
+        assert!(u.invert().unwrap().is_undef());
+        assert!(u.pow(2).unwrap().is_undef());
+        assert!(u.dist(&x).unwrap().is_undef());
+        assert!(u.compare(Cmp::Lt, &x).unwrap());
+    }
+
+    #[test]
+    fn int_float_promotion() {
+        assert_eq!(
+            RtValue::Int(1).add(&RtValue::Float(0.5)).unwrap(),
+            RtValue::Float(1.5)
+        );
+        assert_eq!(
+            RtValue::Int(2).mul(&RtValue::Int(3)).unwrap(),
+            RtValue::Int(6)
+        );
+        assert_eq!(
+            RtValue::Int(3).sub(&RtValue::Int(1)).unwrap(),
+            RtValue::Int(2)
+        );
+    }
+
+    #[test]
+    fn zero_inverse_undefined() {
+        assert!(RtValue::Int(0).invert().unwrap().is_undef());
+        assert!(RtValue::Float(0.0).invert().unwrap().is_undef());
+        assert_eq!(
+            RtValue::Int(4).invert().unwrap(),
+            RtValue::Float(0.25)
+        );
+    }
+
+    #[test]
+    fn point_operations() {
+        let a = RtValue::point(&[0.0, 0.0]);
+        let b = RtValue::point(&[3.0, 4.0]);
+        assert_eq!(a.dist(&b).unwrap(), RtValue::Float(5.0));
+        assert_eq!(
+            a.add(&b).unwrap(),
+            RtValue::point(&[3.0, 4.0])
+        );
+        assert_eq!(
+            RtValue::Float(2.0).mul(&b).unwrap(),
+            RtValue::point(&[6.0, 8.0])
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(RtValue::Int(1)
+            .compare(Cmp::Le, &RtValue::Float(1.0))
+            .unwrap());
+        assert!(!RtValue::Int(2)
+            .compare(Cmp::Lt, &RtValue::Int(2))
+            .unwrap());
+        assert!(RtValue::Bool(true)
+            .compare(Cmp::Eq, &RtValue::Bool(true))
+            .unwrap());
+        assert!(RtValue::Bool(true)
+            .compare(Cmp::Le, &RtValue::Int(1))
+            .is_err());
+    }
+
+    #[test]
+    fn type_errors() {
+        let arr = RtValue::Array(vec![]);
+        assert!(arr.add(&RtValue::Int(1)).is_err());
+        assert!(arr.invert().is_err());
+        assert!(arr.pow(2).is_err());
+        assert!(RtValue::Bool(true).dist(&RtValue::Int(1)).is_err());
+    }
+
+    #[test]
+    fn pow_zero_negative() {
+        assert!(RtValue::Float(0.0).pow(-1).unwrap().is_undef());
+        assert_eq!(RtValue::Float(2.0).pow(3).unwrap(), RtValue::Float(8.0));
+    }
+}

@@ -1,0 +1,742 @@
+//! Building hash-consed event networks from grounded event programs.
+
+use crate::node::{Node, NodeId, NodeKind};
+use enframe_core::{CVal, CmpOp, CoreError, Def, Event, GroundProgram, Valuation, Value, Var};
+use std::collections::HashMap;
+
+/// Hashable stand-in for a constant payload (bit-exact).
+#[derive(PartialEq, Eq, Hash, Clone)]
+pub(crate) enum ValueKey {
+    Undef,
+    Num(u64),
+    Point(Vec<u64>),
+}
+
+impl ValueKey {
+    pub(crate) fn of(v: &Value) -> ValueKey {
+        match v {
+            Value::Undef => ValueKey::Undef,
+            Value::Num(x) => ValueKey::Num(x.to_bits()),
+            Value::Point(p) => ValueKey::Point(p.iter().map(|x| x.to_bits()).collect()),
+        }
+    }
+}
+
+/// A value computed for a node during direct evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalVal {
+    /// Boolean node value.
+    B(bool),
+    /// Numeric node value.
+    V(Value),
+}
+
+/// Structural statistics of a network.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkStats {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Total child edges.
+    pub edges: usize,
+    /// Boolean-valued nodes.
+    pub bool_nodes: usize,
+    /// Numeric-valued nodes.
+    pub numeric_nodes: usize,
+    /// Input-variable leaves present.
+    pub var_nodes: usize,
+    /// Largest fan-in.
+    pub max_fanin: usize,
+    /// Largest fan-out.
+    pub max_fanout: usize,
+}
+
+/// A hash-consed event network.
+#[derive(Debug, Clone)]
+pub struct Network {
+    nodes: Vec<Node>,
+    /// Number of input random variables of the underlying program.
+    pub n_vars: u32,
+    /// Compilation-target nodes (Boolean), in registration order.
+    pub targets: Vec<NodeId>,
+    /// Human-readable names of the targets.
+    pub target_names: Vec<String>,
+    var_nodes: Vec<Option<NodeId>>,
+    def_nodes: Vec<NodeId>,
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    intern: HashMap<(NodeKind, Vec<NodeId>, Option<ValueKey>), NodeId>,
+    ev_memo: HashMap<*const Event, NodeId>,
+    cv_memo: HashMap<*const CVal, NodeId>,
+    def_nodes: Vec<NodeId>,
+    var_nodes: Vec<Option<NodeId>>,
+}
+
+impl Network {
+    /// Builds the network for a grounded program. All compilation targets
+    /// must be Boolean definitions.
+    pub fn build(gp: &GroundProgram) -> Result<Network, CoreError> {
+        let mut b = Builder {
+            nodes: Vec::with_capacity(gp.len() * 2),
+            intern: HashMap::new(),
+            ev_memo: HashMap::new(),
+            cv_memo: HashMap::new(),
+            def_nodes: Vec::with_capacity(gp.len()),
+            var_nodes: vec![None; gp.n_vars as usize],
+        };
+        for (_, def) in gp.defs() {
+            let id = match def {
+                Def::Event(e) => b.event(e),
+                Def::CVal(c) => b.cval(c),
+            };
+            b.def_nodes.push(id);
+        }
+        let mut targets = Vec::with_capacity(gp.targets.len());
+        let mut target_names = Vec::with_capacity(gp.targets.len());
+        for &t in &gp.targets {
+            let node = b.def_nodes[t.index()];
+            if !b.nodes[node.index()].is_bool() {
+                return Err(CoreError::TypeMismatch {
+                    ident: gp.name_of(t),
+                    expected: "a Boolean compilation target",
+                });
+            }
+            targets.push(node);
+            target_names.push(gp.name_of(t));
+        }
+        let mut net = Network {
+            nodes: b.nodes,
+            n_vars: gp.n_vars,
+            targets,
+            target_names,
+            var_nodes: b.var_nodes,
+            def_nodes: b.def_nodes,
+        };
+        net.prune_to_targets();
+        net.fill_parents();
+        Ok(net)
+    }
+
+    /// Drops nodes that no target (transitively) depends on. Declarations
+    /// that are never consumed — e.g. final medoid c-values when only
+    /// `Centre` events are targeted — would otherwise be masked on every
+    /// branch for nothing.
+    fn prune_to_targets(&mut self) {
+        let n = self.nodes.len();
+        let mut live = vec![false; n];
+        let mut stack: Vec<NodeId> = self.targets.clone();
+        for &t in &stack {
+            live[t.index()] = true;
+        }
+        while let Some(id) = stack.pop() {
+            for &c in &self.nodes[id.index()].children {
+                if !live[c.index()] {
+                    live[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        let n_live = live.iter().filter(|&&l| l).count();
+        if n_live == n {
+            return;
+        }
+        // Compact, preserving (topological) order.
+        let mut remap: Vec<Option<NodeId>> = vec![None; n];
+        let mut nodes = Vec::with_capacity(n_live);
+        for (i, node) in self.nodes.drain(..).enumerate() {
+            if live[i] {
+                remap[i] = Some(NodeId(nodes.len() as u32));
+                let mut node = node;
+                for c in node.children.iter_mut() {
+                    *c = remap[c.index()].expect("children precede parents");
+                }
+                nodes.push(node);
+            }
+        }
+        self.nodes = nodes;
+        for t in self.targets.iter_mut() {
+            *t = remap[t.index()].expect("targets are live");
+        }
+        for slot in self.var_nodes.iter_mut() {
+            *slot = slot.and_then(|v| remap[v.index()]);
+        }
+        for d in self.def_nodes.iter_mut() {
+            // Pruned definitions map to the u32::MAX sentinel, surfaced as
+            // `None` by `def_node`.
+            *d = remap[d.index()].unwrap_or(NodeId(u32::MAX));
+        }
+    }
+
+    fn fill_parents(&mut self) {
+        let mut parent_lists: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &c in &node.children {
+                parent_lists[c.index()].push(NodeId(i as u32));
+            }
+        }
+        for (node, parents) in self.nodes.iter_mut().zip(parent_lists) {
+            node.parents = parents;
+        }
+    }
+
+    /// The nodes, in topological order (children before parents).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node representing a grounded definition, or `None` when the
+    /// definition was pruned (no target depends on it).
+    pub fn def_node(&self, def_index: usize) -> Option<NodeId> {
+        let id = self.def_nodes[def_index];
+        (id.0 != u32::MAX).then_some(id)
+    }
+
+    /// The leaf node of variable `v`, if the variable occurs.
+    pub fn var_node(&self, v: Var) -> Option<NodeId> {
+        self.var_nodes.get(v.index()).copied().flatten()
+    }
+
+    /// Number of parents of each variable's leaf (0 for absent variables) —
+    /// the static "influence" measure used by variable-order heuristics.
+    pub fn var_occurrences(&self) -> Vec<usize> {
+        (0..self.n_vars as usize)
+            .map(|i| {
+                self.var_nodes[i]
+                    .map(|n| self.nodes[n.index()].parents.len())
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> NetworkStats {
+        let mut s = NetworkStats {
+            nodes: self.nodes.len(),
+            ..NetworkStats::default()
+        };
+        for n in &self.nodes {
+            s.edges += n.children.len();
+            if n.is_bool() {
+                s.bool_nodes += 1;
+            } else {
+                s.numeric_nodes += 1;
+            }
+            if matches!(n.kind, NodeKind::Var(_)) {
+                s.var_nodes += 1;
+            }
+            s.max_fanin = s.max_fanin.max(n.children.len());
+            s.max_fanout = s.max_fanout.max(n.parents.len());
+        }
+        s
+    }
+
+    /// Directly evaluates every node under a complete valuation, returning
+    /// the per-node values. Used to validate the builder and in tests.
+    pub fn eval_all(&self, nu: &Valuation) -> Result<Vec<EvalVal>, CoreError> {
+        let mut out: Vec<EvalVal> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let val = match &node.kind {
+                NodeKind::Var(v) => EvalVal::B(nu.get(*v)),
+                NodeKind::ConstBool(b) => EvalVal::B(*b),
+                NodeKind::Not => EvalVal::B(!as_b(&out, node.children[0])),
+                NodeKind::And => {
+                    EvalVal::B(node.children.iter().all(|&c| as_b(&out, c)))
+                }
+                NodeKind::Or => {
+                    EvalVal::B(node.children.iter().any(|&c| as_b(&out, c)))
+                }
+                NodeKind::Cmp(op) => {
+                    let a = as_v(&out, node.children[0]);
+                    let b = as_v(&out, node.children[1]);
+                    EvalVal::B(a.compare(*op, b)?)
+                }
+                NodeKind::ConstVal => EvalVal::V(node.value.clone().unwrap()),
+                NodeKind::Cond => {
+                    if as_b(&out, node.children[0]) {
+                        EvalVal::V(node.value.clone().unwrap())
+                    } else {
+                        EvalVal::V(Value::Undef)
+                    }
+                }
+                NodeKind::Guard => {
+                    if as_b(&out, node.children[0]) {
+                        EvalVal::V(as_v(&out, node.children[1]).clone())
+                    } else {
+                        EvalVal::V(Value::Undef)
+                    }
+                }
+                NodeKind::Sum => {
+                    let mut acc = Value::Undef;
+                    for &c in &node.children {
+                        acc = acc.add(as_v(&out, c))?;
+                    }
+                    EvalVal::V(acc)
+                }
+                NodeKind::Prod => {
+                    let mut acc = Value::Num(1.0);
+                    for &c in &node.children {
+                        acc = acc.mul(as_v(&out, c))?;
+                    }
+                    EvalVal::V(acc)
+                }
+                NodeKind::Inv => EvalVal::V(as_v(&out, node.children[0]).inv()?),
+                NodeKind::Pow(r) => EvalVal::V(as_v(&out, node.children[0]).pow(*r)?),
+                NodeKind::Dist => {
+                    let a = as_v(&out, node.children[0]);
+                    let b = as_v(&out, node.children[1]);
+                    EvalVal::V(a.dist(b)?)
+                }
+                NodeKind::LoopIn { .. } => {
+                    unreachable!("LoopIn nodes only occur in folded networks")
+                }
+            };
+            out.push(val);
+        }
+        Ok(out)
+    }
+
+    /// Evaluates only the targets under a complete valuation.
+    pub fn eval(&self, nu: &Valuation) -> Result<Vec<bool>, CoreError> {
+        let all = self.eval_all(nu)?;
+        Ok(self
+            .targets
+            .iter()
+            .map(|&t| match &all[t.index()] {
+                EvalVal::B(b) => *b,
+                EvalVal::V(_) => unreachable!("targets are Boolean by construction"),
+            })
+            .collect())
+    }
+}
+
+fn as_b(out: &[EvalVal], id: NodeId) -> bool {
+    match &out[id.index()] {
+        EvalVal::B(b) => *b,
+        EvalVal::V(_) => unreachable!("expected Boolean child"),
+    }
+}
+
+fn as_v(out: &[EvalVal], id: NodeId) -> &Value {
+    match &out[id.index()] {
+        EvalVal::V(v) => v,
+        EvalVal::B(_) => unreachable!("expected numeric child"),
+    }
+}
+
+impl Builder {
+    fn intern(&mut self, kind: NodeKind, children: Vec<NodeId>, value: Option<Value>) -> NodeId {
+        let key = (
+            kind.clone(),
+            children.clone(),
+            value.as_ref().map(ValueKey::of),
+        );
+        if let Some(&id) = self.intern.get(&key) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            children,
+            parents: Vec::new(),
+            value,
+        });
+        self.intern.insert(key, id);
+        id
+    }
+
+    fn const_bool(&mut self, b: bool) -> NodeId {
+        self.intern(NodeKind::ConstBool(b), vec![], None)
+    }
+
+    fn is_const(&self, id: NodeId) -> Option<bool> {
+        match self.nodes[id.index()].kind {
+            NodeKind::ConstBool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn event(&mut self, e: &Event) -> NodeId {
+        let ptr = e as *const Event;
+        if let Some(&id) = self.ev_memo.get(&ptr) {
+            return id;
+        }
+        let id = match e {
+            Event::Tru => self.const_bool(true),
+            Event::Fls => self.const_bool(false),
+            Event::Var(v) => {
+                let id = self.intern(NodeKind::Var(*v), vec![], None);
+                self.var_nodes[v.index()] = Some(id);
+                id
+            }
+            Event::Not(inner) => {
+                let c = self.event(inner);
+                match self.is_const(c) {
+                    Some(b) => self.const_bool(!b),
+                    None => self.intern(NodeKind::Not, vec![c], None),
+                }
+            }
+            Event::And(parts) => {
+                let mut kids = Vec::with_capacity(parts.len());
+                let mut folded = None;
+                for p in parts {
+                    let c = self.event(p);
+                    match self.is_const(c) {
+                        Some(true) => {}
+                        Some(false) => {
+                            folded = Some(self.const_bool(false));
+                            break;
+                        }
+                        None => kids.push(c),
+                    }
+                }
+                match folded {
+                    Some(f) => f,
+                    None => match kids.len() {
+                        0 => self.const_bool(true),
+                        1 => kids[0],
+                        _ => self.intern(NodeKind::And, kids, None),
+                    },
+                }
+            }
+            Event::Or(parts) => {
+                let mut kids = Vec::with_capacity(parts.len());
+                let mut folded = None;
+                for p in parts {
+                    let c = self.event(p);
+                    match self.is_const(c) {
+                        Some(false) => {}
+                        Some(true) => {
+                            folded = Some(self.const_bool(true));
+                            break;
+                        }
+                        None => kids.push(c),
+                    }
+                }
+                match folded {
+                    Some(f) => f,
+                    None => match kids.len() {
+                        0 => self.const_bool(false),
+                        1 => kids[0],
+                        _ => self.intern(NodeKind::Or, kids, None),
+                    },
+                }
+            }
+            Event::Atom(op, a, b) => {
+                let ca = self.cval(a);
+                let cb = self.cval(b);
+                // [c θ c] with θ ∈ {≤, ≥, =} is vacuously true: equal when
+                // defined, true when undefined.
+                if ca == cb && matches!(op, CmpOp::Le | CmpOp::Ge | CmpOp::Eq) {
+                    self.const_bool(true)
+                } else {
+                    self.intern(NodeKind::Cmp(*op), vec![ca, cb], None)
+                }
+            }
+            Event::Ref(d) => self.def_nodes[d.index()],
+        };
+        self.ev_memo.insert(ptr, id);
+        id
+    }
+
+    fn cval(&mut self, c: &CVal) -> NodeId {
+        let ptr = c as *const CVal;
+        if let Some(&id) = self.cv_memo.get(&ptr) {
+            return id;
+        }
+        let id = match c {
+            CVal::Const(v) => self.intern(NodeKind::ConstVal, vec![], Some(v.clone())),
+            CVal::Cond(e, v) => {
+                let g = self.event(e);
+                match self.is_const(g) {
+                    Some(true) => self.intern(NodeKind::ConstVal, vec![], Some(v.clone())),
+                    Some(false) => {
+                        self.intern(NodeKind::ConstVal, vec![], Some(Value::Undef))
+                    }
+                    None => self.intern(NodeKind::Cond, vec![g], Some(v.clone())),
+                }
+            }
+            CVal::Guard(e, inner) => {
+                let g = self.event(e);
+                let ci = self.cval(inner);
+                match self.is_const(g) {
+                    Some(true) => ci,
+                    Some(false) => {
+                        self.intern(NodeKind::ConstVal, vec![], Some(Value::Undef))
+                    }
+                    None => self.intern(NodeKind::Guard, vec![g, ci], None),
+                }
+            }
+            CVal::Sum(parts) => {
+                let kids: Vec<NodeId> = parts.iter().map(|p| self.cval(p)).collect();
+                match kids.len() {
+                    0 => self.intern(NodeKind::ConstVal, vec![], Some(Value::Undef)),
+                    1 => kids[0],
+                    _ => self.intern(NodeKind::Sum, kids, None),
+                }
+            }
+            CVal::Prod(parts) => {
+                let kids: Vec<NodeId> = parts.iter().map(|p| self.cval(p)).collect();
+                match kids.len() {
+                    0 => self.intern(NodeKind::ConstVal, vec![], Some(Value::Num(1.0))),
+                    1 => kids[0],
+                    _ => self.intern(NodeKind::Prod, kids, None),
+                }
+            }
+            CVal::Inv(inner) => {
+                let ci = self.cval(inner);
+                self.intern(NodeKind::Inv, vec![ci], None)
+            }
+            CVal::Pow(inner, r) => {
+                let ci = self.cval(inner);
+                self.intern(NodeKind::Pow(*r), vec![ci], None)
+            }
+            CVal::Dist(a, b) => {
+                let ca = self.cval(a);
+                let cb = self.cval(b);
+                self.intern(NodeKind::Dist, vec![ca, cb], None)
+            }
+            CVal::Ref(d) => self.def_nodes[d.index()],
+        };
+        self.cv_memo.insert(ptr, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enframe_core::program::{SymCVal, ValSrc};
+    use enframe_core::{space, Program, VarTable};
+    use std::rc::Rc;
+
+    /// Example 1 lineage with a couple of derived events.
+    fn example_program() -> Program {
+        let mut p = Program::new();
+        let x1 = p.fresh_var();
+        let x2 = p.fresh_var();
+        let x3 = p.fresh_var();
+        let x4 = p.fresh_var();
+        let o0 = p.declare_event("Phi0", Program::or([Program::var(x1), Program::var(x3)]));
+        let o1 = p.declare_event("Phi1", Program::var(x2));
+        let o2 = p.declare_event("Phi2", Program::var(x3));
+        let _o3 = p.declare_event(
+            "Phi3",
+            Program::and([Program::nvar(x2), Program::var(x4)]),
+        );
+        let both = p.declare_event(
+            "Both12",
+            Program::and([Program::eref(o1.clone()), Program::eref(o2.clone())]),
+        );
+        // A shared subexpression: Phi0 ∨ Phi1 used twice.
+        let shared = Program::or([Program::eref(o0.clone()), Program::eref(o1.clone())]);
+        let d1 = p.declare_event("D1", shared.clone());
+        let d2 = p.declare_event(
+            "D2",
+            Program::and([shared, Program::eref(o2.clone())]),
+        );
+        p.add_target(both);
+        p.add_target(d1);
+        p.add_target(d2);
+        p
+    }
+
+    #[test]
+    fn build_and_eval_matches_reference() {
+        let p = example_program();
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        for code in 0..16u64 {
+            let nu = Valuation::from_code(4, code);
+            let net_vals = net.eval(&nu).unwrap();
+            for (k, &t) in g.targets.iter().enumerate() {
+                let want = g.eval_bool(t, &nu).unwrap();
+                assert_eq!(net_vals[k], want, "target {k} world {code:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_consing_dedupes_shared_subexpressions() {
+        let p = example_program();
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        // The Or(Phi0, Phi1) subterm of D1 and D2 must be a single node:
+        // node count stays small.
+        let or_nodes = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Or))
+            .count();
+        // Phi0 (x1∨x3) and the shared (Phi0∨Phi1): exactly two Or nodes.
+        assert_eq!(or_nodes, 2);
+    }
+
+    #[test]
+    fn identical_literal_nodes_are_shared() {
+        let mut p = Program::new();
+        let x = p.fresh_var();
+        let a = p.declare_event("A", Program::and([Program::var(x), Program::var(x)]));
+        p.add_target(a);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        // And with duplicate children of one shared Var node.
+        let var_nodes = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Var(_)))
+            .count();
+        assert_eq!(var_nodes, 1);
+    }
+
+    #[test]
+    fn constant_folding_of_guards() {
+        let mut p = Program::new();
+        let _x = p.fresh_var();
+        p.declare_cval(
+            "C",
+            Rc::new(SymCVal::Guard(
+                Rc::new(enframe_core::program::SymEvent::Tru),
+                Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(3.0)))),
+            )),
+        );
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        // Guard(true, 3.0) folds to the constant.
+        assert!(net
+            .nodes()
+            .iter()
+            .all(|n| !matches!(n.kind, NodeKind::Guard)));
+    }
+
+    #[test]
+    fn self_comparison_folds_true() {
+        use enframe_core::program::SymEvent;
+        let mut p = Program::new();
+        let x = p.fresh_var();
+        let c = Rc::new(SymCVal::Cond(
+            Program::var(x),
+            ValSrc::Const(Value::Num(1.0)),
+        ));
+        let a = p.declare_event(
+            "A",
+            Rc::new(SymEvent::Atom(CmpOp::Le, c.clone(), c)),
+        );
+        p.add_target(a);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let t = net.targets[0];
+        assert!(matches!(
+            net.node(t).kind,
+            NodeKind::ConstBool(true)
+        ));
+    }
+
+    #[test]
+    fn parents_are_consistent() {
+        let p = example_program();
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        for (i, n) in net.nodes().iter().enumerate() {
+            for &c in &n.children {
+                assert!(
+                    net.node(c).parents.contains(&NodeId(i as u32)),
+                    "child {c:?} missing parent {i}"
+                );
+            }
+            for &pa in &n.parents {
+                assert!(
+                    net.node(pa).children.contains(&NodeId(i as u32)),
+                    "parent {pa:?} missing child {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topological_order_children_first() {
+        let p = example_program();
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        for (i, n) in net.nodes().iter().enumerate() {
+            for &c in &n.children {
+                assert!(c.index() < i, "child {c:?} not before parent {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn var_occurrences_counts_parents() {
+        let p = example_program();
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let occ = net.var_occurrences();
+        assert_eq!(occ.len(), 4);
+        // x2 feeds Phi1 (used in Both12, D1's Or, ...) and Not(x2) in Phi3.
+        assert!(occ[1] >= 2);
+    }
+
+    #[test]
+    fn cval_targets_rejected() {
+        let mut p = Program::new();
+        let _ = p.fresh_var();
+        let c = p.declare_cval(
+            "C",
+            Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(1.0)))),
+        );
+        p.add_target(c);
+        let g = p.ground().unwrap();
+        assert!(Network::build(&g).is_err());
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let p = example_program();
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let s = net.stats();
+        assert_eq!(s.nodes, net.len());
+        assert!(s.edges > 0);
+        // Phi3 (over x4) feeds no target and is pruned with its variable.
+        assert_eq!(s.var_nodes, 3);
+        assert_eq!(s.bool_nodes, s.nodes - s.numeric_nodes);
+    }
+
+    #[test]
+    fn probability_via_enumeration_of_network() {
+        // Cross-check: probability computed by enumerating network evals
+        // equals the core brute-force probability.
+        let p = example_program();
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let vt = VarTable::new(vec![0.3, 0.5, 0.7, 0.9]);
+        let want = space::target_probabilities(&g, &vt);
+        let mut got = vec![0.0; net.targets.len()];
+        for (nu, pr) in space::worlds(&vt) {
+            let vals = net.eval(&nu).unwrap();
+            for (k, v) in vals.iter().enumerate() {
+                if *v {
+                    got[k] += pr;
+                }
+            }
+        }
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Interval bounds for c-value nodes during mask propagation.
+//!
+//! Algorithm 2 keeps lower/upper bounds for c-value nodes so that
+//! comparisons can resolve *before* all summands are known — e.g. distance
+//! sums "can be initialised using the distances to objects that certainly
+//! exist" (paper §5). We generalise the paper's scalar bounds to
+//! axis-aligned boxes for vector-valued c-values (cluster centroids and
+//! medoids are vector-valued sums), with distance bounds derived from
+//! box-to-box distances.
+//!
+//! Interval-based resolutions use a small relative margin
+//! ([`CMP_MARGIN`]): bounds of large sums are maintained incrementally and
+//! may carry floating-point drift; the margin keeps early resolutions
+//! conservative. Exact ties are always decided on fully resolved values
+//! computed by the same left-fold as the reference evaluator, so the
+//! engines agree bit-for-bit.
+
+use enframe_core::Value;
+
+/// Relative safety margin for interval-based comparison resolution.
+pub const CMP_MARGIN: f64 = 1e-9;
+
+/// Three-valued definedness of a c-value node under the current mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Def3 {
+    /// Certainly defined.
+    Yes,
+    /// Certainly undefined (`u`).
+    No,
+    /// Not yet determined.
+    Maybe,
+}
+
+impl Def3 {
+    /// Conjunction: defined iff both defined.
+    pub fn and(self, other: Def3) -> Def3 {
+        use Def3::*;
+        match (self, other) {
+            (No, _) | (_, No) => No,
+            (Yes, Yes) => Yes,
+            _ => Maybe,
+        }
+    }
+}
+
+/// Interval bounds on a node's *defined* value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ival {
+    /// Scalar interval.
+    Scalar {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Axis-aligned box for vector values.
+    Point {
+        /// Per-dimension lower bounds.
+        lo: Vec<f64>,
+        /// Per-dimension upper bounds.
+        hi: Vec<f64>,
+    },
+}
+
+impl Ival {
+    /// The unbounded scalar interval.
+    pub fn top() -> Ival {
+        Ival::Scalar {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// The degenerate interval of an exact value.
+    ///
+    /// # Panics
+    /// Panics for `Value::Undef` (undefined values have no interval).
+    pub fn exact(v: &Value) -> Ival {
+        match v {
+            Value::Num(x) => Ival::Scalar { lo: *x, hi: *x },
+            Value::Point(p) => Ival::Point {
+                lo: p.to_vec(),
+                hi: p.to_vec(),
+            },
+            Value::Undef => panic!("no interval for the undefined value"),
+        }
+    }
+
+    /// The scalar zero interval (identity contribution).
+    pub fn zero_scalar() -> Ival {
+        Ival::Scalar { lo: 0.0, hi: 0.0 }
+    }
+
+    /// A zero box of the given dimension.
+    pub fn zero_point(dim: usize) -> Ival {
+        Ival::Point {
+            lo: vec![0.0; dim],
+            hi: vec![0.0; dim],
+        }
+    }
+
+    /// Hull with zero: the contribution interval of a possibly-undefined
+    /// summand (`u` acts as the additive identity 0).
+    pub fn hull_zero(&self) -> Ival {
+        match self {
+            Ival::Scalar { lo, hi } => Ival::Scalar {
+                lo: lo.min(0.0),
+                hi: hi.max(0.0),
+            },
+            Ival::Point { lo, hi } => Ival::Point {
+                lo: lo.iter().map(|x| x.min(0.0)).collect(),
+                hi: hi.iter().map(|x| x.max(0.0)).collect(),
+            },
+        }
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, rhs: &Ival) -> Ival {
+        match (self, rhs) {
+            (Ival::Scalar { lo: a, hi: b }, Ival::Scalar { lo: c, hi: d }) => Ival::Scalar {
+                lo: a + c,
+                hi: b + d,
+            },
+            (Ival::Point { lo: a, hi: b }, Ival::Point { lo: c, hi: d }) => Ival::Point {
+                lo: a.iter().zip(c).map(|(x, y)| x + y).collect(),
+                hi: b.iter().zip(d).map(|(x, y)| x + y).collect(),
+            },
+            // Mixed scalar/point sums arise only transiently when a
+            // point-valued sum starts from the scalar zero identity.
+            (Ival::Scalar { lo, hi }, p @ Ival::Point { .. }) if *lo == 0.0 && *hi == 0.0 => {
+                p.clone()
+            }
+            (p @ Ival::Point { .. }, Ival::Scalar { lo, hi }) if *lo == 0.0 && *hi == 0.0 => {
+                p.clone()
+            }
+            (a, b) => panic!("interval addition of incompatible shapes: {a:?} + {b:?}"),
+        }
+    }
+
+    /// Component-wise subtraction (used to retract stale contributions).
+    pub fn sub(&self, rhs: &Ival) -> Ival {
+        match (self, rhs) {
+            (Ival::Scalar { lo: a, hi: b }, Ival::Scalar { lo: c, hi: d }) => Ival::Scalar {
+                lo: a - d,
+                hi: b - c,
+            },
+            _ => panic!("interval subtraction only defined for scalars"),
+        }
+    }
+
+    /// Exact delta update for running sums: subtract the old contribution
+    /// endpoint-wise and add the new one (no over-approximation, unlike
+    /// [`Ival::sub`]).
+    pub fn shift(&mut self, old: &Ival, new: &Ival) {
+        match (self, old, new) {
+            (
+                Ival::Scalar { lo, hi },
+                Ival::Scalar { lo: ol, hi: oh },
+                Ival::Scalar { lo: nl, hi: nh },
+            ) => {
+                *lo += nl - ol;
+                *hi += nh - oh;
+            }
+            (
+                Ival::Point { lo, hi },
+                Ival::Point { lo: ol, hi: oh },
+                Ival::Point { lo: nl, hi: nh },
+            ) => {
+                for d in 0..lo.len() {
+                    lo[d] += nl[d] - ol[d];
+                    hi[d] += nh[d] - oh[d];
+                }
+            }
+            (s, o, n) => panic!("interval shift of incompatible shapes: {s:?} {o:?} {n:?}"),
+        }
+    }
+
+    /// Interval multiplication. Supports scalar×scalar and scalar×point.
+    pub fn mul(&self, rhs: &Ival) -> Ival {
+        match (self, rhs) {
+            (Ival::Scalar { lo: a, hi: b }, Ival::Scalar { lo: c, hi: d }) => {
+                let cands = [a * c, a * d, b * c, b * d];
+                Ival::Scalar {
+                    lo: cands.iter().cloned().fold(f64::INFINITY, f64::min),
+                    hi: cands.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                }
+            }
+            (s @ Ival::Scalar { .. }, Ival::Point { lo, hi })
+            | (Ival::Point { lo, hi }, s @ Ival::Scalar { .. }) => {
+                let (a, b) = match s {
+                    Ival::Scalar { lo, hi } => (*lo, *hi),
+                    _ => unreachable!(),
+                };
+                let mut nlo = Vec::with_capacity(lo.len());
+                let mut nhi = Vec::with_capacity(hi.len());
+                for d in 0..lo.len() {
+                    let cands = [a * lo[d], a * hi[d], b * lo[d], b * hi[d]];
+                    nlo.push(cands.iter().cloned().fold(f64::INFINITY, f64::min));
+                    nhi.push(cands.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+                }
+                Ival::Point { lo: nlo, hi: nhi }
+            }
+            (a, b) => panic!("interval multiplication of incompatible shapes: {a:?} * {b:?}"),
+        }
+    }
+
+    /// Interval inverse; intervals containing 0 widen to the full line
+    /// (the exact 0 point maps to `u`, handled by definedness).
+    pub fn inv(&self) -> Ival {
+        match self {
+            Ival::Scalar { lo, hi } => {
+                if *lo > 0.0 || *hi < 0.0 {
+                    Ival::Scalar {
+                        lo: 1.0 / hi,
+                        hi: 1.0 / lo,
+                    }
+                } else {
+                    Ival::top()
+                }
+            }
+            Ival::Point { .. } => panic!("cannot invert a vector interval"),
+        }
+    }
+
+    /// Interval integer power (non-negative exponents; negative exponents
+    /// factor through [`Ival::inv`]).
+    pub fn powi(&self, r: i32) -> Ival {
+        match self {
+            Ival::Scalar { lo, hi } => {
+                if r < 0 {
+                    return self.powi(-r).inv();
+                }
+                let (a, b) = (lo.powi(r), hi.powi(r));
+                let mut nlo = a.min(b);
+                let mut nhi = a.max(b);
+                if r % 2 == 0 && *lo < 0.0 && *hi > 0.0 {
+                    nlo = 0.0;
+                }
+                if r == 0 {
+                    nlo = 1.0;
+                    nhi = 1.0;
+                }
+                Ival::Scalar { lo: nlo, hi: nhi }
+            }
+            Ival::Point { .. } => panic!("cannot exponentiate a vector interval"),
+        }
+    }
+
+    /// Distance bounds: `|a − b|` for scalars, box-to-box Euclidean
+    /// distance range for points.
+    pub fn dist(&self, rhs: &Ival) -> Ival {
+        match (self, rhs) {
+            (Ival::Scalar { lo: a, hi: b }, Ival::Scalar { lo: c, hi: d }) => {
+                let lo = if b < c {
+                    c - b
+                } else if d < a {
+                    a - d
+                } else {
+                    0.0
+                };
+                let hi = (d - a).abs().max((b - c).abs());
+                Ival::Scalar { lo, hi }
+            }
+            (Ival::Point { lo: alo, hi: ahi }, Ival::Point { lo: blo, hi: bhi }) => {
+                let mut min_sq = 0.0;
+                let mut max_sq = 0.0;
+                for d in 0..alo.len() {
+                    let gap = (blo[d] - ahi[d]).max(alo[d] - bhi[d]).max(0.0);
+                    min_sq += gap * gap;
+                    let span = (ahi[d] - blo[d]).abs().max((bhi[d] - alo[d]).abs());
+                    max_sq += span * span;
+                }
+                Ival::Scalar {
+                    lo: min_sq.sqrt(),
+                    hi: max_sq.sqrt(),
+                }
+            }
+            (a, b) => panic!("distance between incompatible intervals: {a:?}, {b:?}"),
+        }
+    }
+
+    /// Scalar endpoints, if scalar.
+    pub fn scalar(&self) -> Option<(f64, f64)> {
+        match self {
+            Ival::Scalar { lo, hi } => Some((*lo, *hi)),
+            _ => None,
+        }
+    }
+}
+
+/// `a θ b` certainly holds whenever both sides are defined (with a
+/// conservative margin). Only meaningful for scalar intervals.
+pub fn certainly(op: enframe_core::CmpOp, a: &Ival, b: &Ival) -> bool {
+    use enframe_core::CmpOp::*;
+    let (Some((alo, ahi)), Some((blo, bhi))) = (a.scalar(), b.scalar()) else {
+        return false;
+    };
+    let m = CMP_MARGIN * (1.0 + ahi.abs().max(blo.abs()));
+    match op {
+        Le | Lt => ahi + m < blo,
+        Ge | Gt => alo - m > bhi,
+        Eq => false, // interval equality is never certain before resolution
+    }
+}
+
+/// `a θ b` certainly fails whenever both sides are defined.
+pub fn certainly_not(op: enframe_core::CmpOp, a: &Ival, b: &Ival) -> bool {
+    use enframe_core::CmpOp::*;
+    match op {
+        Le => certainly(Gt, a, b),
+        Lt => certainly(Ge, a, b),
+        Ge => certainly(Lt, a, b),
+        Gt => certainly(Le, a, b),
+        Eq => certainly(Lt, a, b) || certainly(Gt, a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enframe_core::CmpOp;
+
+    #[test]
+    fn def3_conjunction() {
+        use Def3::*;
+        assert_eq!(Yes.and(Yes), Yes);
+        assert_eq!(Yes.and(No), No);
+        assert_eq!(Maybe.and(Yes), Maybe);
+        assert_eq!(No.and(Maybe), No);
+    }
+
+    #[test]
+    fn hull_zero_covers_identity() {
+        let i = Ival::Scalar { lo: 2.0, hi: 5.0 };
+        assert_eq!(i.hull_zero(), Ival::Scalar { lo: 0.0, hi: 5.0 });
+        let j = Ival::Scalar { lo: -3.0, hi: -1.0 };
+        assert_eq!(j.hull_zero(), Ival::Scalar { lo: -3.0, hi: 0.0 });
+    }
+
+    #[test]
+    fn interval_mul_signs() {
+        let a = Ival::Scalar { lo: -2.0, hi: 3.0 };
+        let b = Ival::Scalar { lo: -1.0, hi: 4.0 };
+        assert_eq!(a.mul(&b), Ival::Scalar { lo: -8.0, hi: 12.0 });
+    }
+
+    #[test]
+    fn scalar_point_mul() {
+        let s = Ival::Scalar { lo: -1.0, hi: 2.0 };
+        let p = Ival::Point {
+            lo: vec![1.0, -1.0],
+            hi: vec![2.0, 1.0],
+        };
+        let got = s.mul(&p);
+        assert_eq!(
+            got,
+            Ival::Point {
+                lo: vec![-2.0, -2.0],
+                hi: vec![4.0, 2.0],
+            }
+        );
+    }
+
+    #[test]
+    fn inverse_excluding_zero() {
+        let i = Ival::Scalar { lo: 2.0, hi: 4.0 };
+        assert_eq!(i.inv(), Ival::Scalar { lo: 0.25, hi: 0.5 });
+        let j = Ival::Scalar { lo: -1.0, hi: 1.0 };
+        assert_eq!(j.inv(), Ival::top());
+        let k = Ival::Scalar { lo: -4.0, hi: -2.0 };
+        assert_eq!(k.inv(), Ival::Scalar { lo: -0.5, hi: -0.25 });
+    }
+
+    #[test]
+    fn powers() {
+        let i = Ival::Scalar { lo: -2.0, hi: 3.0 };
+        assert_eq!(i.powi(2), Ival::Scalar { lo: 0.0, hi: 9.0 });
+        assert_eq!(i.powi(3), Ival::Scalar { lo: -8.0, hi: 27.0 });
+        assert_eq!(i.powi(0), Ival::Scalar { lo: 1.0, hi: 1.0 });
+        let pos = Ival::Scalar { lo: 2.0, hi: 3.0 };
+        assert_eq!(pos.powi(-1), Ival::Scalar { lo: 1.0 / 3.0, hi: 0.5 });
+    }
+
+    #[test]
+    fn scalar_distance_bounds() {
+        let a = Ival::Scalar { lo: 0.0, hi: 1.0 };
+        let b = Ival::Scalar { lo: 3.0, hi: 4.0 };
+        assert_eq!(a.dist(&b), Ival::Scalar { lo: 2.0, hi: 4.0 });
+        // Overlapping intervals can touch: lower bound 0.
+        let c = Ival::Scalar { lo: 0.5, hi: 2.0 };
+        let got = a.dist(&c);
+        assert_eq!(got.scalar().unwrap().0, 0.0);
+    }
+
+    #[test]
+    fn box_distance_bounds() {
+        let a = Ival::Point {
+            lo: vec![0.0, 0.0],
+            hi: vec![1.0, 1.0],
+        };
+        let b = Ival::Point {
+            lo: vec![4.0, 0.0],
+            hi: vec![5.0, 1.0],
+        };
+        let d = a.dist(&b);
+        let (lo, hi) = d.scalar().unwrap();
+        assert!((lo - 3.0).abs() < 1e-12);
+        assert!((hi - (25.0f64 + 1.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_is_exact() {
+        let mut acc = Ival::Scalar { lo: 10.0, hi: 20.0 };
+        let old = Ival::Scalar { lo: 0.0, hi: 5.0 };
+        let new = Ival::Scalar { lo: 3.0, hi: 3.0 };
+        acc.shift(&old, &new);
+        assert_eq!(acc, Ival::Scalar { lo: 13.0, hi: 18.0 });
+    }
+
+    #[test]
+    fn certainly_comparisons() {
+        let a = Ival::Scalar { lo: 1.0, hi: 2.0 };
+        let b = Ival::Scalar { lo: 5.0, hi: 6.0 };
+        assert!(certainly(CmpOp::Le, &a, &b));
+        assert!(certainly(CmpOp::Lt, &a, &b));
+        assert!(!certainly(CmpOp::Ge, &a, &b));
+        assert!(certainly_not(CmpOp::Ge, &a, &b));
+        assert!(certainly_not(CmpOp::Eq, &a, &b));
+        // Touching intervals: not certain (margin).
+        let c = Ival::Scalar { lo: 2.0, hi: 5.0 };
+        assert!(!certainly(CmpOp::Le, &a, &c));
+    }
+
+    #[test]
+    fn exact_interval_from_value() {
+        assert_eq!(
+            Ival::exact(&Value::Num(3.0)),
+            Ival::Scalar { lo: 3.0, hi: 3.0 }
+        );
+        assert_eq!(
+            Ival::exact(&Value::point(&[1.0, 2.0])),
+            Ival::Point {
+                lo: vec![1.0, 2.0],
+                hi: vec![1.0, 2.0]
+            }
+        );
+    }
+}

@@ -1,0 +1,653 @@
+//! Distributed probability computation (paper §4.4).
+//!
+//! The decision tree is split into *jobs*: a job is a tree fragment rooted
+//! at a prefix assignment, explored to relative depth `d`. One worker
+//! starts from the root; whenever exploration reaches depth `d` with
+//! unresolved targets, the subtree is forked as a new job that continues
+//! from that node. Per-branch bound contributions accumulate in
+//! worker-local deltas and merge into the shared bounds at job end; the
+//! job's prefix is replayed with contribution *disabled* so that
+//! resolutions already accounted by the forking worker are not counted
+//! twice. Error budgets travel with the jobs and residuals return to a
+//! shared spare pool that is drained by subsequently started jobs
+//! ("budgets are synchronised both at the start and end of a job").
+//!
+//! The engine is generic over the [`Topology`], so the unfolded
+//! ([`compile_distributed`]) and the folded §4.2 encoding
+//! ([`compile_folded_distributed`]) distribute identically: each worker
+//! owns a private mask store over the shared immutable network.
+
+use crate::compile::{CompileResult, Options, Stats, Strategy};
+use crate::folded::FoldedTopo;
+use crate::masks::{BoolMask, MaskStore, Masks, Topology};
+use crate::order::static_order;
+use enframe_core::{Var, VarTable};
+use enframe_network::{FoldedNetwork, Network};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Options for distributed compilation.
+#[derive(Debug, Clone, Copy)]
+pub struct DistOptions {
+    /// Worker threads.
+    pub workers: usize,
+    /// Job size `d`: maximum relative exploration depth per job.
+    pub job_depth: usize,
+    /// Sequential options applied within each job (strategy, ε, order).
+    pub seq: Options,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            workers: 4,
+            job_depth: 3,
+            seq: Options::exact(),
+        }
+    }
+}
+
+struct Job {
+    prefix: Vec<(Var, bool)>,
+    prob: f64,
+    budgets: Vec<f64>,
+}
+
+struct Shared<'v> {
+    vt: &'v VarTable,
+    opts: DistOptions,
+    order: Vec<Var>,
+    targets: Vec<u32>,
+    node_targets: HashMap<u32, Vec<usize>>,
+    bounds: Mutex<(Vec<f64>, Vec<f64>)>,
+    spare: Mutex<Vec<f64>>,
+    outstanding: AtomicUsize,
+    branches: AtomicU64,
+    jobs_run: AtomicU64,
+}
+
+/// Compiles the network with `workers` threads and job size `d`, returning
+/// the same bounds as the sequential engine (exactly for
+/// [`Strategy::Exact`]; within the ε guarantee for the approximations).
+pub fn compile_distributed(net: &Network, vt: &VarTable, opts: DistOptions) -> CompileResult {
+    run_distributed(
+        || Masks::new(net),
+        vt,
+        opts,
+        static_order(net, opts.seq.order),
+        net.target_names.clone(),
+    )
+}
+
+/// Distributed compilation over a *folded* network (§4.2 + §4.4): each
+/// worker owns a private two-dimensional mask store `M[t][v]` over the
+/// shared body template.
+pub fn compile_folded_distributed(
+    net: &FoldedNetwork,
+    vt: &VarTable,
+    opts: DistOptions,
+) -> CompileResult {
+    let order = {
+        let occ = net.var_occurrences();
+        let mut vars: Vec<Var> = (0..net.n_vars)
+            .map(Var)
+            .filter(|v| net.var_node(*v).is_some())
+            .collect();
+        match opts.seq.order {
+            crate::order::VarOrder::Sequential => {}
+            _ => vars.sort_by_key(|v| std::cmp::Reverse(occ[v.index()])),
+        }
+        vars
+    };
+    run_distributed(
+        || MaskStore::from_topology(FoldedTopo::new(net)),
+        vt,
+        opts,
+        order,
+        net.target_names.clone(),
+    )
+}
+
+fn run_distributed<T, F>(
+    make_store: F,
+    vt: &VarTable,
+    opts: DistOptions,
+    order: Vec<Var>,
+    names: Vec<String>,
+) -> CompileResult
+where
+    T: Topology,
+    F: Fn() -> MaskStore<T> + Sync,
+{
+    assert!(opts.workers >= 1, "need at least one worker");
+    assert!(opts.job_depth >= 1, "job depth must be at least 1");
+
+    // Account targets resolved by the empty assignment, and collect the
+    // expanded target ids.
+    let targets;
+    let mut lower;
+    let mut upper;
+    {
+        let store = make_store();
+        targets = store.topo().target_gids();
+        lower = vec![0.0; targets.len()];
+        upper = vec![1.0; targets.len()];
+        for (i, &t) in targets.iter().enumerate() {
+            if store.state_g(t).is_resolved() {
+                match store.bool_mask_g(t) {
+                    BoolMask::True => lower[i] = 1.0,
+                    BoolMask::False => upper[i] = 0.0,
+                    BoolMask::Unknown => unreachable!(),
+                }
+            }
+        }
+        if store.unresolved_targets() == 0 {
+            return CompileResult {
+                lower,
+                upper,
+                names,
+                stats: Stats::default(),
+            };
+        }
+    }
+
+    let eps2 = if opts.seq.strategy == Strategy::Exact {
+        0.0
+    } else {
+        2.0 * opts.seq.epsilon
+    };
+    let mut node_targets: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, &t) in targets.iter().enumerate() {
+        node_targets.entry(t).or_default().push(i);
+    }
+    let n_targets = targets.len();
+    let shared = Shared {
+        vt,
+        opts,
+        order,
+        targets,
+        node_targets,
+        bounds: Mutex::new((lower, upper)),
+        spare: Mutex::new(vec![0.0; n_targets]),
+        outstanding: AtomicUsize::new(1),
+        branches: AtomicU64::new(0),
+        jobs_run: AtomicU64::new(0),
+    };
+
+    let (tx, rx) = crossbeam::channel::unbounded::<Option<Job>>();
+    tx.send(Some(Job {
+        prefix: Vec::new(),
+        prob: 1.0,
+        budgets: vec![eps2; n_targets],
+    }))
+    .expect("queue open");
+
+    std::thread::scope(|scope| {
+        for _ in 0..opts.workers {
+            let rx = rx.clone();
+            let tx = tx.clone();
+            let shared = &shared;
+            let make_store = &make_store;
+            scope.spawn(move || {
+                let mut worker = Worker {
+                    shared,
+                    store: make_store(),
+                    tx: tx.clone(),
+                    local_lower: vec![0.0; shared.targets.len()],
+                    local_upper_delta: vec![0.0; shared.targets.len()],
+                    branches: 0,
+                };
+                while let Ok(Some(job)) = rx.recv() {
+                    worker.run_job(job);
+                    shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+                    if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last job done: wake everyone up to exit.
+                        for _ in 0..shared.opts.workers {
+                            let _ = tx.send(None);
+                        }
+                    }
+                }
+                shared
+                    .branches
+                    .fetch_add(worker.branches, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let (lower, upper) = shared.bounds.into_inner();
+    CompileResult {
+        lower,
+        upper,
+        names,
+        stats: Stats {
+            branches: shared.branches.into_inner(),
+            assignments: 0,
+            prunes: 0,
+            deepest: 0,
+        },
+    }
+}
+
+struct Worker<'v, 's, T: Topology> {
+    shared: &'s Shared<'v>,
+    store: MaskStore<T>,
+    tx: crossbeam::channel::Sender<Option<Job>>,
+    local_lower: Vec<f64>,
+    local_upper_delta: Vec<f64>,
+    branches: u64,
+}
+
+impl<T: Topology> Worker<'_, '_, T> {
+    fn run_job(&mut self, mut job: Job) {
+        let mark = self.store.checkpoint();
+        // Replay the prefix silently: contributions along it were already
+        // accounted by the forking worker.
+        for &(v, val) in &job.prefix {
+            self.store.assign(v, val, &mut |_, _| {});
+        }
+        // Synchronise budgets at job start: drain the spare pool.
+        if self.shared.opts.seq.strategy != Strategy::Exact {
+            let mut spare = self.shared.spare.lock();
+            for (b, s) in job.budgets.iter_mut().zip(spare.iter_mut()) {
+                *b += *s;
+                *s = 0.0;
+            }
+        }
+        self.local_lower.fill(0.0);
+        self.local_upper_delta.fill(0.0);
+        let residual = self.dfs(job.prefix.len(), 0, job.prob, job.budgets, &mut job.prefix);
+        // Merge bound deltas.
+        {
+            let mut bounds = self.shared.bounds.lock();
+            for i in 0..self.local_lower.len() {
+                bounds.0[i] += self.local_lower[i];
+                bounds.1[i] -= self.local_upper_delta[i];
+            }
+        }
+        // Return residual budgets to the pool.
+        if self.shared.opts.seq.strategy != Strategy::Exact {
+            let mut spare = self.shared.spare.lock();
+            for (s, r) in spare.iter_mut().zip(&residual) {
+                *s += r;
+            }
+        }
+        self.store.rollback(mark);
+    }
+
+    fn global_tight_or_resolved(&self, eps2: f64) -> bool {
+        let bounds = self.shared.bounds.lock();
+        self.shared.targets.iter().enumerate().all(|(i, &t)| {
+            self.store.state_g(t).is_resolved() || bounds.1[i] - bounds.0[i] <= eps2
+        })
+    }
+
+    fn dfs(
+        &mut self,
+        depth: usize,
+        rel_depth: usize,
+        p: f64,
+        budgets: Vec<f64>,
+        prefix: &mut Vec<(Var, bool)>,
+    ) -> Vec<f64> {
+        self.branches += 1;
+        if self.store.unresolved_targets() == 0 {
+            return budgets;
+        }
+        let approx = self.shared.opts.seq.strategy != Strategy::Exact;
+        let eps2 = 2.0 * self.shared.opts.seq.epsilon;
+        if approx && self.global_tight_or_resolved(eps2) {
+            return budgets;
+        }
+        if rel_depth >= self.shared.opts.job_depth {
+            // Fork the subtree as a new job carrying the current budgets.
+            self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+            let _ = self.tx.send(Some(Job {
+                prefix: prefix.clone(),
+                prob: p,
+                budgets: budgets.clone(),
+            }));
+            // The budget moved into the job; nothing residual here.
+            return vec![0.0; budgets.len()];
+        }
+        let Some(&x) = self.shared.order.get(depth) else {
+            debug_assert_eq!(self.store.unresolved_targets(), 0);
+            return budgets;
+        };
+        let px = self.shared.vt.prob(x);
+
+        let (left_budget, mut right_budget) = match self.shared.opts.seq.strategy {
+            Strategy::Exact => (budgets.clone(), budgets),
+            Strategy::Eager => {
+                let zeros = vec![0.0; budgets.len()];
+                (budgets, zeros)
+            }
+            Strategy::Lazy => {
+                let zeros = vec![0.0; budgets.len()];
+                (zeros, budgets)
+            }
+            Strategy::Hybrid => {
+                let half: Vec<f64> = budgets.iter().map(|b| b * 0.5).collect();
+                (half.clone(), half)
+            }
+        };
+        let left_res = self.branch(depth, rel_depth, x, true, p * px, left_budget, prefix);
+        if self.shared.opts.seq.strategy != Strategy::Exact {
+            for (r, l) in right_budget.iter_mut().zip(&left_res) {
+                *r += l;
+            }
+        } else {
+            right_budget = left_res;
+        }
+        if approx && self.global_tight_or_resolved(eps2) {
+            return right_budget;
+        }
+        self.branch(
+            depth,
+            rel_depth,
+            x,
+            false,
+            p * (1.0 - px),
+            right_budget,
+            prefix,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn branch(
+        &mut self,
+        depth: usize,
+        rel_depth: usize,
+        x: Var,
+        value: bool,
+        p: f64,
+        mut budgets: Vec<f64>,
+        prefix: &mut Vec<(Var, bool)>,
+    ) -> Vec<f64> {
+        if p == 0.0 {
+            return budgets;
+        }
+        if self.shared.opts.seq.strategy != Strategy::Exact {
+            let prunable = self.shared.targets.iter().enumerate().all(|(i, &t)| {
+                self.store.state_g(t).is_resolved() || budgets[i] >= p
+            });
+            if prunable {
+                for (i, &t) in self.shared.targets.iter().enumerate() {
+                    if !self.store.state_g(t).is_resolved() {
+                        budgets[i] -= p;
+                    }
+                }
+                return budgets;
+            }
+        }
+        let mark = self.store.checkpoint();
+        let mut resolutions: Vec<(u32, bool)> = Vec::new();
+        self.store
+            .assign(x, value, &mut |id, truth| resolutions.push((id, truth)));
+        for (id, truth) in resolutions {
+            if let Some(targets) = self.shared.node_targets.get(&id) {
+                for &i in targets {
+                    if truth {
+                        self.local_lower[i] += p;
+                    } else {
+                        self.local_upper_delta[i] += p;
+                    }
+                }
+            }
+        }
+        prefix.push((x, value));
+        let res = self.dfs(depth + 1, rel_depth + 1, p, budgets, prefix);
+        prefix.pop();
+        self.store.rollback(mark);
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use enframe_core::program::{SymCVal, SymEvent, ValSrc};
+    use enframe_core::{space, CmpOp, Program, Value};
+    use std::rc::Rc;
+
+    fn mixed_program(n: usize) -> Program {
+        let mut p = Program::new();
+        let vars: Vec<_> = (0..n).map(|_| p.fresh_var()).collect();
+        let e1 = p.declare_event(
+            "E1",
+            Program::or(
+                vars.chunks(2)
+                    .map(|c| Program::and(c.iter().map(|&v| Program::var(v)).collect::<Vec<_>>())),
+            ),
+        );
+        let sum = Rc::new(SymCVal::Sum(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    Rc::new(SymCVal::Cond(
+                        Program::var(v),
+                        ValSrc::Const(Value::Num(i as f64 + 1.0)),
+                    ))
+                })
+                .collect(),
+        ));
+        let e2 = p.declare_event(
+            "E2",
+            Rc::new(SymEvent::Atom(
+                CmpOp::Ge,
+                sum,
+                Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(n as f64)))),
+            )),
+        );
+        p.add_target(e1);
+        p.add_target(e2);
+        p
+    }
+
+    #[test]
+    fn distributed_exact_matches_sequential() {
+        let p = mixed_program(6);
+        let vt = VarTable::new(vec![0.3, 0.5, 0.7, 0.4, 0.6, 0.8]);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let want = space::target_probabilities(&g, &vt);
+        for workers in [1, 2, 4] {
+            for depth in [1, 2, 3, 5] {
+                let got = compile_distributed(
+                    &net,
+                    &vt,
+                    DistOptions {
+                        workers,
+                        job_depth: depth,
+                        seq: Options::exact(),
+                    },
+                );
+                for i in 0..want.len() {
+                    assert!(
+                        (got.lower[i] - want[i]).abs() < 1e-9,
+                        "w={workers} d={depth} target {i}: {} vs {}",
+                        got.lower[i],
+                        want[i]
+                    );
+                    assert!((got.upper[i] - want[i]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_hybrid_respects_epsilon() {
+        let p = mixed_program(8);
+        let vt = VarTable::uniform(8, 0.55);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let want = space::target_probabilities(&g, &vt);
+        let eps = 0.05;
+        let got = compile_distributed(
+            &net,
+            &vt,
+            DistOptions {
+                workers: 4,
+                job_depth: 3,
+                seq: Options::approx(Strategy::Hybrid, eps),
+            },
+        );
+        for i in 0..want.len() {
+            assert!(
+                got.lower[i] <= want[i] + 1e-9 && want[i] <= got.upper[i] + 1e-9,
+                "true probability escaped bounds"
+            );
+            assert!(
+                got.width(i) <= 2.0 * eps + 1e-9,
+                "width {} exceeds 2ε",
+                got.width(i)
+            );
+        }
+    }
+
+    #[test]
+    fn trivially_resolved_targets_short_circuit() {
+        let mut p = Program::new();
+        let _x = p.fresh_var();
+        let t = p.declare_event("T", Rc::new(SymEvent::Tru));
+        p.add_target(t);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let vt = VarTable::uniform(1, 0.5);
+        let got = compile_distributed(&net, &vt, DistOptions::default());
+        assert_eq!(got.lower, vec![1.0]);
+        assert_eq!(got.upper, vec![1.0]);
+    }
+
+    #[test]
+    fn single_worker_equals_multi_worker() {
+        let p = mixed_program(7);
+        let vt = VarTable::uniform(7, 0.5);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let a = compile_distributed(
+            &net,
+            &vt,
+            DistOptions {
+                workers: 1,
+                job_depth: 2,
+                seq: Options::exact(),
+            },
+        );
+        let b = compile_distributed(
+            &net,
+            &vt,
+            DistOptions {
+                workers: 8,
+                job_depth: 2,
+                seq: Options::exact(),
+            },
+        );
+        for i in 0..a.lower.len() {
+            assert!((a.lower[i] - b.lower[i]).abs() < 1e-9);
+            assert!((a.upper[i] - b.upper[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn agrees_with_sequential_compiler() {
+        let p = mixed_program(6);
+        let vt = VarTable::new(vec![0.2, 0.4, 0.5, 0.6, 0.8, 0.3]);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let seq = compile(&net, &vt, Options::exact());
+        let dist = compile_distributed(
+            &net,
+            &vt,
+            DistOptions {
+                workers: 3,
+                job_depth: 2,
+                seq: Options::exact(),
+            },
+        );
+        for i in 0..seq.lower.len() {
+            assert!((seq.lower[i] - dist.lower[i]).abs() < 1e-9);
+            assert!((seq.upper[i] - dist.upper[i]).abs() < 1e-9);
+        }
+    }
+
+    /// A foldable loop program for the folded-distributed engine.
+    fn foldable_loop(iters: usize) -> (Program, Vec<usize>) {
+        let mut p = Program::new();
+        let x0 = p.fresh_var();
+        let x1 = p.fresh_var();
+        let x2 = p.fresh_var();
+        let x3 = p.fresh_var();
+        let phi = p.declare_event("Phi", Program::or([Program::var(x0), Program::var(x1)]));
+        let mut prev = p.declare_event("Sinit", Program::var(x2));
+        let mut boundaries = Vec::new();
+        for t in 0..iters {
+            boundaries.push(2 + t);
+            prev = p.declare_event_at(
+                "S",
+                &[t as i64],
+                Program::or([
+                    Program::and([Program::eref(prev.clone()), Program::eref(phi.clone())]),
+                    Program::var(x3),
+                ]),
+            );
+        }
+        p.add_target(prev);
+        (p, boundaries)
+    }
+
+    #[test]
+    fn folded_distributed_exact_matches_brute_force() {
+        let (p, boundaries) = foldable_loop(4);
+        let g = p.ground().unwrap();
+        let folded = FoldedNetwork::build(&g, &boundaries).unwrap();
+        let vt = VarTable::new(vec![0.3, 0.5, 0.7, 0.4]);
+        let want = space::target_probabilities(&g, &vt);
+        for workers in [1, 3] {
+            for depth in [1, 2, 4] {
+                let got = compile_folded_distributed(
+                    &folded,
+                    &vt,
+                    DistOptions {
+                        workers,
+                        job_depth: depth,
+                        seq: Options::exact(),
+                    },
+                );
+                for i in 0..want.len() {
+                    assert!(
+                        (got.lower[i] - want[i]).abs() < 1e-9,
+                        "w={workers} d={depth}: {} vs {}",
+                        got.lower[i],
+                        want[i]
+                    );
+                    assert!((got.upper[i] - want[i]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folded_distributed_hybrid_respects_epsilon() {
+        let (p, boundaries) = foldable_loop(3);
+        let g = p.ground().unwrap();
+        let folded = FoldedNetwork::build(&g, &boundaries).unwrap();
+        let vt = VarTable::uniform(4, 0.55);
+        let want = space::target_probabilities(&g, &vt);
+        let eps = 0.05;
+        let got = compile_folded_distributed(
+            &folded,
+            &vt,
+            DistOptions {
+                workers: 4,
+                job_depth: 2,
+                seq: Options::approx(Strategy::Hybrid, eps),
+            },
+        );
+        for i in 0..want.len() {
+            assert!(got.lower[i] <= want[i] + 1e-9 && want[i] <= got.upper[i] + 1e-9);
+            assert!(got.width(i) <= 2.0 * eps + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! Probability computation over *folded* event networks (paper §4.2).
+//!
+//! Folded networks store one body template for all loop iterations; the
+//! mask store becomes two-dimensional — "the mask data structure M becomes
+//! two-dimensional to be able to store the mask for a node v at any
+//! iteration t (M[t][v])" — and loop nodes carry masks from iteration `t`
+//! to `t + 1`. [`FoldedTopo`] realises exactly that: it exposes the
+//! *logical expansion* of a [`FoldedNetwork`] (prologue once, body ×
+//! iterations, epilogue once) to the shared [`MaskStore`] without ever
+//! materialising the expanded graph. Loop-carry edges resolve the single
+//! child of a [`NodeKind::LoopIn`] leaf to the initialisation node at
+//! iteration 0 and to the previous iteration's source node otherwise.
+//!
+//! Per the paper, "probability bounds of compilation targets should only
+//! be updated if t is the last iteration": targets that live in the body
+//! region are addressed at the last layer, so the shared Algorithm-1
+//! driver needs no special casing.
+//!
+//! [`FoldedMasks::convergence_layer`] implements the §4.2 convergence
+//! check: "comparing the mask values at network nodes corresponding to
+//! iteration t with the masks of nodes for iteration t + 1. If none of
+//! the mask assignments has changed between iterations, then the
+//! algorithm has converged." Propagation across converged layers also
+//! short-circuits automatically: writing an unchanged state into a layer
+//! queues no further parents.
+
+use crate::compile::{run_driver, CompileResult, Options};
+use crate::masks::{MaskStore, NState, Topology};
+use crate::order::VarOrder;
+use enframe_core::{Value, Var, VarTable};
+use enframe_network::{FoldedNetwork, NodeId, NodeKind, Region};
+use std::collections::HashMap;
+
+/// The layered expansion of a folded network: one mask slot per prologue
+/// and epilogue node, and one per body node *per iteration*.
+pub struct FoldedTopo<'n> {
+    net: &'n FoldedNetwork,
+    iters: u32,
+    n_pro: u32,
+    n_body: u32,
+    n_epi: u32,
+    carry: HashMap<u32, (u32, u32)>,
+    init_feeds: HashMap<u32, Vec<u32>>,
+    source_feeds: HashMap<u32, Vec<u32>>,
+}
+
+impl<'n> FoldedTopo<'n> {
+    /// Builds the expansion view of a folded network.
+    pub fn new(net: &'n FoldedNetwork) -> Self {
+        let mut carry = HashMap::new();
+        let mut init_feeds: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut source_feeds: HashMap<u32, Vec<u32>> = HashMap::new();
+        for c in &net.carries {
+            carry.insert(c.input.0, (c.init.0, c.source.0));
+            init_feeds.entry(c.init.0).or_default().push(c.input.0);
+            source_feeds.entry(c.source.0).or_default().push(c.input.0);
+        }
+        FoldedTopo {
+            net,
+            iters: net.iters as u32,
+            n_pro: net.n_pro() as u32,
+            n_body: net.n_body() as u32,
+            n_epi: net.n_epi() as u32,
+            carry,
+            init_feeds,
+            source_feeds,
+        }
+    }
+
+    /// The underlying folded network.
+    pub fn network(&self) -> &'n FoldedNetwork {
+        self.net
+    }
+
+    /// Expanded id of `(base node, iteration)`. Prologue and epilogue
+    /// nodes have a single slot; the layer argument is ignored for them.
+    pub fn gid(&self, id: NodeId, layer: usize) -> u32 {
+        let b = id.0;
+        if b < self.n_pro {
+            b
+        } else if b < self.n_pro + self.n_body {
+            self.n_pro + layer as u32 * self.n_body + (b - self.n_pro)
+        } else {
+            self.n_pro + self.iters * self.n_body + (b - self.n_pro - self.n_body)
+        }
+    }
+
+    /// Inverse of [`FoldedTopo::gid`]: `(base node, iteration)`.
+    pub fn base_of(&self, g: u32) -> (NodeId, usize) {
+        if g < self.n_pro {
+            (NodeId(g), 0)
+        } else if g < self.n_pro + self.iters * self.n_body {
+            let off = g - self.n_pro;
+            (
+                NodeId(self.n_pro + off % self.n_body),
+                (off / self.n_body) as usize,
+            )
+        } else {
+            (
+                NodeId(g - self.iters * self.n_body + self.n_body),
+                self.iters as usize - 1,
+            )
+        }
+    }
+}
+
+impl Topology for FoldedTopo<'_> {
+    fn len(&self) -> usize {
+        (self.n_pro + self.iters * self.n_body + self.n_epi) as usize
+    }
+
+    fn kind(&self, g: u32) -> &NodeKind {
+        let (base, _) = self.base_of(g);
+        &self.net.node(base).kind
+    }
+
+    fn value(&self, g: u32) -> Option<&Value> {
+        let (base, _) = self.base_of(g);
+        self.net.node(base).value.as_ref()
+    }
+
+    fn n_children(&self, g: u32) -> usize {
+        let (base, _) = self.base_of(g);
+        match self.net.node(base).kind {
+            NodeKind::LoopIn { .. } => 1,
+            _ => self.net.node(base).children.len(),
+        }
+    }
+
+    fn child(&self, g: u32, i: usize) -> u32 {
+        let (base, layer) = self.base_of(g);
+        match self.net.node(base).kind {
+            NodeKind::LoopIn { .. } => {
+                debug_assert_eq!(i, 0);
+                let &(init, source) = self.carry.get(&base.0).expect("wired LoopIn");
+                if layer == 0 {
+                    // Init nodes live in the prologue: the gid is the id.
+                    init
+                } else {
+                    self.gid(NodeId(source), layer - 1)
+                }
+            }
+            _ => {
+                let c = self.net.node(base).children[i];
+                self.gid(c, layer)
+            }
+        }
+    }
+
+    fn for_each_parent<F: FnMut(u32)>(&self, g: u32, mut f: F) {
+        let (base, layer) = self.base_of(g);
+        let base_region = self.net.region(base);
+        for &p in &self.net.node(base).parents {
+            match self.net.region(p) {
+                Region::Pro => f(p.0),
+                Region::Body => match base_region {
+                    // A prologue child feeds every instantiation of its
+                    // body parents.
+                    Region::Pro => {
+                        for t in 0..self.iters as usize {
+                            f(self.gid(p, t));
+                        }
+                    }
+                    Region::Body => f(self.gid(p, layer)),
+                    Region::Epi => unreachable!("body nodes cannot read the epilogue"),
+                },
+                Region::Epi => {
+                    // Epilogue parents read body children at the last
+                    // iteration only.
+                    if base_region != Region::Body || layer == self.iters as usize - 1 {
+                        f(self.gid(p, 0));
+                    }
+                }
+            }
+        }
+        // Loop-carry edges.
+        if let Some(loopins) = self.source_feeds.get(&base.0) {
+            for &l in loopins {
+                match base_region {
+                    // An iteration-independent carry source feeds the
+                    // LoopIn at every iteration t ≥ 1.
+                    Region::Pro => {
+                        for t in 1..self.iters as usize {
+                            f(self.gid(NodeId(l), t));
+                        }
+                    }
+                    Region::Body => {
+                        if layer + 1 < self.iters as usize {
+                            f(self.gid(NodeId(l), layer + 1));
+                        }
+                    }
+                    Region::Epi => unreachable!("carry sources precede the epilogue"),
+                }
+            }
+        }
+        if base_region == Region::Pro {
+            if let Some(loopins) = self.init_feeds.get(&base.0) {
+                for &l in loopins {
+                    f(self.gid(NodeId(l), 0));
+                }
+            }
+        }
+    }
+
+    fn var_gid(&self, v: Var) -> Option<u32> {
+        // Variable leaves are always interned into the prologue region.
+        self.net.var_node(v).map(|n| n.0)
+    }
+
+    fn target_gids(&self) -> Vec<u32> {
+        self.net
+            .targets
+            .iter()
+            .map(|&t| self.gid(t, self.iters as usize - 1))
+            .collect()
+    }
+}
+
+/// Two-dimensional mask store `M[t][v]` over a folded network.
+pub type FoldedMasks<'n> = MaskStore<FoldedTopo<'n>>;
+
+impl<'n> FoldedMasks<'n> {
+    /// Builds the initial mask state for a folded network.
+    pub fn new(net: &'n FoldedNetwork) -> Self {
+        MaskStore::from_topology(FoldedTopo::new(net))
+    }
+
+    /// The mask state of a base node at an iteration (`M[layer][id]`).
+    pub fn state_at(&self, id: NodeId, layer: usize) -> &NState {
+        let g = self.topo().gid(id, layer);
+        self.state_g(g)
+    }
+
+    /// The §4.2 convergence check under the current (partial) assignment:
+    /// the smallest iteration `t` whose body masks all visibly equal those
+    /// of iteration `t + 1`, if any. Under a full assignment this detects
+    /// the fixpoint of the traced algorithm (e.g. stable clusters).
+    pub fn convergence_layer(&self) -> Option<usize> {
+        let topo = self.topo();
+        let iters = topo.iters as usize;
+        let (n_pro, n_body) = (topo.n_pro, topo.n_body);
+        'layers: for t in 0..iters.saturating_sub(1) {
+            for off in 0..n_body {
+                let a = self.state_g(topo.gid(NodeId(n_pro + off), t));
+                let b = self.state_g(topo.gid(NodeId(n_pro + off), t + 1));
+                if a.visibly_differs(b) {
+                    continue 'layers;
+                }
+            }
+            return Some(t);
+        }
+        None
+    }
+}
+
+/// Compiles a folded network against the variable probabilities, returning
+/// bounds for every registered target — the folded counterpart of
+/// [`crate::compile`]. All strategies (exact, eager, lazy, hybrid) apply.
+///
+/// # Panics
+/// Panics if the variable table does not cover the network's variables.
+pub fn compile_folded(net: &FoldedNetwork, vt: &VarTable, opts: Options) -> CompileResult {
+    assert!(
+        vt.len() >= net.n_vars as usize,
+        "variable table covers {} variables but the network uses {}",
+        vt.len(),
+        net.n_vars
+    );
+    let order = folded_static_order(net, opts.order);
+    run_driver(
+        FoldedMasks::new(net),
+        vt,
+        opts,
+        order,
+        net.n_vars as usize,
+        net.target_names.clone(),
+    )
+}
+
+/// Static variable order for folded networks: occurrence counts come from
+/// the base network (the per-iteration replication scales every count by
+/// the same factor, so the ranking is unchanged).
+fn folded_static_order(net: &FoldedNetwork, order: VarOrder) -> Vec<Var> {
+    let occ = net.var_occurrences();
+    let mut vars: Vec<Var> = (0..net.n_vars)
+        .map(Var)
+        .filter(|v| net.var_node(*v).is_some())
+        .collect();
+    match order {
+        VarOrder::Sequential => {}
+        VarOrder::StaticOccurrence | VarOrder::Dynamic => {
+            vars.sort_by_key(|v| std::cmp::Reverse(occ[v.index()]));
+        }
+    }
+    vars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, Options, Strategy};
+    use enframe_core::program::{SymCVal, SymEvent, ValSrc};
+    use enframe_core::{space, CmpOp, Program, Valuation};
+    use enframe_network::Network;
+    use std::rc::Rc;
+
+    /// `pre: Phi ≡ x0 ∨ x1; S.init ≡ x2 — ∀t: S.t ≡ (S.{t−1} ∧ Phi) ∨ x3`.
+    fn bool_loop(iters: usize) -> (Program, Vec<usize>) {
+        let mut p = Program::new();
+        let x0 = p.fresh_var();
+        let x1 = p.fresh_var();
+        let x2 = p.fresh_var();
+        let x3 = p.fresh_var();
+        let phi = p.declare_event("Phi", Program::or([Program::var(x0), Program::var(x1)]));
+        let mut prev = p.declare_event("Sinit", Program::var(x2));
+        let mut boundaries = Vec::new();
+        for t in 0..iters {
+            boundaries.push(2 + t);
+            prev = p.declare_event_at(
+                "S",
+                &[t as i64],
+                Program::or([
+                    Program::and([Program::eref(prev.clone()), Program::eref(phi.clone())]),
+                    Program::var(x3),
+                ]),
+            );
+        }
+        p.add_target(prev);
+        (p, boundaries)
+    }
+
+    /// A numeric k-means-shaped loop with a c-value carry and an epilogue
+    /// co-occurrence target (see `enframe-network::folded` for the event
+    /// program).
+    fn numeric_loop(iters: usize) -> (Program, Vec<usize>) {
+        let mut p = Program::new();
+        let x0 = p.fresh_var();
+        let x1 = p.fresh_var();
+        let o0 = p.declare_cval(
+            "O0",
+            Rc::new(SymCVal::Cond(Program::var(x0), ValSrc::Const(Value::Num(1.0)))),
+        );
+        let o1 = p.declare_cval(
+            "O1",
+            Rc::new(SymCVal::Cond(Program::var(x1), ValSrc::Const(Value::Num(4.0)))),
+        );
+        let mut m = p.declare_cval(
+            "Minit",
+            Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(2.0)))),
+        );
+        let mut boundaries = Vec::new();
+        let mut last_a = None;
+        for t in 0..iters {
+            boundaries.push(3 + 2 * t);
+            let a = p.declare_event_at(
+                "A",
+                &[t as i64],
+                Rc::new(SymEvent::Atom(
+                    CmpOp::Le,
+                    Rc::new(SymCVal::Dist(
+                        Program::cref(m.clone()),
+                        Program::cref(o0.clone()),
+                    )),
+                    Rc::new(SymCVal::Dist(
+                        Program::cref(m.clone()),
+                        Program::cref(o1.clone()),
+                    )),
+                )),
+            );
+            m = p.declare_cval_at(
+                "M",
+                &[t as i64],
+                Rc::new(SymCVal::Sum(vec![
+                    Rc::new(SymCVal::Guard(
+                        Program::eref(a.clone()),
+                        Program::cref(o0.clone()),
+                    )),
+                    Rc::new(SymCVal::Guard(
+                        Program::not(Program::eref(a.clone())),
+                        Program::cref(o1.clone()),
+                    )),
+                ])),
+            );
+            last_a = Some(a);
+        }
+        let t = p.declare_event(
+            "T",
+            Program::and([Program::eref(last_a.unwrap()), Program::var(x0)]),
+        );
+        p.add_target(t);
+        (p, boundaries)
+    }
+
+    fn folded_of(p: &Program, boundaries: &[usize]) -> (Network, FoldedNetwork, Vec<f64>) {
+        let g = p.ground().unwrap();
+        let unfolded = Network::build(&g).unwrap();
+        let folded = FoldedNetwork::build(&g, boundaries).unwrap();
+        let vt_probs = vec![0.5; g.n_vars as usize];
+        (unfolded, folded, vt_probs)
+    }
+
+    #[test]
+    fn folded_exact_equals_unfolded_exact() {
+        for (p, boundaries) in [bool_loop(3), numeric_loop(4)] {
+            let g = p.ground().unwrap();
+            let (unfolded, folded, _) = folded_of(&p, &boundaries);
+            let vt = VarTable::new(
+                (0..g.n_vars)
+                    .map(|i| 0.2 + 0.6 * (i as f64) / (g.n_vars.max(2) as f64 - 1.0))
+                    .collect(),
+            );
+            let want = compile(&unfolded, &vt, Options::exact());
+            let got = compile_folded(&folded, &vt, Options::exact());
+            assert_eq!(got.names, want.names);
+            for i in 0..want.lower.len() {
+                assert!(
+                    (got.lower[i] - want.lower[i]).abs() < 1e-12,
+                    "target {i}: folded {} vs unfolded {}",
+                    got.lower[i],
+                    want.lower[i]
+                );
+                assert!((got.upper[i] - want.upper[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn folded_exact_equals_brute_force() {
+        let (p, boundaries) = numeric_loop(3);
+        let g = p.ground().unwrap();
+        let (_, folded, _) = folded_of(&p, &boundaries);
+        let vt = VarTable::new(vec![0.3, 0.8]);
+        let want = space::target_probabilities(&g, &vt);
+        let got = compile_folded(&folded, &vt, Options::exact());
+        for i in 0..want.len() {
+            assert!((got.lower[i] - want[i]).abs() < 1e-12);
+            assert!((got.upper[i] - want[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn folded_approximation_respects_epsilon() {
+        let (p, boundaries) = bool_loop(4);
+        let g = p.ground().unwrap();
+        let (_, folded, _) = folded_of(&p, &boundaries);
+        let vt = VarTable::new(vec![0.3, 0.5, 0.7, 0.9]);
+        let want = space::target_probabilities(&g, &vt);
+        for strategy in [Strategy::Eager, Strategy::Lazy, Strategy::Hybrid] {
+            for eps in [0.05, 0.2] {
+                let got = compile_folded(&folded, &vt, Options::approx(strategy, eps));
+                for i in 0..want.len() {
+                    assert!(got.width(i) <= 2.0 * eps + 1e-12, "{strategy:?} ε={eps}");
+                    assert!(got.lower[i] <= want[i] + 1e-12);
+                    assert!(want[i] <= got.upper[i] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folded_every_order_heuristic_agrees() {
+        let (p, boundaries) = bool_loop(3);
+        let g = p.ground().unwrap();
+        let (_, folded, _) = folded_of(&p, &boundaries);
+        let vt = VarTable::uniform(g.n_vars as usize, 0.5);
+        let want = space::target_probabilities(&g, &vt);
+        for order in [VarOrder::Sequential, VarOrder::StaticOccurrence, VarOrder::Dynamic] {
+            let got = compile_folded(
+                &folded,
+                &vt,
+                Options {
+                    order,
+                    ..Options::exact()
+                },
+            );
+            for i in 0..want.len() {
+                assert!((got.lower[i] - want[i]).abs() < 1e-12, "{order:?}");
+                assert!((got.upper[i] - want[i]).abs() < 1e-12, "{order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn masks_match_direct_eval_for_all_worlds() {
+        let (p, boundaries) = numeric_loop(3);
+        let g = p.ground().unwrap();
+        let folded = FoldedNetwork::build(&g, &boundaries).unwrap();
+        let n = g.n_vars as usize;
+        let mut masks = FoldedMasks::new(&folded);
+        let target_gids = masks.topo().target_gids();
+        for code in 0..(1u64 << n) {
+            let nu = Valuation::from_code(n, code);
+            let mark = masks.checkpoint();
+            for i in 0..n {
+                let v = Var(i as u32);
+                if !masks.var_resolved(v) {
+                    masks.assign(v, nu.get(v), &mut |_, _| {});
+                }
+            }
+            let want = folded.eval(&nu).unwrap();
+            for (k, &t) in target_gids.iter().enumerate() {
+                let got = masks.state_g(t).is_resolved()
+                    && masks.bool_mask_g(t) == crate::masks::BoolMask::True;
+                assert_eq!(got, want[k], "world {code:b}, target {k}");
+            }
+            masks.rollback(mark);
+        }
+    }
+
+    #[test]
+    fn convergence_detected_on_stable_loop() {
+        // S.t ≡ S.{t−1} ∨ x1 stabilises after the first iteration.
+        let mut p = Program::new();
+        let x0 = p.fresh_var();
+        let x1 = p.fresh_var();
+        let mut prev = p.declare_event("Sinit", Program::var(x0));
+        let mut boundaries = Vec::new();
+        for t in 0..4 {
+            boundaries.push(1 + t);
+            prev = p.declare_event_at(
+                "S",
+                &[t as i64],
+                Program::or([Program::eref(prev.clone()), Program::var(x1)]),
+            );
+        }
+        p.add_target(prev);
+        let g = p.ground().unwrap();
+        let folded = FoldedNetwork::build(&g, &boundaries).unwrap();
+        let mut masks = FoldedMasks::new(&folded);
+        assert_eq!(
+            masks.convergence_layer(),
+            Some(0),
+            "identical unknown layers count as converged"
+        );
+        masks.assign(Var(0), true, &mut |_, _| {});
+        // S.0 = true ∨ x1 = true; every later layer equals it.
+        assert_eq!(masks.convergence_layer(), Some(0));
+        masks.assign(Var(1), false, &mut |_, _| {});
+        assert_eq!(masks.convergence_layer(), Some(0));
+    }
+
+    #[test]
+    fn convergence_distinguishes_changing_layers() {
+        // A loop that alternates: S.t ≡ ¬S.{t−1}. Under a full assignment
+        // the layers flip for ever, so no convergence is reported.
+        let mut p = Program::new();
+        let x0 = p.fresh_var();
+        let mut prev = p.declare_event("Sinit", Program::var(x0));
+        let mut boundaries = Vec::new();
+        for t in 0..4 {
+            boundaries.push(1 + t);
+            prev = p.declare_event_at("S", &[t as i64], Program::not(Program::eref(prev.clone())));
+        }
+        p.add_target(prev);
+        let g = p.ground().unwrap();
+        let folded = FoldedNetwork::build(&g, &boundaries).unwrap();
+        let mut masks = FoldedMasks::new(&folded);
+        masks.assign(Var(0), true, &mut |_, _| {});
+        assert_eq!(masks.convergence_layer(), None, "alternating loop never converges");
+    }
+
+    #[test]
+    fn state_at_exposes_per_iteration_masks() {
+        let (p, boundaries) = bool_loop(3);
+        let g = p.ground().unwrap();
+        let folded = FoldedNetwork::build(&g, &boundaries).unwrap();
+        let mut masks = FoldedMasks::new(&folded);
+        // Setting x3 (the disjunct injected every iteration) resolves the
+        // body Or at every layer.
+        masks.assign(Var(3), true, &mut |_, _| {});
+        let target = folded.targets[0];
+        for t in 0..folded.iters {
+            assert!(
+                masks.state_at(target, t).is_resolved(),
+                "layer {t} unresolved"
+            );
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use crate::compile::Strategy as CStrategy;
+        use proptest::prelude::*;
+
+        /// A random foldable loop program: the body combines the carried
+        /// event with a random literal by a random connective.
+        fn random_loop(seed: u64, iters: usize) -> (Program, Vec<usize>) {
+            let mut p = Program::new();
+            let vars: Vec<_> = (0..4).map(|_| p.fresh_var()).collect();
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let phi = p.declare_event(
+                "Phi",
+                Program::or([Program::var(vars[0]), Program::var(vars[1])]),
+            );
+            let mut prev = p.declare_event("Sinit", Program::var(vars[2]));
+            let mut boundaries = Vec::new();
+            // The literal mixed in each iteration is chosen once — it must
+            // be identical across iterations for the program to fold.
+            let lit = Program::var(vars[(next() % 4) as usize]);
+            let shape = next() % 4;
+            for t in 0..iters {
+                boundaries.push(p.items.len());
+                let body: Rc<SymEvent> = match shape {
+                    0 => Program::or([Program::eref(prev.clone()), lit.clone()]),
+                    1 => Program::and([Program::eref(prev.clone()), lit.clone()]),
+                    2 => Program::or([
+                        Program::and([Program::eref(prev.clone()), Program::eref(phi.clone())]),
+                        lit.clone(),
+                    ]),
+                    _ => Program::not(Program::eref(prev.clone())),
+                };
+                prev = p.declare_event_at("S", &[t as i64], body);
+            }
+            p.add_target(prev);
+            (p, boundaries)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Folded exact compilation equals unfolded exact compilation
+            /// on random foldable loops with random probabilities.
+            #[test]
+            fn prop_folded_equals_unfolded(
+                seed in 0u64..10_000,
+                iters in 2usize..6,
+                p0 in 0.05f64..0.95,
+                p1 in 0.05f64..0.95,
+                p2 in 0.05f64..0.95,
+                p3 in 0.05f64..0.95,
+            ) {
+                let (p, boundaries) = random_loop(seed, iters);
+                let g = p.ground().unwrap();
+                let unfolded = Network::build(&g).unwrap();
+                let folded = FoldedNetwork::build(&g, &boundaries).unwrap();
+                let vt = VarTable::new(vec![p0, p1, p2, p3]);
+                let want = compile(&unfolded, &vt, Options::exact());
+                let got = compile_folded(&folded, &vt, Options::exact());
+                for i in 0..want.lower.len() {
+                    prop_assert!((got.lower[i] - want.lower[i]).abs() < 1e-12);
+                    prop_assert!((got.upper[i] - want.upper[i]).abs() < 1e-12);
+                }
+            }
+
+            /// The ε guarantee holds for folded approximation.
+            #[test]
+            fn prop_folded_approx_guarantee(
+                seed in 0u64..10_000,
+                eps in 0.02f64..0.4,
+            ) {
+                let (p, boundaries) = random_loop(seed, 4);
+                let g = p.ground().unwrap();
+                let folded = FoldedNetwork::build(&g, &boundaries).unwrap();
+                let vt = VarTable::uniform(4, 0.5);
+                let want = space::target_probabilities(&g, &vt);
+                for strategy in [CStrategy::Eager, CStrategy::Lazy, CStrategy::Hybrid] {
+                    let got = compile_folded(&folded, &vt, Options::approx(strategy, eps));
+                    for i in 0..want.len() {
+                        prop_assert!(got.width(i) <= 2.0 * eps + 1e-12);
+                        prop_assert!(got.lower[i] <= want[i] + 1e-12);
+                        prop_assert!(want[i] <= got.upper[i] + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

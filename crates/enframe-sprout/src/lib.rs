@@ -1,0 +1,27 @@
+//! # enframe-sprout — a SPROUT-style probabilistic database substrate
+//!
+//! ENFrame "supports positive relational algebra queries with aggregates
+//! via the SPROUT query engine for probabilistic data" (paper §2). This
+//! crate is a self-contained implementation of that substrate:
+//!
+//! * [`PcTable`] — pc-tables: relations whose tuples are annotated with
+//!   propositional lineage events over Boolean random variables;
+//! * [`Query`] — positive relational algebra (selection, projection with
+//!   duplicate elimination, natural join, union) whose operators compose
+//!   lineage in the provenance-semiring style (`∧` across joins, `∨` on
+//!   duplicate elimination);
+//! * [`aggregate`] — SUM/COUNT/MIN-style aggregation producing *c-values*
+//!   (`Σᵢ Φᵢ ⊗ vᵢ`), the semimodule expressions of Fink–Han–Olteanu [14]
+//!   that ENFrame consumes directly;
+//! * [`PcTable::to_objects`] — the `loadData()` bridge: query results
+//!   become uncertain points with their lineage, ready for clustering.
+
+pub mod aggregate;
+pub mod algebra;
+pub mod pctable;
+pub mod relation;
+
+pub use aggregate::{aggregate_cval, AggKind};
+pub use algebra::Query;
+pub use pctable::PcTable;
+pub use relation::{Datum, Schema};

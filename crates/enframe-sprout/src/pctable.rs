@@ -1,0 +1,152 @@
+//! Pc-tables: relations with tuple-level lineage events.
+
+use crate::relation::{Datum, Schema};
+use enframe_core::{Event, Valuation, Var};
+use std::rc::Rc;
+
+/// A pc-table: each tuple carries a propositional lineage event over the
+/// input Boolean random variables. A tuple is present in the world selected
+/// by a valuation ν iff its lineage evaluates to true under ν.
+#[derive(Debug, Clone)]
+pub struct PcTable {
+    /// The relation schema.
+    pub schema: Schema,
+    rows: Vec<(Vec<Datum>, Rc<Event>)>,
+}
+
+impl PcTable {
+    /// An empty pc-table.
+    pub fn new(schema: Schema) -> Self {
+        PcTable {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Inserts a tuple with its lineage event.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity does not match the schema.
+    pub fn insert(&mut self, tuple: Vec<Datum>, lineage: Rc<Event>) {
+        assert_eq!(
+            tuple.len(),
+            self.schema.arity(),
+            "tuple arity does not match schema"
+        );
+        self.rows.push((tuple, lineage));
+    }
+
+    /// Inserts a certain tuple (lineage ⊤).
+    pub fn insert_certain(&mut self, tuple: Vec<Datum>) {
+        self.insert(tuple, Rc::new(Event::Tru));
+    }
+
+    /// Inserts a tuple conditioned on a single positive variable — the
+    /// tuple-independent special case.
+    pub fn insert_var(&mut self, tuple: Vec<Datum>, var: Var) {
+        self.insert(tuple, Event::var(var));
+    }
+
+    /// The rows with their lineage.
+    pub fn rows(&self) -> &[(Vec<Datum>, Rc<Event>)] {
+        &self.rows
+    }
+
+    /// Number of (possible) tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Materialises the deterministic instance of one possible world.
+    pub fn world(&self, nu: &Valuation) -> Vec<Vec<Datum>> {
+        self.rows
+            .iter()
+            .filter(|(_, phi)| phi.eval_closed(nu).expect("closed lineage"))
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
+    /// The `loadData()` bridge: interprets columns `xs` as point
+    /// coordinates and returns `(points, lineage)` pairs ready to become
+    /// `ProbObjects` for clustering.
+    ///
+    /// # Panics
+    /// Panics if a named column is missing or non-numeric.
+    pub fn to_objects(&self, coords: &[&str]) -> Vec<(Vec<f64>, Rc<Event>)> {
+        let idx: Vec<usize> = coords
+            .iter()
+            .map(|c| {
+                self.schema
+                    .col(c)
+                    .unwrap_or_else(|| panic!("unknown column `{c}`"))
+            })
+            .collect();
+        self.rows
+            .iter()
+            .map(|(t, phi)| {
+                let p: Vec<f64> = idx
+                    .iter()
+                    .map(|&i| {
+                        t[i].as_f64()
+                            .unwrap_or_else(|| panic!("column `{}` is not numeric", coords[0]))
+                    })
+                    .collect();
+                (p, phi.clone())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensors() -> PcTable {
+        let mut t = PcTable::new(Schema::new(&["id", "pd", "load"]));
+        t.insert_certain(vec![Datum::Int(0), Datum::Float(1.0), Datum::Float(40.0)]);
+        t.insert_var(
+            vec![Datum::Int(1), Datum::Float(9.0), Datum::Float(80.0)],
+            Var(0),
+        );
+        t.insert(
+            vec![Datum::Int(2), Datum::Float(2.0), Datum::Float(45.0)],
+            Event::nvar(Var(0)),
+        );
+        t
+    }
+
+    #[test]
+    fn world_materialisation_respects_lineage() {
+        let t = sensors();
+        let nu = Valuation::from_bits(vec![true]);
+        let w = t.world(&nu);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1][0], Datum::Int(1));
+        let nu2 = Valuation::from_bits(vec![false]);
+        let w2 = t.world(&nu2);
+        assert_eq!(w2.len(), 2);
+        assert_eq!(w2[1][0], Datum::Int(2));
+    }
+
+    #[test]
+    fn to_objects_extracts_points_and_lineage() {
+        let t = sensors();
+        let objs = t.to_objects(&["pd", "load"]);
+        assert_eq!(objs.len(), 3);
+        assert_eq!(objs[0].0, vec![1.0, 40.0]);
+        assert!(matches!(*objs[0].1, Event::Tru));
+        assert!(matches!(*objs[1].1, Event::Var(Var(0))));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = PcTable::new(Schema::new(&["a"]));
+        t.insert_certain(vec![Datum::Int(1), Datum::Int(2)]);
+    }
+}

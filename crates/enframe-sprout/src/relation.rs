@@ -1,0 +1,144 @@
+//! Schemas and data values for pc-tables.
+
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Datum {
+    /// Numeric payload (Int widens to f64).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// A grouping/deduplication key with a total order (floats by bits).
+    pub fn key(&self) -> DatumKey {
+        match self {
+            Datum::Int(i) => DatumKey::Int(*i),
+            Datum::Float(f) => DatumKey::Float(f.to_bits()),
+            Datum::Str(s) => DatumKey::Str(s.clone()),
+            Datum::Bool(b) => DatumKey::Bool(*b),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Float(x) => write!(f, "{x}"),
+            Datum::Str(s) => write!(f, "{s}"),
+            Datum::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Hashable, orderable key for a datum.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatumKey {
+    /// Integer key.
+    Int(i64),
+    /// Float key, by bit pattern.
+    Float(u64),
+    /// String key.
+    Str(String),
+    /// Boolean key.
+    Bool(bool),
+}
+
+/// A relation schema: ordered attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    cols: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from column names.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn new(cols: &[&str]) -> Self {
+        let cols: Vec<String> = cols.iter().map(|s| s.to_string()).collect();
+        for (i, c) in cols.iter().enumerate() {
+            assert!(
+                !cols[i + 1..].contains(c),
+                "duplicate column name `{c}` in schema"
+            );
+        }
+        Schema { cols }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The position of a column.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c == name)
+    }
+
+    /// Column names in order.
+    pub fn cols(&self) -> &[String] {
+        &self.cols
+    }
+
+    /// Columns shared with another schema (for natural join).
+    pub fn shared(&self, other: &Schema) -> Vec<String> {
+        self.cols
+            .iter()
+            .filter(|c| other.col(c).is_some())
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(&["id", "load", "pd"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.col("load"), Some(1));
+        assert_eq!(s.col("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        Schema::new(&["a", "a"]);
+    }
+
+    #[test]
+    fn shared_columns() {
+        let a = Schema::new(&["id", "x"]);
+        let b = Schema::new(&["id", "y"]);
+        assert_eq!(a.shared(&b), vec!["id".to_string()]);
+    }
+
+    #[test]
+    fn datum_numeric_and_keys() {
+        assert_eq!(Datum::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Datum::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Datum::Str("a".into()).as_f64(), None);
+        assert_eq!(Datum::Int(3).key(), DatumKey::Int(3));
+        assert_ne!(Datum::Float(1.0).key(), Datum::Float(-1.0).key());
+        assert_eq!(Datum::Bool(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,287 @@
+//! Probabilistic bindings for the external data primitives.
+//!
+//! A [`ProbEnv`] is the probabilistic counterpart of
+//! [`enframe_lang::SimpleEnv`]: it supplies `loadData()` / `loadParams()` /
+//! `init()` values where data may be *uncertain* — annotated with lineage
+//! events over the input Boolean random variables, exactly as a pc-table
+//! or a SPROUT query result would provide them.
+//!
+//! [`world_env`] materialises the deterministic environment of one
+//! possible world: objects whose lineage is false under the valuation are
+//! replaced by the undefined value. Running the plain interpreter on that
+//! environment is the paper's "clustering in each possible world".
+
+use enframe_core::{Event, Valuation};
+use enframe_lang::{RtValue, SimpleEnv};
+use std::rc::Rc;
+
+/// A list of uncertain points: `O[l] ≡ Φ(o_l) ⊗ o_l`.
+#[derive(Debug, Clone)]
+pub struct ProbObjects {
+    /// Point coordinates, one per object.
+    pub points: Vec<Vec<f64>>,
+    /// Lineage event `Φ(o_l)` per object (closed formulas over `Var`s).
+    pub lineage: Vec<Rc<Event>>,
+}
+
+impl ProbObjects {
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Creates uncertain objects, checking lineage arity.
+    pub fn new(points: Vec<Vec<f64>>, lineage: Vec<Rc<Event>>) -> Self {
+        assert_eq!(
+            points.len(),
+            lineage.len(),
+            "one lineage event per object required"
+        );
+        ProbObjects { points, lineage }
+    }
+
+    /// Certain objects (lineage ⊤ everywhere).
+    pub fn certain(points: Vec<Vec<f64>>) -> Self {
+        let lineage = points.iter().map(|_| Rc::new(Event::Tru)).collect();
+        ProbObjects { points, lineage }
+    }
+}
+
+/// An uncertain edge-weight matrix for Markov clustering: entry
+/// `M[i][j] ≡ (Φ_i ∧ Φ_j) ⊗ w_ij` exists iff both endpoints exist.
+#[derive(Debug, Clone)]
+pub struct ProbMatrix {
+    /// Edge weights (square, row-major rows).
+    pub weights: Vec<Vec<f64>>,
+    /// Lineage per node.
+    pub node_lineage: Vec<Rc<Event>>,
+}
+
+impl ProbMatrix {
+    /// Creates an uncertain matrix, checking shape.
+    pub fn new(weights: Vec<Vec<f64>>, node_lineage: Vec<Rc<Event>>) -> Self {
+        let n = weights.len();
+        assert!(weights.iter().all(|r| r.len() == n), "matrix must be square");
+        assert_eq!(node_lineage.len(), n, "one lineage event per node");
+        ProbMatrix {
+            weights,
+            node_lineage,
+        }
+    }
+}
+
+/// One value supplied by an external primitive.
+#[derive(Debug, Clone)]
+pub enum ProbValue {
+    /// A certain (deterministic) value, e.g. `n`, `k`, `iter`.
+    Certain(RtValue),
+    /// A list of uncertain points.
+    Objects(ProbObjects),
+    /// `init()` choosing initial medoids/centroids *by object index*:
+    /// `M_i^{-1} ≡ Φ(o_{π(i)}) ⊗ o_{π(i)}` (paper Figures 1–2).
+    SeedMedoids(Vec<usize>),
+    /// An uncertain stochastic matrix (Markov clustering).
+    Matrix(ProbMatrix),
+}
+
+impl ProbValue {
+    /// Convenience: a certain integer.
+    pub fn int(i: i64) -> Self {
+        ProbValue::Certain(RtValue::Int(i))
+    }
+}
+
+/// The probabilistic external environment of a user program.
+#[derive(Debug, Clone)]
+pub struct ProbEnv {
+    /// `loadData()` results.
+    pub data: Vec<ProbValue>,
+    /// `loadParams()` results (must be certain).
+    pub params: Vec<ProbValue>,
+    /// `init()` result.
+    pub init: ProbValue,
+    /// Number of input Boolean random variables used by the lineage.
+    pub n_vars: u32,
+}
+
+impl ProbEnv {
+    /// The uncertain objects bound by `loadData()`, if any.
+    pub fn objects(&self) -> Option<&ProbObjects> {
+        self.data.iter().find_map(|v| match v {
+            ProbValue::Objects(o) => Some(o),
+            _ => None,
+        })
+    }
+}
+
+/// Materialises the deterministic environment of the world selected by
+/// `nu`: uncertain objects with false lineage become `Undef`; matrix
+/// entries require both endpoints.
+pub fn world_env(env: &ProbEnv, nu: &Valuation) -> SimpleEnv {
+    let conv = |v: &ProbValue| -> RtValue {
+        match v {
+            ProbValue::Certain(rt) => rt.clone(),
+            ProbValue::Objects(objs) => RtValue::Array(
+                objs.points
+                    .iter()
+                    .zip(&objs.lineage)
+                    .map(|(p, phi)| {
+                        if phi.eval_closed(nu).expect("closed lineage") {
+                            RtValue::Point(p.clone())
+                        } else {
+                            RtValue::Undef
+                        }
+                    })
+                    .collect(),
+            ),
+            ProbValue::SeedMedoids(idx) => {
+                let objs = env
+                    .objects()
+                    .expect("SeedMedoids requires Objects in loadData()");
+                RtValue::Array(
+                    idx.iter()
+                        .map(|&i| {
+                            if objs.lineage[i].eval_closed(nu).expect("closed lineage") {
+                                RtValue::Point(objs.points[i].clone())
+                            } else {
+                                RtValue::Undef
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            ProbValue::Matrix(m) => {
+                let present: Vec<bool> = m
+                    .node_lineage
+                    .iter()
+                    .map(|phi| phi.eval_closed(nu).expect("closed lineage"))
+                    .collect();
+                RtValue::Array(
+                    m.weights
+                        .iter()
+                        .enumerate()
+                        .map(|(i, row)| {
+                            RtValue::Array(
+                                row.iter()
+                                    .enumerate()
+                                    .map(|(j, &w)| {
+                                        if present[i] && present[j] {
+                                            RtValue::Float(w)
+                                        } else {
+                                            RtValue::Undef
+                                        }
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            }
+        }
+    };
+    SimpleEnv {
+        data: env.data.iter().map(conv).collect(),
+        params: env.params.iter().map(conv).collect(),
+        init_value: conv(&env.init),
+    }
+}
+
+/// Builds a [`ProbEnv`] for the k-medoids/k-means programs: uncertain
+/// objects, parameters `(k, iter)`, and seed medoids.
+pub fn clustering_env(objects: ProbObjects, k: usize, iterations: usize, seeds: Vec<usize>, n_vars: u32) -> ProbEnv {
+    let n = objects.len();
+    assert_eq!(seeds.len(), k, "need one seed per cluster");
+    assert!(seeds.iter().all(|&s| s < n), "seed index out of range");
+    ProbEnv {
+        data: vec![ProbValue::Objects(objects), ProbValue::int(n as i64)],
+        params: vec![ProbValue::int(k as i64), ProbValue::int(iterations as i64)],
+        init: ProbValue::SeedMedoids(seeds),
+        n_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enframe_core::Var;
+
+    fn two_objects() -> (ProbEnv, Var, Var) {
+        let (x0, x1) = (Var(0), Var(1));
+        let objs = ProbObjects::new(
+            vec![vec![0.0], vec![5.0]],
+            vec![Event::var(x0), Event::var(x1)],
+        );
+        (clustering_env(objs, 2, 1, vec![0, 1], 2), x0, x1)
+    }
+
+    #[test]
+    fn world_env_materialises_presence() {
+        let (env, _, _) = two_objects();
+        let nu = Valuation::from_bits(vec![true, false]);
+        let w = world_env(&env, &nu);
+        match &w.data[0] {
+            RtValue::Array(items) => {
+                assert_eq!(items[0], RtValue::Point(vec![0.0]));
+                assert!(items[1].is_undef());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Seed medoid 1 references absent object 1.
+        match &w.init_value {
+            RtValue::Array(items) => {
+                assert_eq!(items[0], RtValue::Point(vec![0.0]));
+                assert!(items[1].is_undef());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certain_objects_always_present() {
+        let objs = ProbObjects::certain(vec![vec![1.0], vec![2.0]]);
+        let env = clustering_env(objs, 1, 1, vec![0], 0);
+        let nu = Valuation::all_false(0);
+        let w = world_env(&env, &nu);
+        match &w.data[0] {
+            RtValue::Array(items) => assert!(items.iter().all(|v| !v.is_undef())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matrix_entries_require_both_endpoints() {
+        let m = ProbMatrix::new(
+            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+            vec![Event::var(Var(0)), Event::var(Var(1))],
+        );
+        let env = ProbEnv {
+            data: vec![ProbValue::Matrix(m)],
+            params: vec![],
+            init: ProbValue::Certain(RtValue::Undef),
+            n_vars: 2,
+        };
+        let nu = Valuation::from_bits(vec![true, false]);
+        let w = world_env(&env, &nu);
+        match &w.data[0] {
+            RtValue::Array(rows) => match &rows[0] {
+                RtValue::Array(r) => {
+                    assert_eq!(r[0], RtValue::Float(0.5));
+                    assert!(r[1].is_undef());
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one lineage event per object")]
+    fn lineage_arity_checked() {
+        ProbObjects::new(vec![vec![0.0]], vec![]);
+    }
+}

@@ -1,0 +1,258 @@
+//! The `getLabel` scheme: from mutable variables to immutable events
+//! (paper §3.5, Example 3).
+//!
+//! Event declarations are immutable, but user variables are reassigned
+//! freely. `getLabel` generates for each user variable a sequence of unique
+//! event identifiers whose lexicographic order reflects the sequence of
+//! assignments: within `k` nested blocks, an assignment corresponds to an
+//! identifier `M_{c1.….ck}` where each `cᵢ` is a per-block counter. Block
+//! entry/exit are encoded as copies (`M_{c1.….ck.(−1)} ≡ M_{c1.….ck}` on
+//! entry, carry-out of the last inner label on exit).
+//!
+//! [`LabelGen`] implements the scheme for a single variable symbol. The
+//! unit tests reproduce Example 3's labels exactly.
+
+/// The events emitted while labelling a sequence of assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Labeled {
+    /// A fresh label for an actual assignment: `lhs ≡ <user expression>`;
+    /// `prev` is the label holding the previous value of the variable.
+    Assign {
+        /// Label of the new declaration.
+        lhs: Vec<i64>,
+        /// Label holding the variable's previous value.
+        prev: Vec<i64>,
+    },
+    /// A block-entry copy: `lhs ≡ rhs` (lhs ends in −1).
+    EnterCopy {
+        /// Label of the copy (ends in −1).
+        lhs: Vec<i64>,
+        /// The outer label copied from.
+        rhs: Vec<i64>,
+    },
+    /// A block-exit copy: `lhs ≡ rhs` (carries the inner result out).
+    ExitCopy {
+        /// The next outer label.
+        lhs: Vec<i64>,
+        /// The last inner label.
+        rhs: Vec<i64>,
+    },
+}
+
+/// Label generator for one variable symbol.
+///
+/// Call [`LabelGen::assign`] for every assignment, [`LabelGen::enter`] when
+/// entering a block that (re)assigns the variable, and [`LabelGen::exit`]
+/// when leaving it. `current()` is the label to *read* the variable from.
+#[derive(Debug, Default)]
+pub struct LabelGen {
+    /// Per-open-block counters; `counters[d]` is the next index at depth d.
+    counters: Vec<i64>,
+}
+
+impl LabelGen {
+    /// A generator at the outermost block with no assignments yet.
+    pub fn new() -> Self {
+        LabelGen { counters: vec![0] }
+    }
+
+    /// The label prefix for the enclosing blocks: at each outer level the
+    /// component is the index of the *last assignment* there (counter − 1).
+    fn prefix(&self) -> Vec<i64> {
+        let d = self.counters.len() - 1;
+        self.counters[..d].iter().map(|c| c - 1).collect()
+    }
+
+    /// The label that currently holds the variable's value (the last
+    /// assignment at the innermost open block, or the entry copy).
+    pub fn current(&self) -> Vec<i64> {
+        let d = self.counters.len() - 1;
+        let mut label = self.prefix();
+        label.push(self.counters[d] - 1);
+        label
+    }
+
+    /// Registers an assignment, returning the labelled event.
+    pub fn assign(&mut self) -> Labeled {
+        let prev = self.current();
+        let d = self.counters.len() - 1;
+        let mut lhs = self.prefix();
+        lhs.push(self.counters[d]);
+        self.counters[d] += 1;
+        Labeled::Assign { lhs, prev }
+    }
+
+    /// Enters a nested block, emitting the entry copy
+    /// `M_{c1.….ck.(−1)} ≡ M_{c1.….ck}`.
+    pub fn enter(&mut self) -> Labeled {
+        let rhs = self.current();
+        let mut lhs = rhs.clone();
+        lhs.push(-1);
+        self.counters.push(0);
+        Labeled::EnterCopy { lhs, rhs }
+    }
+
+    /// Leaves the innermost block, emitting the exit copy that carries the
+    /// last inner label to the next outer label.
+    ///
+    /// # Panics
+    /// Panics when called at the outermost block.
+    pub fn exit(&mut self) -> Labeled {
+        assert!(self.counters.len() > 1, "exit at outermost block");
+        let rhs = self.current();
+        self.counters.pop();
+        let d = self.counters.len() - 1;
+        let mut lhs = self.prefix();
+        lhs.push(self.counters[d]);
+        self.counters[d] += 1;
+        Labeled::ExitCopy { lhs, rhs }
+    }
+
+    /// Current nesting depth (0 = outermost).
+    pub fn depth(&self) -> usize {
+        self.counters.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces the paper's Example 3 label-for-label (with the loops
+    /// unrolled: i ∈ {0, 1}, j ∈ {0, 1, 2}).
+    ///
+    /// ```text
+    /// 1: M = 7                 A: M0 ≡ 7
+    /// 2: M = M+2               B: M1 ≡ M0 + 2
+    /// 3: for i in 0..2:        C: M1.−1 ≡ M1       (entry copy)
+    /// 4:   M = M+i             E: M1.(2i) ≡ M1.(2i−1) + i
+    /// 5:   for j in 0..3:      F: M1.(2i).−1 ≡ M1.(2i)
+    /// 6:     M = M+1           H: M1.(2i).j ≡ M1.(2i).(j−1) + 1
+    ///                          I: M1.(2i+1) ≡ M1.(2i).2   (exit copy)
+    ///                          J: M2 ≡ M1.(2·1+1)         (exit copy)
+    /// 7: M = M+1               K: M3 ≡ M2 + 1
+    /// ```
+    #[test]
+    fn example3_labels() {
+        let mut g = LabelGen::new();
+        // Line 1: M0 ≡ 7.
+        assert_eq!(
+            g.assign(),
+            Labeled::Assign {
+                lhs: vec![0],
+                prev: vec![-1]
+            }
+        );
+        // Line 2: M1 ≡ M0 + 2.
+        assert_eq!(
+            g.assign(),
+            Labeled::Assign {
+                lhs: vec![1],
+                prev: vec![0]
+            }
+        );
+        // Line C: entering the ∀i block copies M1 into M1.−1.
+        assert_eq!(
+            g.enter(),
+            Labeled::EnterCopy {
+                lhs: vec![1, -1],
+                rhs: vec![1]
+            }
+        );
+        for i in 0..2i64 {
+            // Line E: M1.(2i) ≡ M1.(2i−1) + i.
+            assert_eq!(
+                g.assign(),
+                Labeled::Assign {
+                    lhs: vec![1, 2 * i],
+                    prev: vec![1, 2 * i - 1]
+                }
+            );
+            // Line F: M1.(2i).−1 ≡ M1.(2i).
+            assert_eq!(
+                g.enter(),
+                Labeled::EnterCopy {
+                    lhs: vec![1, 2 * i, -1],
+                    rhs: vec![1, 2 * i]
+                }
+            );
+            for j in 0..3i64 {
+                // Line H: M1.(2i).j ≡ M1.(2i).(j−1) + 1.
+                assert_eq!(
+                    g.assign(),
+                    Labeled::Assign {
+                        lhs: vec![1, 2 * i, j],
+                        prev: vec![1, 2 * i, j - 1]
+                    }
+                );
+            }
+            // Line I: M1.(2i+1) ≡ M1.(2i).2.
+            assert_eq!(
+                g.exit(),
+                Labeled::ExitCopy {
+                    lhs: vec![1, 2 * i + 1],
+                    rhs: vec![1, 2 * i, 2]
+                }
+            );
+        }
+        // Line J: M2 ≡ M1.(2·1+1).
+        assert_eq!(
+            g.exit(),
+            Labeled::ExitCopy {
+                lhs: vec![2],
+                rhs: vec![1, 3]
+            }
+        );
+        // Line K: M3 ≡ M2 + 1.
+        assert_eq!(
+            g.assign(),
+            Labeled::Assign {
+                lhs: vec![3],
+                prev: vec![2]
+            }
+        );
+    }
+
+    #[test]
+    fn labels_are_lexicographically_increasing() {
+        let mut g = LabelGen::new();
+        let mut produced: Vec<Vec<i64>> = Vec::new();
+        let mut push = |l: &Labeled| {
+            let lhs = match l {
+                Labeled::Assign { lhs, .. }
+                | Labeled::EnterCopy { lhs, .. }
+                | Labeled::ExitCopy { lhs, .. } => lhs.clone(),
+            };
+            produced.push(lhs);
+        };
+        push(&g.assign());
+        push(&g.enter());
+        push(&g.assign());
+        push(&g.assign());
+        push(&g.exit());
+        push(&g.assign());
+        // All labels distinct.
+        let mut sorted = produced.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), produced.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "exit at outermost block")]
+    fn exit_at_top_panics() {
+        LabelGen::new().exit();
+    }
+
+    #[test]
+    fn depth_tracks_blocks() {
+        let mut g = LabelGen::new();
+        assert_eq!(g.depth(), 0);
+        g.enter();
+        assert_eq!(g.depth(), 1);
+        g.enter();
+        assert_eq!(g.depth(), 2);
+        g.exit();
+        assert_eq!(g.depth(), 1);
+    }
+}

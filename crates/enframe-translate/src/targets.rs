@@ -1,0 +1,305 @@
+//! Helpers for registering compilation targets on translated programs.
+//!
+//! "Selected events represent the probabilistic program output, e.g. in
+//! case of clustering: the probability that a data point is a medoid, or
+//! the probability that two data points are assigned to the same cluster"
+//! (paper §1). These helpers turn final program slots into such targets.
+
+use crate::translate::{Slot, Translated};
+use enframe_core::program::SymEvent;
+use enframe_core::SymIdent;
+use enframe_lang::RtValue;
+use std::rc::Rc;
+
+/// Adds every Boolean entry of the (possibly nested) final array `var` as a
+/// compilation target. Concrete entries are declared as constant events so
+/// that target indices stay aligned with array positions. Returns the
+/// number of targets added.
+pub fn add_all_bool_targets(t: &mut Translated, var: &str) -> usize {
+    let slot = match t.slots.get(var) {
+        Some(s) => s.clone(),
+        None => return 0,
+    };
+    let mut count = 0;
+    let mut path = Vec::new();
+    add_rec(t, var, &slot, &mut path, &mut count);
+    count
+}
+
+fn add_rec(t: &mut Translated, var: &str, slot: &Slot, path: &mut Vec<i64>, count: &mut usize) {
+    match slot {
+        Slot::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                path.push(i as i64);
+                add_rec(t, var, item, path, count);
+                path.pop();
+            }
+        }
+        Slot::Event(e) => {
+            if let SymEvent::Ref(si) = &**e {
+                t.program.add_target(si.clone());
+                *count += 1;
+            }
+        }
+        Slot::Concrete(RtValue::Bool(b)) => {
+            // Declare a constant event so the target exists.
+            let name = format!("{var}_const");
+            let rhs = if *b {
+                Rc::new(SymEvent::Tru)
+            } else {
+                Rc::new(SymEvent::Fls)
+            };
+            let si = t.program.declare_event_at(&name, path, rhs);
+            t.program.add_target(si);
+            *count += 1;
+        }
+        _ => {}
+    }
+}
+
+/// Adds the single Boolean entry `var[idx...]` as a target, returning its
+/// identifier (constants are declared as constant events).
+pub fn add_bool_target_at(t: &mut Translated, var: &str, idx: &[usize]) -> Option<SymIdent> {
+    let slot = t.slot_at(var, idx)?.clone();
+    match slot {
+        Slot::Event(e) => match &*e {
+            SymEvent::Ref(si) => {
+                t.program.add_target(si.clone());
+                Some(si.clone())
+            }
+            _ => None,
+        },
+        Slot::Concrete(RtValue::Bool(b)) => {
+            let name = format!("{var}_const");
+            let path: Vec<i64> = idx.iter().map(|&i| i as i64).collect();
+            let rhs = if b {
+                Rc::new(SymEvent::Tru)
+            } else {
+                Rc::new(SymEvent::Fls)
+            };
+            let si = t.program.declare_event_at(&name, &path, rhs);
+            t.program.add_target(si.clone());
+            Some(si)
+        }
+        _ => None,
+    }
+}
+
+/// Declares and targets the co-occurrence event "objects `l1` and `l2` are
+/// in the same cluster", i.e. `∨_i (InCl[i][l1] ∧ InCl[i][l2])` over the
+/// final cluster-membership array `var` with `k` clusters.
+pub fn add_same_cluster_target(
+    t: &mut Translated,
+    var: &str,
+    k: usize,
+    l1: usize,
+    l2: usize,
+) -> Option<SymIdent> {
+    let mut disjuncts: Vec<Rc<SymEvent>> = Vec::with_capacity(k);
+    for i in 0..k {
+        let a = bool_sym(t, var, &[i, l1])?;
+        let b = bool_sym(t, var, &[i, l2])?;
+        match (&*a, &*b) {
+            (SymEvent::Fls, _) | (_, SymEvent::Fls) => continue,
+            (SymEvent::Tru, _) => disjuncts.push(b),
+            (_, SymEvent::Tru) => disjuncts.push(a),
+            _ => disjuncts.push(Rc::new(SymEvent::And(vec![a, b]))),
+        }
+    }
+    let rhs = match disjuncts.len() {
+        0 => Rc::new(SymEvent::Fls),
+        1 => disjuncts.pop().unwrap(),
+        _ => Rc::new(SymEvent::Or(disjuncts)),
+    };
+    let si = t
+        .program
+        .declare_event_at("SameCluster", &[l1 as i64, l2 as i64], rhs);
+    t.program.add_target(si.clone());
+    Some(si)
+}
+
+/// Declares and targets the *existence-conjoined* co-occurrence event
+/// "objects `l1` and `l2` both exist **and** are in the same cluster":
+/// `Φ(o_l1) ∧ Φ(o_l2) ∧ ∨_i (InCl[i][l1] ∧ InCl[i][l2])`.
+///
+/// This is the query behind the paper's motivating example: two mutually
+/// exclusive readings have *no* world in which they co-exist, so this
+/// event must have probability 0 — whereas the plain
+/// [`add_same_cluster_target`] is vacuously true for absent objects
+/// (comparisons with undefined values hold by §3.2). `lineage` supplies
+/// `Φ(o_l1)` and `Φ(o_l2)` (propositional formulas over input variables,
+/// e.g. from `ProbObjects::lineage`).
+pub fn add_coexist_same_cluster_target(
+    t: &mut Translated,
+    var: &str,
+    k: usize,
+    (l1, phi1): (usize, &Rc<enframe_core::Event>),
+    (l2, phi2): (usize, &Rc<enframe_core::Event>),
+) -> Option<SymIdent> {
+    let mut disjuncts: Vec<Rc<SymEvent>> = Vec::with_capacity(k);
+    for i in 0..k {
+        let a = bool_sym(t, var, &[i, l1])?;
+        let b = bool_sym(t, var, &[i, l2])?;
+        match (&*a, &*b) {
+            (SymEvent::Fls, _) | (_, SymEvent::Fls) => continue,
+            (SymEvent::Tru, _) => disjuncts.push(b),
+            (_, SymEvent::Tru) => disjuncts.push(a),
+            _ => disjuncts.push(Rc::new(SymEvent::And(vec![a, b]))),
+        }
+    }
+    let same = match disjuncts.len() {
+        0 => Rc::new(SymEvent::Fls),
+        1 => disjuncts.pop().unwrap(),
+        _ => Rc::new(SymEvent::Or(disjuncts)),
+    };
+    let e1 = crate::translate::lineage_to_sym(phi1).ok()?;
+    let e2 = crate::translate::lineage_to_sym(phi2).ok()?;
+    let rhs = Rc::new(SymEvent::And(vec![e1, e2, same]));
+    let si = t
+        .program
+        .declare_event_at("CoexistSameCluster", &[l1 as i64, l2 as i64], rhs);
+    t.program.add_target(si.clone());
+    Some(si)
+}
+
+fn bool_sym(t: &Translated, var: &str, idx: &[usize]) -> Option<Rc<SymEvent>> {
+    match t.slot_at(var, idx)? {
+        Slot::Event(e) => Some(e.clone()),
+        Slot::Concrete(RtValue::Bool(true)) => Some(Rc::new(SymEvent::Tru)),
+        Slot::Concrete(RtValue::Bool(false)) => Some(Rc::new(SymEvent::Fls)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{clustering_env, ProbObjects};
+    use crate::translate::translate;
+    use enframe_core::{space, Event, Var, VarTable};
+    use enframe_lang::{parse, programs};
+
+    fn translated() -> Translated {
+        let objs = ProbObjects::new(
+            vec![vec![0.0], vec![1.0], vec![5.0], vec![6.0]],
+            vec![
+                Rc::new(Event::Tru),
+                Event::var(Var(0)),
+                Event::var(Var(1)),
+                Rc::new(Event::Tru),
+            ],
+        );
+        let env = clustering_env(objs, 2, 2, vec![0, 3], 2);
+        let ast = parse(programs::K_MEDOIDS).unwrap();
+        translate(&ast, &env).unwrap()
+    }
+
+    #[test]
+    fn all_bool_targets_cover_matrix() {
+        let mut t = translated();
+        let n = add_all_bool_targets(&mut t, "InCl");
+        assert_eq!(n, 8, "2 clusters × 4 objects");
+        let g = t.ground().unwrap();
+        assert_eq!(g.targets.len(), 8);
+        // Probabilities are well-defined and in [0,1].
+        let vt = VarTable::uniform(2, 0.6);
+        let p = space::target_probabilities(&g, &vt);
+        assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        // Column sums: every object is in exactly one cluster in every
+        // world, so P(InCl[0][l]) + P(InCl[1][l]) = 1.
+        for l in 0..4 {
+            let s = p[l] + p[4 + l];
+            assert!((s - 1.0).abs() < 1e-9, "object {l}: column sum {s}");
+        }
+    }
+
+    #[test]
+    fn same_cluster_event_probability() {
+        let mut t = translated();
+        add_same_cluster_target(&mut t, "InCl", 2, 0, 1).unwrap();
+        let g = t.ground().unwrap();
+        let vt = VarTable::uniform(2, 0.5);
+        let p = space::target_probabilities(&g, &vt)[0];
+        // Objects 0 and 1 are close together; in every world where o1
+        // exists they share cluster 0; when o1 is absent its comparisons
+        // are vacuously true so it lands in cluster 0 regardless. Verify
+        // against brute force world reasoning: probability is 1.
+        assert!((p - 1.0).abs() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn coexist_same_cluster_respects_mutual_exclusion() {
+        // o1 exists iff x0, o2 exists iff ¬x0: mutually exclusive. The
+        // paper's motivating claim — "there is no possible world and thus
+        // no cluster containing both points" — requires this target to
+        // have probability 0, while the plain same-cluster event is
+        // vacuously positive.
+        let phi1 = Event::var(Var(0));
+        let phi2 = Event::nvar(Var(0));
+        let objs = ProbObjects::new(
+            vec![vec![0.0], vec![1.0], vec![1.2], vec![6.0]],
+            vec![
+                Rc::new(Event::Tru),
+                phi1.clone(),
+                phi2.clone(),
+                Rc::new(Event::Tru),
+            ],
+        );
+        let env = clustering_env(objs, 2, 2, vec![0, 3], 1);
+        let ast = parse(programs::K_MEDOIDS).unwrap();
+        let mut t = translate(&ast, &env).unwrap();
+        add_coexist_same_cluster_target(&mut t, "InCl", 2, (1, &phi1), (2, &phi2)).unwrap();
+        add_same_cluster_target(&mut t, "InCl", 2, 1, 2).unwrap();
+        let g = t.ground().unwrap();
+        let vt = VarTable::uniform(1, 0.5);
+        let p = space::target_probabilities(&g, &vt);
+        assert!(p[0].abs() < 1e-12, "mutually exclusive points never co-cluster");
+        assert!(p[1] > 0.0, "the unconjoined event is vacuously satisfied");
+    }
+
+    #[test]
+    fn coexist_same_cluster_tracks_world_semantics() {
+        // Geometry 0, 1, 5, 6 with uncertain middle points (o1 iff x0,
+        // o2 iff x1) and seeds o0/o3. Worlds where a low-index object is
+        // ABSENT exhibit the documented §3.2 vacuous-truth behaviour: the
+        // absent object's Centre event holds vacuously, the tie-breaker
+        // elects it as medoid, the medoid is undefined, and every object
+        // collapses into cluster 0. Expected probabilities (uniform 0.5):
+        //   world (x0=1, x1=1): two proper clusters — o0, o3 apart;
+        //   worlds (x0=0, *) and (1, 0): collapse — o0, o3 together.
+        let tru: Rc<Event> = Rc::new(Event::Tru);
+        let objs = ProbObjects::new(
+            vec![vec![0.0], vec![1.0], vec![5.0], vec![6.0]],
+            vec![tru.clone(), Event::var(Var(0)), Event::var(Var(1)), tru.clone()],
+        );
+        let env = clustering_env(objs, 2, 2, vec![0, 3], 2);
+        let ast = parse(programs::K_MEDOIDS).unwrap();
+        let mut t = translate(&ast, &env).unwrap();
+        add_coexist_same_cluster_target(&mut t, "InCl", 2, (0, &tru), (3, &tru)).unwrap();
+        add_coexist_same_cluster_target(&mut t, "InCl", 2, (0, &tru), (1, &Event::var(Var(0))))
+            .unwrap();
+        let g = t.ground().unwrap();
+        let vt = VarTable::uniform(2, 0.5);
+        let p = space::target_probabilities(&g, &vt);
+        // Far pair: together exactly in the three collapse worlds.
+        assert!((p[0] - 0.75).abs() < 1e-9, "got {}", p[0]);
+        // Near pair needs o1 to exist (x0): both x0-worlds co-cluster.
+        assert!((p[1] - 0.5).abs() < 1e-9, "got {}", p[1]);
+    }
+
+    #[test]
+    fn single_target_at_index() {
+        let mut t = translated();
+        let si = add_bool_target_at(&mut t, "Centre", &[0, 0]).unwrap();
+        let g = t.ground().unwrap();
+        assert_eq!(g.targets.len(), 1);
+        let _ = si;
+    }
+
+    #[test]
+    fn missing_variable_yields_zero_targets() {
+        let mut t = translated();
+        assert_eq!(add_all_bool_targets(&mut t, "Nope"), 0);
+        assert!(add_bool_target_at(&mut t, "Nope", &[0]).is_none());
+    }
+}

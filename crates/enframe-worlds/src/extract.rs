@@ -1,0 +1,130 @@
+//! Canned output extractors for the naïve baseline, matching the
+//! compilation targets used by ENFrame's engines.
+
+use enframe_lang::{Interp, LangError, RtValue};
+
+fn get_bool(v: &RtValue) -> Result<bool, LangError> {
+    v.as_bool().ok_or_else(|| {
+        LangError::Runtime(format!("expected Boolean output, found {}", v.kind()))
+    })
+}
+
+fn get_matrix<'a>(
+    interp: &'a Interp,
+    var: &str,
+    rows: usize,
+    cols: usize,
+) -> Result<Vec<&'a RtValue>, LangError> {
+    let arr = interp
+        .get(var)
+        .ok_or_else(|| LangError::Runtime(format!("variable `{var}` not found")))?;
+    let mut out = Vec::with_capacity(rows * cols);
+    match arr {
+        RtValue::Array(rs) if rs.len() == rows => {
+            for r in rs {
+                match r {
+                    RtValue::Array(cs) if cs.len() == cols => out.extend(cs.iter()),
+                    other => {
+                        return Err(LangError::Runtime(format!(
+                            "`{var}` row has unexpected shape: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        other => {
+            return Err(LangError::Runtime(format!(
+                "`{var}` has unexpected shape: {other:?}"
+            )))
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts a `rows × cols` Boolean matrix variable (e.g. `InCl`, `Centre`)
+/// flattened row-major — matching
+/// `enframe_translate::targets::add_all_bool_targets` order.
+pub fn bool_matrix(
+    var: &str,
+    rows: usize,
+    cols: usize,
+) -> impl FnMut(&Interp) -> Result<Vec<bool>, LangError> + '_ {
+    move |interp| {
+        get_matrix(interp, var, rows, cols)?
+            .into_iter()
+            .map(get_bool)
+            .collect()
+    }
+}
+
+/// Extracts the single co-occurrence output "objects `l1` and `l2` share a
+/// cluster" from the membership matrix `var` with `k` clusters.
+pub fn same_cluster(
+    var: &str,
+    k: usize,
+    l1: usize,
+    l2: usize,
+) -> impl FnMut(&Interp) -> Result<Vec<bool>, LangError> + '_ {
+    move |interp| {
+        let arr = interp
+            .get(var)
+            .ok_or_else(|| LangError::Runtime(format!("variable `{var}` not found")))?;
+        let mut both = false;
+        match arr {
+            RtValue::Array(rows) if rows.len() >= k => {
+                for row in rows.iter().take(k) {
+                    match row {
+                        RtValue::Array(cs) => {
+                            let a = get_bool(&cs[l1])?;
+                            let b = get_bool(&cs[l2])?;
+                            if a && b {
+                                both = true;
+                            }
+                        }
+                        other => {
+                            return Err(LangError::Runtime(format!(
+                                "`{var}` row has unexpected shape: {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(LangError::Runtime(format!(
+                    "`{var}` has unexpected shape: {other:?}"
+                )))
+            }
+        }
+        Ok(vec![both])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enframe_lang::{parse, Interp, SimpleEnv};
+
+    fn mini_interp(src: &str) -> (SimpleEnv, enframe_lang::UserProgram) {
+        (SimpleEnv::default(), parse(src).unwrap())
+    }
+
+    #[test]
+    fn bool_matrix_flattens_row_major() {
+        let (env, prog) = mini_interp(
+            "M = [None] * 2\nfor i in range(0,2):\n    M[i] = [None] * 2\n    for j in range(0,2):\n        M[i][j] = i == j\n",
+        );
+        let mut interp = Interp::new(&env);
+        interp.run(&prog).unwrap();
+        let got = bool_matrix("M", 2, 2)(&interp).unwrap();
+        assert_eq!(got, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn shape_mismatch_reported() {
+        let (env, prog) = mini_interp("M = [None] * 1\nM[0] = 1\n");
+        let mut interp = Interp::new(&env);
+        interp.run(&prog).unwrap();
+        assert!(bool_matrix("M", 2, 2)(&interp).is_err());
+        assert!(bool_matrix("Missing", 1, 1)(&interp).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! # enframe-worlds — the naïve possible-worlds baseline
+//!
+//! "The naïve approach computes an equivalent clustering by explicitly
+//! iterating over all possible worlds" (paper §5). This crate implements
+//! that baseline: for every valuation ν of the input variables it
+//! materialises the corresponding world (absent objects read as undefined),
+//! runs the deterministic interpreter on the user program, extracts the
+//! Boolean outputs of interest, and accumulates `Pr(ν)` per output.
+//!
+//! Because the interpreter shares the undefined-aware semantics of the
+//! event language, the naïve baseline computes **exactly** the same
+//! probabilities as ENFrame's compilation engines — the paper's "golden
+//! standard" equivalence — just exponentially slower in the number of
+//! variables. The workspace integration tests assert this equivalence; the
+//! figure benchmarks measure the performance gap (up to six orders of
+//! magnitude in the paper).
+
+pub mod extract;
+
+use enframe_core::{Valuation, VarTable};
+use enframe_lang::{Interp, LangError, UserProgram};
+use enframe_translate::{world_env, ProbEnv};
+
+/// Hard cap on the number of variables the baseline will enumerate
+/// (2^24 worlds ≈ 17M interpreter runs).
+pub const MAX_NAIVE_VARS: usize = 24;
+
+/// Result of a naïve run.
+#[derive(Debug, Clone)]
+pub struct NaiveResult {
+    /// Probability per extracted output, in extractor order.
+    pub probabilities: Vec<f64>,
+    /// Number of worlds enumerated.
+    pub worlds: u64,
+}
+
+/// Runs the user program in every possible world and accumulates the
+/// probability of each Boolean output produced by `extract`.
+///
+/// `extract` is called on the interpreter state after each per-world run
+/// and must return the same number of Booleans for every world.
+pub fn naive_probabilities(
+    program: &UserProgram,
+    env: &ProbEnv,
+    vt: &VarTable,
+    mut extract: impl FnMut(&Interp) -> Result<Vec<bool>, LangError>,
+) -> Result<NaiveResult, LangError> {
+    let n = vt.len();
+    if n > MAX_NAIVE_VARS {
+        return Err(LangError::Runtime(format!(
+            "naïve enumeration of {n} variables exceeds the cap of {MAX_NAIVE_VARS}"
+        )));
+    }
+    let mut probabilities: Vec<f64> = Vec::new();
+    let mut first = true;
+    let mut worlds = 0u64;
+    for code in 0..(1u64 << n) {
+        let nu = Valuation::from_code(n, code);
+        let p = vt.world_prob(&nu);
+        worlds += 1;
+        if p == 0.0 {
+            continue;
+        }
+        let wenv = world_env(env, &nu);
+        let mut interp = Interp::new(&wenv);
+        interp.run(program)?;
+        let outputs = extract(&interp)?;
+        if first {
+            probabilities = vec![0.0; outputs.len()];
+            first = false;
+        } else if outputs.len() != probabilities.len() {
+            return Err(LangError::Runtime(format!(
+                "extractor returned {} outputs, expected {}",
+                outputs.len(),
+                probabilities.len()
+            )));
+        }
+        for (acc, b) in probabilities.iter_mut().zip(outputs) {
+            if b {
+                *acc += p;
+            }
+        }
+    }
+    Ok(NaiveResult {
+        probabilities,
+        worlds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enframe_core::{Event, Var};
+    use enframe_lang::{parse, programs};
+    use enframe_translate::env::{clustering_env, ProbObjects};
+    use std::rc::Rc;
+
+    fn tiny() -> (enframe_lang::UserProgram, ProbEnv, VarTable) {
+        let objs = ProbObjects::new(
+            vec![vec![0.0], vec![1.0], vec![5.0], vec![6.0]],
+            vec![
+                Rc::new(Event::Tru),
+                Event::var(Var(0)),
+                Event::var(Var(1)),
+                Rc::new(Event::Tru),
+            ],
+        );
+        let env = clustering_env(objs, 2, 2, vec![0, 3], 2);
+        let ast = parse(programs::K_MEDOIDS).unwrap();
+        (ast, env, VarTable::new(vec![0.7, 0.4]))
+    }
+
+    #[test]
+    fn membership_probabilities_sum_to_one_per_object() {
+        let (ast, env, vt) = tiny();
+        let res = naive_probabilities(&ast, &env, &vt, extract::bool_matrix("InCl", 2, 4))
+            .unwrap();
+        assert_eq!(res.worlds, 4);
+        assert_eq!(res.probabilities.len(), 8);
+        for l in 0..4 {
+            let s = res.probabilities[l] + res.probabilities[4 + l];
+            assert!((s - 1.0).abs() < 1e-9, "object {l}: {s}");
+        }
+    }
+
+    #[test]
+    fn certain_world_gives_zero_one_probabilities() {
+        let objs = ProbObjects::certain(vec![vec![0.0], vec![1.0], vec![5.0], vec![6.0]]);
+        let env = clustering_env(objs, 2, 2, vec![0, 3], 0);
+        let ast = parse(programs::K_MEDOIDS).unwrap();
+        let vt = VarTable::new(vec![]);
+        let res =
+            naive_probabilities(&ast, &env, &vt, extract::bool_matrix("InCl", 2, 4)).unwrap();
+        assert!(res
+            .probabilities
+            .iter()
+            .all(|&p| p == 0.0 || p == 1.0));
+    }
+
+    #[test]
+    fn variable_cap_enforced() {
+        let (ast, env, _) = tiny();
+        let vt = VarTable::uniform(MAX_NAIVE_VARS + 1, 0.5);
+        assert!(
+            naive_probabilities(&ast, &env, &vt, extract::bool_matrix("InCl", 2, 4)).is_err()
+        );
+    }
+
+    #[test]
+    fn same_cluster_extractor() {
+        let (ast, env, vt) = tiny();
+        let res =
+            naive_probabilities(&ast, &env, &vt, extract::same_cluster("InCl", 2, 0, 1))
+                .unwrap();
+        assert_eq!(res.probabilities.len(), 1);
+        // Objects 0 and 1 are adjacent: always co-clustered (see the
+        // translate crate's same_cluster test).
+        assert!((res.probabilities[0] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's headline correctness claim (§5, "Comments on clustering
+//! quality"): ENFrame's k-medoids has *exactly* the same output
+//! distribution as the golden standard of clustering in each possible
+//! world — across all three correlation schemes and all engines.
+
+use enframe::data::{kmedoids_workload, LineageOpts, Scheme};
+use enframe::prelude::*;
+use enframe::translate::targets;
+use enframe::worlds::extract;
+
+fn pipeline(n: usize, k: usize, iters: usize, scheme: Scheme, seed: u64) -> (
+    enframe::lang::UserProgram,
+    ProbEnv,
+    VarTable,
+    Network,
+) {
+    let w = kmedoids_workload(n, k, iters, scheme, &LineageOpts::default(), seed);
+    let ast = parse(programs::K_MEDOIDS).unwrap();
+    let mut tr = translate(&ast, &w.env).unwrap();
+    targets::add_all_bool_targets(&mut tr, "Centre");
+    let net = Network::build(&tr.ground().unwrap()).unwrap();
+    (ast, w.env, w.vt, net)
+}
+
+fn check_scheme(scheme: Scheme, n: usize, seed: u64) {
+    let k = 2;
+    let iters = 2;
+    let (ast, env, vt, net) = pipeline(n, k, iters, scheme, seed);
+    assert!(vt.len() <= 14, "test workload must stay enumerable");
+
+    // Golden standard: cluster in every possible world.
+    let naive = naive_probabilities(&ast, &env, &vt, extract::bool_matrix("Centre", k, n))
+        .expect("naive run");
+
+    // ENFrame exact.
+    let exact = compile(&net, &vt, Options::exact());
+    assert_eq!(naive.probabilities.len(), exact.lower.len());
+    for i in 0..exact.lower.len() {
+        assert!(
+            (exact.lower[i] - naive.probabilities[i]).abs() < 1e-9,
+            "{scheme:?} target {i} ({}): exact {} vs naive {}",
+            exact.names[i],
+            exact.lower[i],
+            naive.probabilities[i]
+        );
+        assert!((exact.upper[i] - exact.lower[i]).abs() < 1e-9);
+    }
+
+    // ENFrame approximations: within ε of the golden standard.
+    let eps = 0.1;
+    for strategy in [Strategy::Eager, Strategy::Lazy, Strategy::Hybrid] {
+        let approx = compile(&net, &vt, Options::approx(strategy, eps));
+        for i in 0..approx.lower.len() {
+            assert!(
+                approx.lower[i] <= naive.probabilities[i] + 1e-9,
+                "{scheme:?} {strategy:?} lower bound violated"
+            );
+            assert!(
+                naive.probabilities[i] <= approx.upper[i] + 1e-9,
+                "{scheme:?} {strategy:?} upper bound violated"
+            );
+            assert!(approx.upper[i] - approx.lower[i] <= 2.0 * eps + 1e-9);
+        }
+    }
+
+    // Distributed exact: identical to sequential exact.
+    let dist = compile_distributed(
+        &net,
+        &vt,
+        DistOptions {
+            workers: 4,
+            job_depth: 3,
+            seq: Options::exact(),
+        },
+    );
+    for i in 0..exact.lower.len() {
+        assert!((dist.lower[i] - exact.lower[i]).abs() < 1e-9);
+        assert!((dist.upper[i] - exact.upper[i]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn golden_standard_positive_correlations() {
+    check_scheme(Scheme::Positive { l: 3, v: 10 }, 16, 11);
+}
+
+#[test]
+fn golden_standard_mutex_correlations() {
+    // 16 points / group 4 = 4 groups; m=8 → sets of 2 groups → 4 variables.
+    check_scheme(Scheme::Mutex { m: 8 }, 16, 12);
+}
+
+#[test]
+fn golden_standard_conditional_correlations() {
+    // 16 points → 4 groups → 1 + 2·3 = 7 variables.
+    check_scheme(Scheme::Conditional, 16, 13);
+}
+
+#[test]
+fn golden_standard_with_certain_points() {
+    let scheme = Scheme::Positive { l: 2, v: 8 };
+    let w = kmedoids_workload(
+        20,
+        2,
+        2,
+        scheme,
+        &LineageOpts {
+            certain_frac: 0.5,
+            ..LineageOpts::default()
+        },
+        21,
+    );
+    let ast = parse(programs::K_MEDOIDS).unwrap();
+    let mut tr = translate(&ast, &w.env).unwrap();
+    targets::add_all_bool_targets(&mut tr, "Centre");
+    let net = Network::build(&tr.ground().unwrap()).unwrap();
+    let naive =
+        naive_probabilities(&ast, &w.env, &w.vt, extract::bool_matrix("Centre", 2, 20))
+            .unwrap();
+    let exact = compile(&net, &w.vt, Options::exact());
+    for i in 0..exact.lower.len() {
+        assert!((exact.lower[i] - naive.probabilities[i]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn co_clustering_queries_agree() {
+    let w = kmedoids_workload(
+        12,
+        2,
+        2,
+        Scheme::Positive { l: 2, v: 6 },
+        &LineageOpts::default(),
+        31,
+    );
+    let ast = parse(programs::K_MEDOIDS).unwrap();
+    let mut tr = translate(&ast, &w.env).unwrap();
+    targets::add_same_cluster_target(&mut tr, "InCl", 2, 0, 5).unwrap();
+    targets::add_same_cluster_target(&mut tr, "InCl", 2, 3, 9).unwrap();
+    let net = Network::build(&tr.ground().unwrap()).unwrap();
+    let exact = compile(&net, &w.vt, Options::exact());
+
+    for (t, (l1, l2)) in [(0usize, (0usize, 5usize)), (1, (3, 9))] {
+        let naive = naive_probabilities(
+            &ast,
+            &w.env,
+            &w.vt,
+            extract::same_cluster("InCl", 2, l1, l2),
+        )
+        .unwrap();
+        assert!(
+            (exact.estimate(t) - naive.probabilities[0]).abs() < 1e-9,
+            "pair {l1},{l2}: exact {} vs naive {}",
+            exact.estimate(t),
+            naive.probabilities[0]
+        );
+    }
+}

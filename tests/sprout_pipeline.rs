@@ -1,0 +1,125 @@
+//! End-to-end test of the SPROUT query path: pc-tables → positive
+//! relational algebra with lineage → uncertain objects → clustering →
+//! probability computation — cross-checked against brute-force world
+//! enumeration of the *query* itself.
+
+use enframe::core::space;
+use enframe::prelude::*;
+use enframe::sprout::Datum;
+use enframe::translate::env::clustering_env;
+use enframe::translate::targets;
+use enframe::worlds::extract;
+
+/// Readings(sensor, zone, pd, load) with per-tuple variables, joined with a
+/// certain Zones(zone, active) table, filtered to active zones.
+fn build_query_result() -> (PcTable, usize) {
+    let mut readings = PcTable::new(Schema::new(&["sensor", "zone", "pd", "load"]));
+    let rows = [
+        (0, "z1", 1.0, 40.0),
+        (1, "z1", 2.0, 42.0),
+        (2, "z2", 15.0, 60.0),
+        (3, "z2", 18.0, 65.0),
+        (4, "z3", 3.0, 50.0),
+    ];
+    for (i, (id, z, pd, load)) in rows.into_iter().enumerate() {
+        readings.insert_var(
+            vec![
+                Datum::Int(id),
+                Datum::Str(z.into()),
+                Datum::Float(pd),
+                Datum::Float(load),
+            ],
+            Var(i as u32),
+        );
+    }
+    let mut zones = PcTable::new(Schema::new(&["zone", "active"]));
+    for (z, a) in [("z1", true), ("z2", true), ("z3", false)] {
+        zones.insert_certain(vec![Datum::Str(z.into()), Datum::Bool(a)]);
+    }
+    let result = Query::scan(&readings)
+        .join(&Query::scan(&zones))
+        .select(|r| matches!(r.get("active"), Datum::Bool(true)))
+        .project(&["sensor", "pd", "load"])
+        .result();
+    (result, 5)
+}
+
+#[test]
+fn query_then_cluster_matches_naive() {
+    let (result, n_vars) = build_query_result();
+    assert_eq!(result.len(), 4, "zone z3 filtered out");
+
+    let objs = result.to_objects(&["pd", "load"]);
+    let (points, lineage): (Vec<_>, Vec<_>) = objs.into_iter().unzip();
+    let n = points.len();
+    let env = clustering_env(
+        ProbObjects::new(points, lineage),
+        2,
+        2,
+        vec![0, 2],
+        n_vars as u32,
+    );
+    let vt = VarTable::uniform(n_vars, 0.7);
+
+    let ast = parse(programs::K_MEDOIDS).unwrap();
+    let mut tr = translate(&ast, &env).unwrap();
+    targets::add_all_bool_targets(&mut tr, "Centre");
+    let net = Network::build(&tr.ground().unwrap()).unwrap();
+    let exact = compile(&net, &vt, Options::exact());
+    let naive = naive_probabilities(&ast, &env, &vt, extract::bool_matrix("Centre", 2, n))
+        .unwrap();
+    for i in 0..exact.lower.len() {
+        assert!(
+            (exact.lower[i] - naive.probabilities[i]).abs() < 1e-9,
+            "target {i}"
+        );
+    }
+}
+
+#[test]
+fn aggregate_distribution_matches_enumeration() {
+    use enframe::sprout::{aggregate_cval, AggKind};
+    let (result, n_vars) = build_query_result();
+    let sum = aggregate_cval(&result, "pd", AggKind::Sum);
+    // Enumerate worlds directly over the closed c-value.
+    let vt = VarTable::uniform(n_vars, 0.5);
+    let mut mass_defined = 0.0;
+    let mut expectation = 0.0;
+    for (nu, p) in space::worlds(&vt) {
+        match sum.eval_closed(&nu).unwrap() {
+            Value::Num(x) => {
+                mass_defined += p;
+                expectation += p * x;
+            }
+            Value::Undef => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // P(at least one of the 4 readings exists) = 1 − 0.5⁴.
+    assert!((mass_defined - (1.0 - 0.0625)).abs() < 1e-9);
+    // E[sum over existing] = Σ p_i v_i = 0.5·(1+2+15+18).
+    assert!((expectation - 0.5 * 36.0).abs() < 1e-9);
+}
+
+#[test]
+fn query_lineage_survives_projection_dedup() {
+    // Two readings in the same zone project to one zone tuple whose
+    // lineage is the disjunction; its probability follows.
+    let (result, n_vars) = build_query_result();
+    let _ = result;
+    let mut readings = PcTable::new(Schema::new(&["zone"]));
+    readings.insert_var(vec![Datum::Str("z".into())], Var(0));
+    readings.insert_var(vec![Datum::Str("z".into())], Var(1));
+    let proj = Query::scan(&readings).project(&["zone"]).result();
+    assert_eq!(proj.len(), 1);
+    let phi = proj.rows()[0].1.clone();
+    let vt = VarTable::uniform(2, 0.5);
+    let mut p_total = 0.0;
+    for (nu, p) in space::worlds(&vt) {
+        if phi.eval_closed(&nu).unwrap() {
+            p_total += p;
+        }
+    }
+    assert!((p_total - 0.75).abs() < 1e-12);
+    let _ = n_vars;
+}
