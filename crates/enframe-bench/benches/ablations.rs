@@ -76,14 +76,26 @@ fn target_kinds(c: &mut Criterion) {
     targets::add_all_bool_targets(&mut tr, "InCl");
     let net = Network::build(&tr.ground().unwrap()).unwrap();
     g.bench_function("incl_targets", |b| {
-        b.iter(|| compile(&net, &base.workload.vt, Options::approx(Strategy::Hybrid, 0.1)))
+        b.iter(|| {
+            compile(
+                &net,
+                &base.workload.vt,
+                Options::approx(Strategy::Hybrid, 0.1),
+            )
+        })
     });
     // A single co-clustering query.
     let mut tr2 = translate(&ast, &base.workload.env).unwrap();
     targets::add_same_cluster_target(&mut tr2, "InCl", 2, 0, 1).unwrap();
     let net2 = Network::build(&tr2.ground().unwrap()).unwrap();
     g.bench_function("co_occurrence_target", |b| {
-        b.iter(|| compile(&net2, &base.workload.vt, Options::approx(Strategy::Hybrid, 0.1)))
+        b.iter(|| {
+            compile(
+                &net2,
+                &base.workload.vt,
+                Options::approx(Strategy::Hybrid, 0.1),
+            )
+        })
     });
     g.finish();
 }
@@ -111,5 +123,11 @@ fn folded_vs_unfolded(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, iterations, epsilon, target_kinds, folded_vs_unfolded);
+criterion_group!(
+    benches,
+    iterations,
+    epsilon,
+    target_kinds,
+    folded_vs_unfolded
+);
 criterion_main!(benches);

@@ -45,7 +45,14 @@ fn fig7_conditional(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(6));
     g.warm_up_time(std::time::Duration::from_millis(500));
-    let prep = prepare(24, 2, 3, Scheme::Conditional, &LineageOpts::default(), 0xC71);
+    let prep = prepare(
+        24,
+        2,
+        3,
+        Scheme::Conditional,
+        &LineageOpts::default(),
+        0xC71,
+    );
     g.bench_function("exact_n24", |b| {
         b.iter(|| run_engine(&prep, Engine::Exact, 0.0))
     });

@@ -21,13 +21,7 @@ fn fig9(c: &mut Criterion) {
     for workers in [1usize, 4, 8] {
         for job_depth in [3usize, 6, 9] {
             g.bench_function(format!("w{workers}_d{job_depth}"), |b| {
-                b.iter(|| {
-                    run_engine(
-                        &prep,
-                        Engine::HybridD { workers, job_depth },
-                        0.1,
-                    )
-                })
+                b.iter(|| run_engine(&prep, Engine::HybridD { workers, job_depth }, 0.1))
             });
         }
     }

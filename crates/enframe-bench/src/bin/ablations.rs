@@ -7,9 +7,7 @@
 
 use enframe_bench::*;
 use enframe_core::{Event, VarTable};
-use enframe_data::{
-    generate_lineage, generate_sensor_points, LineageOpts, Scheme, SensorConfig,
-};
+use enframe_data::{generate_lineage, generate_sensor_points, LineageOpts, Scheme, SensorConfig};
 use enframe_lang::{parse, programs};
 use enframe_network::Network;
 use enframe_prob::{compile, Options, Strategy};
@@ -22,7 +20,11 @@ fn main() {
     print_header();
 
     // --- iterations: linear effect on running time ----------------------
-    let iter_grid: Vec<usize> = if full { vec![1, 2, 3, 4, 6, 8] } else { vec![1, 2, 3, 4] };
+    let iter_grid: Vec<usize> = if full {
+        vec![1, 2, 3, 4, 6, 8]
+    } else {
+        vec![1, 2, 3, 4]
+    };
     for &iters in &iter_grid {
         let prep = prepare(
             32,
@@ -46,7 +48,11 @@ fn main() {
     // The folded network stores the loop body once; the unfolded network
     // stores it once per iteration. Compilation work is the same, so the
     // trade-off is memory (nodes) at equal time.
-    let fold_grid: Vec<usize> = if full { vec![2, 3, 4, 6, 8, 12] } else { vec![2, 3, 4, 6] };
+    let fold_grid: Vec<usize> = if full {
+        vec![2, 3, 4, 6, 8, 12]
+    } else {
+        vec![2, 3, 4, 6]
+    };
     for &iters in &fold_grid {
         let prep = prepare(
             32,
@@ -89,19 +95,16 @@ fn main() {
         48,
         2,
         3,
-        Scheme::Positive { l: 8, v: if full { 24 } else { 18 } },
+        Scheme::Positive {
+            l: 8,
+            v: if full { 24 } else { 18 },
+        },
         &LineageOpts::default(),
         0xAB20,
     );
     for eps in [0.01, 0.02, 0.05, 0.1, 0.2, 0.4] {
         let m = run_engine(&prep, Engine::Hybrid, eps);
-        print_row(
-            "ablation_epsilon",
-            "hybrid",
-            &format!("eps={eps}"),
-            &m,
-            "",
-        );
+        print_row("ablation_epsilon", "hybrid", &format!("eps={eps}"), &m, "");
     }
 
     // --- dimensions: no effect (distances are precomputed scalars) ------
@@ -141,13 +144,23 @@ fn main() {
         targets::add_all_bool_targets(&mut tr, "Centre");
         let net = Network::build(&tr.ground().unwrap()).unwrap();
         let t0 = Instant::now();
-        let res = compile(&net, &corr.var_table, Options::approx(Strategy::Hybrid, 0.1));
+        let res = compile(
+            &net,
+            &corr.var_table,
+            Options::approx(Strategy::Hybrid, 0.1),
+        );
         let m = Measurement {
             seconds: t0.elapsed().as_secs_f64(),
             estimates: Some((0..res.lower.len()).map(|i| res.estimate(i)).collect()),
             status: "ok".into(),
         };
-        print_row("ablation_dimensions", "hybrid", &format!("dims={dims}"), &m, "");
+        print_row(
+            "ablation_dimensions",
+            "hybrid",
+            &format!("dims={dims}"),
+            &m,
+            "",
+        );
     }
 
     // --- target kinds: minor effect --------------------------------------
@@ -192,7 +205,14 @@ fn main() {
     // --- network growth: linear in objects and clusters ------------------
     for &n in &[16usize, 32, 64, 128] {
         let corr_opts = LineageOpts::default();
-        let prep = prepare(n, 2, 3, Scheme::Positive { l: 4, v: 12 }, &corr_opts, 0xAB50);
+        let prep = prepare(
+            n,
+            2,
+            3,
+            Scheme::Positive { l: 4, v: 12 },
+            &corr_opts,
+            0xAB50,
+        );
         let stats = prep.net.stats();
         let m = Measurement {
             seconds: prep.build_seconds,

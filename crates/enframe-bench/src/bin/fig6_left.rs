@@ -52,7 +52,13 @@ fn main() {
                 // The naïve baseline scales with worlds × n²; keep it to
                 // the regime where it terminates in reasonable time.
                 if engine == Engine::Naive && !naive_feasible(v, n) {
-                    print_row("fig6_left", &engine.label(), &x, &timeout_measurement("naive"), &detail);
+                    print_row(
+                        "fig6_left",
+                        &engine.label(),
+                        &x,
+                        &timeout_measurement("naive"),
+                        &detail,
+                    );
                     continue;
                 }
                 let m = run_engine(&prep, engine, eps);

@@ -1,23 +1,76 @@
+//! A smoke probe over representative engine configurations, printing node
+//! counts and build/solve times. CI runs this to catch bench bit-rot
+//! without paying full Criterion runtime, so the default grid keeps the
+//! exact engine below its exponential blow-up (v ≤ 12) and finishes in
+//! well under a minute; set `ENFRAME_BENCH_FULL=1` for the original
+//! larger grid (tens of minutes).
+//!
+//! Run: `cargo run --release -p enframe-bench --bin probe`
+
 use enframe_bench::*;
 use enframe_data::{LineageOpts, Scheme};
 
 fn main() {
-    for (n, v) in [(32usize, 8usize), (48, 12), (48, 16), (64, 18), (64, 20)] {
-        let prep = prepare(n, 2, 3, Scheme::Positive { l: 8.min(v), v }, &LineageOpts::default(), 7);
+    let full = full_scale();
+    let exact_grid: &[(usize, usize)] = if full {
+        &[(32, 8), (48, 12), (48, 16), (64, 18), (64, 20)]
+    } else {
+        &[(32, 8), (48, 12)]
+    };
+    for &(n, v) in exact_grid {
+        let prep = prepare(
+            n,
+            2,
+            3,
+            Scheme::Positive { l: 8.min(v), v },
+            &LineageOpts::default(),
+            7,
+        );
         let stats = prep.net.stats();
         let exact = run_engine(&prep, Engine::Exact, 0.0);
         let hybrid = run_engine(&prep, Engine::Hybrid, 0.1);
-        let hd = run_engine(&prep, Engine::HybridD { workers: 8, job_depth: 3 }, 0.1);
+        let hd = run_engine(
+            &prep,
+            Engine::HybridD {
+                workers: 8,
+                job_depth: 3,
+            },
+            0.1,
+        );
         println!(
             "n={n} v={v} nodes={} build={:.3}s exact={:.3}s hybrid={:.4}s hybrid-d={:.4}s",
             stats.nodes, prep.build_seconds, exact.seconds, hybrid.seconds, hd.seconds
         );
     }
     // Larger hybrid-only configs (fig8-scale).
-    for (n, c) in [(200usize, 0.0f64), (200, 0.95), (400, 0.95), (1000, 0.95)] {
-        let prep = prepare(n, 2, 3, Scheme::Positive { l: 8, v: 30 },
-            &LineageOpts { certain_frac: c, ..LineageOpts::default() }, 9);
+    let hybrid_grid: &[(usize, f64, usize)] = if full {
+        &[
+            (200, 0.0, 30),
+            (200, 0.95, 30),
+            (400, 0.95, 30),
+            (1000, 0.95, 30),
+        ]
+    } else {
+        &[(200, 0.95, 16)]
+    };
+    for &(n, c, v) in hybrid_grid {
+        let prep = prepare(
+            n,
+            2,
+            3,
+            Scheme::Positive { l: 8, v },
+            &LineageOpts {
+                certain_frac: c,
+                ..LineageOpts::default()
+            },
+            9,
+        );
         let hybrid = run_engine(&prep, Engine::Hybrid, 0.1);
-        println!("n={n} c={c} v=30 nodes={} build={:.3}s hybrid={:.4}s", prep.net.len(), prep.build_seconds, hybrid.seconds);
+        println!(
+            "n={n} c={c} v={v} nodes={} build={:.3}s hybrid={:.4}s",
+            prep.net.len(),
+            prep.build_seconds,
+            hybrid.seconds
+        );
     }
 }

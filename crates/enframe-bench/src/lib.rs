@@ -251,13 +251,7 @@ fn finish(t0: Instant, res: CompileResult) -> Measurement {
     }
 }
 
-fn run_naive(
-    ast: &UserProgram,
-    env: &ProbEnv,
-    vt: &VarTable,
-    k: usize,
-    n: usize,
-) -> Measurement {
+fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize) -> Measurement {
     if vt.len() > NAIVE_VAR_CAP {
         return Measurement {
             seconds: f64::NAN,

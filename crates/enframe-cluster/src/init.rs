@@ -1,7 +1,7 @@
 //! Initialisation heuristics for centroid/medoid seeding.
 //!
 //! The paper assumes "initial centroids have been chosen, for example by
-//! using a heuristic [31]" and fixes them before translating to an event
+//! using a heuristic \[31\]" and fixes them before translating to an event
 //! program. We provide a deterministic farthest-first traversal (a standard
 //! 2-approximation seeding for k-center) plus a seeded random choice, both
 //! of which return *indices into the object list* so that the same choice

@@ -67,8 +67,7 @@ pub fn kmedoids(
             Variant::Paper => {
                 // DistSum[i][l] over all l; undefined for empty clusters.
                 for (i, med) in medoids.iter_mut().enumerate() {
-                    let members: Vec<usize> =
-                        (0..n).filter(|&p| assign[p] == i).collect();
+                    let members: Vec<usize> = (0..n).filter(|&p| assign[p] == i).collect();
                     let dist_sum: Vec<Option<f64>> = (0..n)
                         .map(|l| {
                             if members.is_empty() {
@@ -85,14 +84,12 @@ pub fn kmedoids(
                         .collect();
                     // Centre[i][l] = ∧_p le(DistSum[l], DistSum[p]);
                     // breakTies1 keeps the first true l.
-                    *med = (0..n)
-                        .find(|&l| (0..n).all(|p| le_undef(dist_sum[l], dist_sum[p])));
+                    *med = (0..n).find(|&l| (0..n).all(|p| le_undef(dist_sum[l], dist_sum[p])));
                 }
             }
             Variant::Classical => {
                 for (i, med) in medoids.iter_mut().enumerate() {
-                    let members: Vec<usize> =
-                        (0..n).filter(|&p| assign[p] == i).collect();
+                    let members: Vec<usize> = (0..n).filter(|&p| assign[p] == i).collect();
                     if members.is_empty() {
                         continue; // keep previous medoid
                     }

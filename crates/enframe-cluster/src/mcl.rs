@@ -1,4 +1,4 @@
-//! Markov Clustering (MCL) — paper Figure 3 and van Dongen's thesis [36].
+//! Markov Clustering (MCL) — paper Figure 3 and van Dongen's thesis \[36\].
 //!
 //! MCL simulates stochastic flow in a graph by alternating *expansion*
 //! (matrix self-multiplication: `N = M · M`) and *inflation* (entry-wise

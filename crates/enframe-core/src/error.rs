@@ -16,7 +16,12 @@ pub enum CoreError {
     CyclicDefinition(String),
     /// A Boolean expression was used where a c-value was expected, or
     /// vice versa.
-    TypeMismatch { ident: String, expected: &'static str },
+    TypeMismatch {
+        /// The identifier whose use was ill-typed.
+        ident: String,
+        /// What the context expected (`"event"` or `"c-value"`).
+        expected: &'static str,
+    },
     /// Arithmetic on incompatible values (e.g. vector + scalar). The
     /// offending operation is described in the payload.
     ValueType(String),

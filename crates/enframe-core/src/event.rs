@@ -432,10 +432,7 @@ mod tests {
 
     #[test]
     fn prod_absorbs_undefined() {
-        let c = CVal::Prod(vec![
-            CVal::cond(v(0), Value::Num(2.0)),
-            CVal::num(3.0),
-        ]);
+        let c = CVal::Prod(vec![CVal::cond(v(0), Value::Num(2.0)), CVal::num(3.0)]);
         let nu = Valuation::from_bits(vec![false]);
         assert!(c.eval_closed(&nu).unwrap().is_undef());
         let nu_t = Valuation::from_bits(vec![true]);

@@ -457,11 +457,10 @@ impl<'a> Grounder<'a> {
                 for e in index {
                     idx.push(e.eval(&self.env, &self.program.interner)?);
                 }
-                let t = self
-                    .program
-                    .tables
-                    .get(table.0 as usize)
-                    .ok_or_else(|| CoreError::ValueType(format!("unknown table {}", table.0)))?;
+                let t =
+                    self.program.tables.get(table.0 as usize).ok_or_else(|| {
+                        CoreError::ValueType(format!("unknown table {}", table.0))
+                    })?;
                 t.get(&idx).cloned()
             }
         }
@@ -487,9 +486,7 @@ impl<'a> Grounder<'a> {
                     .collect::<Result<Vec<_>, _>>()?;
                 Event::or(parts)
             }
-            SymEvent::Atom(op, a, b) => {
-                Rc::new(Event::Atom(*op, self.cval(a)?, self.cval(b)?))
-            }
+            SymEvent::Atom(op, a, b) => Rc::new(Event::Atom(*op, self.cval(a)?, self.cval(b)?)),
             SymEvent::Ref(si) => Rc::new(Event::Ref(self.resolve_event_ref(si)?)),
             SymEvent::BigAnd { var, lo, hi, body } => {
                 let parts = self.expand_range(*var, lo, hi, |g| g.event(body))?;
@@ -510,9 +507,7 @@ impl<'a> Grounder<'a> {
                 let v = self.value_of(src)?;
                 Rc::new(CVal::Cond(ev, v))
             }
-            SymCVal::Guard(e, inner) => {
-                Rc::new(CVal::Guard(self.event(e)?, self.cval(inner)?))
-            }
+            SymCVal::Guard(e, inner) => Rc::new(CVal::Guard(self.event(e)?, self.cval(inner)?)),
             SymCVal::Sum(parts) => Rc::new(CVal::Sum(
                 parts
                     .iter()
@@ -582,7 +577,11 @@ mod tests {
         let x2 = p.fresh_var();
         let x3 = p.fresh_var();
         let x4 = p.fresh_var();
-        p.declare_event_at("Phi", &[0], Program::or([Program::var(x1), Program::var(x3)]));
+        p.declare_event_at(
+            "Phi",
+            &[0],
+            Program::or([Program::var(x1), Program::var(x3)]),
+        );
         p.declare_event_at("Phi", &[1], Program::var(x2));
         p.declare_event_at("Phi", &[2], Program::var(x3));
         p.declare_event_at(

@@ -155,7 +155,12 @@ pub enum ValSrc {
     /// A fixed value.
     Const(Value),
     /// A value read from a data table at a loop-dependent index.
-    Data { table: TableId, index: Vec<IdxExpr> },
+    Data {
+        /// The table to read from.
+        table: TableId,
+        /// One index expression per table dimension.
+        index: Vec<IdxExpr>,
+    },
 }
 
 /// A symbolic Boolean event expression.
@@ -491,10 +496,7 @@ mod tests {
 
     #[test]
     fn data_table_shape_and_lookup() {
-        let t = DataTable::new(
-            vec![2, 3],
-            (0..6).map(|i| Value::Num(i as f64)).collect(),
-        );
+        let t = DataTable::new(vec![2, 3], (0..6).map(|i| Value::Num(i as f64)).collect());
         assert_eq!(t.get(&[1, 2]).unwrap(), &Value::Num(5.0));
         assert_eq!(t.get(&[0, 0]).unwrap(), &Value::Num(0.0));
         assert!(t.get(&[2, 0]).is_err());

@@ -33,11 +33,7 @@ pub fn worlds(vt: &VarTable) -> impl Iterator<Item = (Valuation, f64)> + '_ {
 }
 
 /// Exact probability of a single Boolean definition, by enumeration.
-pub fn event_probability(
-    gp: &GroundProgram,
-    id: DefId,
-    vt: &VarTable,
-) -> Result<f64, CoreError> {
+pub fn event_probability(gp: &GroundProgram, id: DefId, vt: &VarTable) -> Result<f64, CoreError> {
     let mut total = 0.0;
     let mut ev = Evaluator::new(gp);
     for (nu, p) in worlds(vt) {

@@ -151,11 +151,7 @@ impl Value {
                         b.len()
                     )));
                 }
-                let sq: f64 = a
-                    .iter()
-                    .zip(b.iter())
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum();
+                let sq: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
                 Ok(Value::Num(sq.sqrt()))
             }
             (a, b) => Err(CoreError::ValueType(format!(
@@ -354,10 +350,18 @@ mod tests {
             assert!(Value::Num(1.0).compare(op, &Value::Undef).unwrap());
             assert!(Value::Undef.compare(op, &Value::Undef).unwrap());
         }
-        assert!(Value::Num(1.0).compare(CmpOp::Le, &Value::Num(2.0)).unwrap());
-        assert!(!Value::Num(3.0).compare(CmpOp::Le, &Value::Num(2.0)).unwrap());
-        assert!(Value::Num(2.0).compare(CmpOp::Eq, &Value::Num(2.0)).unwrap());
-        assert!(!Value::Num(2.0).compare(CmpOp::Lt, &Value::Num(2.0)).unwrap());
+        assert!(Value::Num(1.0)
+            .compare(CmpOp::Le, &Value::Num(2.0))
+            .unwrap());
+        assert!(!Value::Num(3.0)
+            .compare(CmpOp::Le, &Value::Num(2.0))
+            .unwrap());
+        assert!(Value::Num(2.0)
+            .compare(CmpOp::Eq, &Value::Num(2.0))
+            .unwrap());
+        assert!(!Value::Num(2.0)
+            .compare(CmpOp::Lt, &Value::Num(2.0))
+            .unwrap());
     }
 
     #[test]
@@ -374,7 +378,7 @@ mod tests {
 
     #[test]
     fn value_key_total_order() {
-        let mut keys = vec![
+        let mut keys = [
             Value::Num(2.0).order_key(),
             Value::Undef.order_key(),
             Value::Num(-1.0).order_key(),

@@ -77,9 +77,16 @@ impl std::fmt::Display for BayesError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BayesError::ParentOutOfOrder { node, parent } => {
-                write!(f, "node {node} lists parent {parent}, which does not precede it")
+                write!(
+                    f,
+                    "node {node} lists parent {parent}, which does not precede it"
+                )
             }
-            BayesError::BadCptLength { node, expected, found } => {
+            BayesError::BadCptLength {
+                node,
+                expected,
+                found,
+            } => {
                 write!(f, "node {node}: CPT has {found} rows, expected {expected}")
             }
             BayesError::BadProbability { node, value } => {
@@ -317,12 +324,8 @@ mod tests {
             .add_node("Sprinkler", vec![rain], vec![0.4, 0.01])
             .unwrap();
         // config bits: bit0 = Sprinkler, bit1 = Rain.
-        bn.add_node(
-            "WetGrass",
-            vec![sprinkler, rain],
-            vec![0.0, 0.9, 0.8, 0.99],
-        )
-        .unwrap();
+        bn.add_node("WetGrass", vec![sprinkler, rain], vec![0.0, 0.9, 0.8, 0.99])
+            .unwrap();
         bn
     }
 

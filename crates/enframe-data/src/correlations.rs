@@ -119,8 +119,7 @@ pub fn generate_lineage(n: usize, scheme: Scheme, opts: &LineageOpts, seed: u64)
             let groups_per_set = (m.div_ceil(opts.group_size)).max(1);
             let mut next_var = 0u32;
             for set in uncertain_groups.chunks(groups_per_set) {
-                let set_vars: Vec<Var> =
-                    (0..set.len()).map(|j| Var(next_var + j as u32)).collect();
+                let set_vars: Vec<Var> = (0..set.len()).map(|j| Var(next_var + j as u32)).collect();
                 next_var += set.len() as u32;
                 for (j, &g) in set.iter().enumerate() {
                     let mut conj: Vec<Rc<Event>> =
@@ -182,12 +181,7 @@ mod tests {
 
     #[test]
     fn groups_share_lineage() {
-        let c = generate_lineage(
-            8,
-            Scheme::Positive { l: 2, v: 6 },
-            &opts(),
-            7,
-        );
+        let c = generate_lineage(8, Scheme::Positive { l: 2, v: 6 }, &opts(), 7);
         assert_eq!(c.lineage.len(), 8);
         for g in 0..2 {
             for i in 1..4 {
@@ -274,10 +268,7 @@ mod tests {
             },
             2,
         );
-        assert!(c
-            .lineage
-            .iter()
-            .all(|phi| matches!(**phi, Event::Tru)));
+        assert!(c.lineage.iter().all(|phi| matches!(**phi, Event::Tru)));
         let c2 = generate_lineage(
             40,
             Scheme::Positive { l: 2, v: 10 },
@@ -287,10 +278,7 @@ mod tests {
             },
             2,
         );
-        assert!(c2
-            .lineage
-            .iter()
-            .all(|phi| !matches!(**phi, Event::Tru)));
+        assert!(c2.lineage.iter().all(|phi| !matches!(**phi, Event::Tru)));
     }
 
     #[test]

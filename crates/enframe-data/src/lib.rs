@@ -1,7 +1,7 @@
 //! # enframe-data — workload generators for the evaluation (paper §5)
 //!
 //! * [`sensor`] — a synthetic stand-in for the paper's energy-network data
-//!   set [28]: hourly partial-discharge occurrence counts paired with
+//!   set \[28\]: hourly partial-discharge occurrence counts paired with
 //!   average network load, drawn from a seeded mixture of normal-operation,
 //!   high-load, and anomalous regimes. See `DESIGN.md` for why this
 //!   substitution preserves the benchmarked behaviour.

@@ -1,6 +1,6 @@
 //! Synthetic energy-network sensor data.
 //!
-//! The paper's data set [28] pairs hourly partial-discharge (PD) occurrence
+//! The paper's data set \[28\] pairs hourly partial-discharge (PD) occurrence
 //! counts with the average network load in that hour; clustering assists in
 //! "detecting anomalies and predicting failures in the energy networks".
 //! This generator reproduces the *shape* of such data: a dominant
@@ -79,10 +79,7 @@ mod tests {
         let b = generate_sensor_points(&cfg);
         assert_eq!(a.len(), 200);
         assert_eq!(a, b, "same seed, same data");
-        let c = generate_sensor_points(&SensorConfig {
-            seed: 99,
-            ..cfg
-        });
+        let c = generate_sensor_points(&SensorConfig { seed: 99, ..cfg });
         assert_ne!(a, c, "different seed, different data");
     }
 

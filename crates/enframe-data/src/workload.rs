@@ -73,16 +73,7 @@ mod tests {
 
     #[test]
     fn workload_is_deterministic() {
-        let mk = || {
-            kmedoids_workload(
-                16,
-                2,
-                2,
-                Scheme::Mutex { m: 8 },
-                &LineageOpts::default(),
-                3,
-            )
-        };
+        let mk = || kmedoids_workload(16, 2, 2, Scheme::Mutex { m: 8 }, &LineageOpts::default(), 3);
         let a = mk();
         let b = mk();
         assert_eq!(a.points, b.points);

@@ -243,7 +243,10 @@ mod tests {
     #[test]
     fn reduce_kind_from_name() {
         assert_eq!(ReduceKind::from_name("reduce_and"), Some(ReduceKind::And));
-        assert_eq!(ReduceKind::from_name("reduce_count"), Some(ReduceKind::Count));
+        assert_eq!(
+            ReduceKind::from_name("reduce_count"),
+            Some(ReduceKind::Count)
+        );
         assert_eq!(ReduceKind::from_name("reduce_max"), None);
     }
 

@@ -191,13 +191,9 @@ impl<'e> Checker<'e> {
                 }
                 let base = target.base_name().to_owned();
                 let depth = target.depth();
-                let cur = self
-                    .env
-                    .get(&base)
-                    .cloned()
-                    .ok_or_else(|| {
-                        LangError::Type(format!("assignment to undefined variable `{base}`"))
-                    })?;
+                let cur = self.env.get(&base).cloned().ok_or_else(|| {
+                    LangError::Type(format!("assignment to undefined variable `{base}`"))
+                })?;
                 let updated = refine_at_depth(&cur, depth, &ty, &base)?;
                 self.env.insert(base, updated);
                 Ok(())
@@ -242,8 +238,7 @@ impl<'e> Checker<'e> {
             Expr::Compare(_, a, b) => {
                 let ta = self.expr(a)?;
                 let tb = self.expr(b)?;
-                if (ta.is_numericish() && tb.is_numericish())
-                    || (ta == Ty::Bool && tb == Ty::Bool)
+                if (ta.is_numericish() && tb.is_numericish()) || (ta == Ty::Bool && tb == Ty::Bool)
                 {
                     Ok(Ty::Bool)
                 } else {

@@ -21,9 +21,19 @@ impl fmt::Display for Pos {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LangError {
     /// Lexical error (bad character, inconsistent indentation, …).
-    Lex { pos: Pos, msg: String },
+    Lex {
+        /// Source position of the offending character.
+        pos: Pos,
+        /// Human-readable description.
+        msg: String,
+    },
     /// Syntax error.
-    Parse { pos: Pos, msg: String },
+    Parse {
+        /// Source position where parsing failed.
+        pos: Pos,
+        /// Human-readable description.
+        msg: String,
+    },
     /// Static type/shape error.
     Type(String),
     /// Runtime error during interpretation (only possible for programs that

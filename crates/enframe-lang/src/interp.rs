@@ -120,8 +120,7 @@ impl<'e> Interp<'e> {
                         let mut v = self.ext.load_params();
                         if v.len() != 1 {
                             return Err(LangError::Runtime(
-                                "loadParams() bound to a single name must return one value"
-                                    .into(),
+                                "loadParams() bound to a single name must return one value".into(),
                             ));
                         }
                         v.pop().unwrap()
@@ -225,9 +224,11 @@ impl<'e> Interp<'e> {
             Expr::Int(i) => Ok(RtValue::Int(*i)),
             Expr::Float(f) => Ok(RtValue::Float(*f)),
             Expr::Bool(b) => Ok(RtValue::Bool(*b)),
-            Expr::Name(n) => self.env.get(n).cloned().ok_or_else(|| {
-                LangError::Runtime(format!("use of undefined variable `{n}`"))
-            }),
+            Expr::Name(n) => self
+                .env
+                .get(n)
+                .cloned()
+                .ok_or_else(|| LangError::Runtime(format!("use of undefined variable `{n}`"))),
             Expr::Index(base, idx) => {
                 let ix = self.int_expr(idx)?;
                 match self.expr(base)? {
@@ -474,11 +475,7 @@ mod tests {
         let env = run("M = [None] * 3\nM[1] = True\n");
         assert_eq!(
             env["M"],
-            RtValue::Array(vec![
-                RtValue::Undef,
-                RtValue::Bool(true),
-                RtValue::Undef
-            ])
+            RtValue::Array(vec![RtValue::Undef, RtValue::Bool(true), RtValue::Undef])
         );
     }
 
@@ -545,7 +542,10 @@ O = reduce_or([1 > 2 for i in range(0,0)])
 P = reduce_mult([2 for i in range(0,0)])
 ";
         let env = run(src);
-        assert!(env["S"].is_undef(), "empty sum is undefined (Σ of no c-values)");
+        assert!(
+            env["S"].is_undef(),
+            "empty sum is undefined (Σ of no c-values)"
+        );
         assert!(env["C"].is_undef(), "empty count is undefined (Σ COND⊗1)");
         assert_eq!(env["A"], RtValue::Bool(true));
         assert_eq!(env["O"], RtValue::Bool(false));
@@ -717,10 +717,8 @@ M2 = breakTies2(M)
                     other => panic!("unexpected {other:?}"),
                 };
                 // Mass stays within the first block.
-                let in_block: f64 =
-                    row0[0].as_f64().unwrap() + row0[1].as_f64().unwrap();
-                let out_block: f64 =
-                    row0[2].as_f64().unwrap() + row0[3].as_f64().unwrap();
+                let in_block: f64 = row0[0].as_f64().unwrap() + row0[1].as_f64().unwrap();
+                let out_block: f64 = row0[2].as_f64().unwrap() + row0[3].as_f64().unwrap();
                 assert!((in_block - 1.0).abs() < 1e-9);
                 assert!(out_block.abs() < 1e-9);
             }

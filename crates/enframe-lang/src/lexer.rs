@@ -207,9 +207,9 @@ fn lex_line(
                 i += 1;
             }
             ')' => {
-                *bracket_depth = bracket_depth.checked_sub(1).ok_or_else(|| {
-                    LangError::lex(pos, "unmatched closing parenthesis")
-                })?;
+                *bracket_depth = bracket_depth
+                    .checked_sub(1)
+                    .ok_or_else(|| LangError::lex(pos, "unmatched closing parenthesis"))?;
                 out.push(Spanned {
                     tok: Tok::RParen,
                     pos,
@@ -225,9 +225,9 @@ fn lex_line(
                 i += 1;
             }
             ']' => {
-                *bracket_depth = bracket_depth.checked_sub(1).ok_or_else(|| {
-                    LangError::lex(pos, "unmatched closing bracket")
-                })?;
+                *bracket_depth = bracket_depth
+                    .checked_sub(1)
+                    .ok_or_else(|| LangError::lex(pos, "unmatched closing bracket"))?;
                 out.push(Spanned {
                     tok: Tok::RBracket,
                     pos,

@@ -355,7 +355,9 @@ impl Parser {
             "loadData" | "loadParams" | "init" => {
                 return Err(LangError::parse(
                     self.here(),
-                    format!("`{name}` can only appear as the sole right-hand side of an assignment"),
+                    format!(
+                        "`{name}` can only appear as the sole right-hand side of an assignment"
+                    ),
                 ))
             }
             other => {
@@ -414,7 +416,9 @@ mod tests {
     fn parses_simple_assignments() {
         let p = parse("V = 2\nW = V\n").unwrap();
         assert_eq!(p.stmts.len(), 2);
-        assert!(matches!(&p.stmts[0], Stmt::Assign { target: Lval::Name(n), expr: Expr::Int(2) } if n == "V"));
+        assert!(
+            matches!(&p.stmts[0], Stmt::Assign { target: Lval::Name(n), expr: Expr::Int(2) } if n == "V")
+        );
     }
 
     #[test]
@@ -491,7 +495,8 @@ mod tests {
 
     #[test]
     fn parses_multiline_reduce() {
-        let src = "x = reduce_and(\n    [(dist(O[l],M[i]) <= dist(O[l],M[j])) for j in range(0,k)])\n";
+        let src =
+            "x = reduce_and(\n    [(dist(O[l],M[i]) <= dist(O[l],M[j])) for j in range(0,k)])\n";
         let p = parse(src).unwrap();
         assert!(matches!(
             &p.stmts[0],
@@ -507,7 +512,13 @@ mod tests {
         let src = "a = pow(N[i][j], r) * invert(b)\nc = scalar_mult(s, v)\nd = dist(x, y)\ne = breakTies2(InCl)\n";
         let p = parse(src).unwrap();
         assert_eq!(p.stmts.len(), 4);
-        assert!(matches!(&p.stmts[3], Stmt::Assign { expr: Expr::BreakTies(TieKind::Dim2, _), .. }));
+        assert!(matches!(
+            &p.stmts[3],
+            Stmt::Assign {
+                expr: Expr::BreakTies(TieKind::Dim2, _),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -529,7 +540,13 @@ mod tests {
     #[test]
     fn negative_literals_fold() {
         let p = parse("x = -3\ny = -2.5\n").unwrap();
-        assert!(matches!(&p.stmts[0], Stmt::Assign { expr: Expr::Int(-3), .. }));
+        assert!(matches!(
+            &p.stmts[0],
+            Stmt::Assign {
+                expr: Expr::Int(-3),
+                ..
+            }
+        ));
         assert!(matches!(&p.stmts[1], Stmt::Assign { expr: Expr::Float(f), .. } if *f == -2.5));
     }
 

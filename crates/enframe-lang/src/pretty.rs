@@ -275,10 +275,7 @@ mod tests {
                 RtValue::Int(4),
             ],
             params: vec![RtValue::Int(2), RtValue::Int(3)],
-            init_value: RtValue::Array(vec![
-                RtValue::point(&[1.0]),
-                RtValue::point(&[6.0]),
-            ]),
+            init_value: RtValue::Array(vec![RtValue::point(&[1.0]), RtValue::point(&[6.0])]),
         };
         let mut a = Interp::new(&env);
         a.run(&ast).unwrap();

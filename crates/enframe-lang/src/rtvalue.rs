@@ -141,9 +141,7 @@ impl RtValue {
             (Int(a), Point(p)) | (Point(p), Int(a)) => {
                 Point(p.iter().map(|x| x * *a as f64).collect())
             }
-            (Float(a), Point(p)) | (Point(p), Float(a)) => {
-                Point(p.iter().map(|x| x * a).collect())
-            }
+            (Float(a), Point(p)) | (Point(p), Float(a)) => Point(p.iter().map(|x| x * a).collect()),
             (a, b) => return Err(Self::type_err("multiply", a, b)),
         })
     }
@@ -268,10 +266,7 @@ mod tests {
     fn zero_inverse_undefined() {
         assert!(RtValue::Int(0).invert().unwrap().is_undef());
         assert!(RtValue::Float(0.0).invert().unwrap().is_undef());
-        assert_eq!(
-            RtValue::Int(4).invert().unwrap(),
-            RtValue::Float(0.25)
-        );
+        assert_eq!(RtValue::Int(4).invert().unwrap(), RtValue::Float(0.25));
     }
 
     #[test]
@@ -279,10 +274,7 @@ mod tests {
         let a = RtValue::point(&[0.0, 0.0]);
         let b = RtValue::point(&[3.0, 4.0]);
         assert_eq!(a.dist(&b).unwrap(), RtValue::Float(5.0));
-        assert_eq!(
-            a.add(&b).unwrap(),
-            RtValue::point(&[3.0, 4.0])
-        );
+        assert_eq!(a.add(&b).unwrap(), RtValue::point(&[3.0, 4.0]));
         assert_eq!(
             RtValue::Float(2.0).mul(&b).unwrap(),
             RtValue::point(&[6.0, 8.0])
@@ -294,9 +286,7 @@ mod tests {
         assert!(RtValue::Int(1)
             .compare(Cmp::Le, &RtValue::Float(1.0))
             .unwrap());
-        assert!(!RtValue::Int(2)
-            .compare(Cmp::Lt, &RtValue::Int(2))
-            .unwrap());
+        assert!(!RtValue::Int(2).compare(Cmp::Lt, &RtValue::Int(2)).unwrap());
         assert!(RtValue::Bool(true)
             .compare(Cmp::Eq, &RtValue::Bool(true))
             .unwrap());

@@ -255,12 +255,8 @@ impl Network {
                 NodeKind::Var(v) => EvalVal::B(nu.get(*v)),
                 NodeKind::ConstBool(b) => EvalVal::B(*b),
                 NodeKind::Not => EvalVal::B(!as_b(&out, node.children[0])),
-                NodeKind::And => {
-                    EvalVal::B(node.children.iter().all(|&c| as_b(&out, c)))
-                }
-                NodeKind::Or => {
-                    EvalVal::B(node.children.iter().any(|&c| as_b(&out, c)))
-                }
+                NodeKind::And => EvalVal::B(node.children.iter().all(|&c| as_b(&out, c))),
+                NodeKind::Or => EvalVal::B(node.children.iter().any(|&c| as_b(&out, c))),
                 NodeKind::Cmp(op) => {
                     let a = as_v(&out, node.children[0]);
                     let b = as_v(&out, node.children[1]);
@@ -465,9 +461,7 @@ impl Builder {
                 let g = self.event(e);
                 match self.is_const(g) {
                     Some(true) => self.intern(NodeKind::ConstVal, vec![], Some(v.clone())),
-                    Some(false) => {
-                        self.intern(NodeKind::ConstVal, vec![], Some(Value::Undef))
-                    }
+                    Some(false) => self.intern(NodeKind::ConstVal, vec![], Some(Value::Undef)),
                     None => self.intern(NodeKind::Cond, vec![g], Some(v.clone())),
                 }
             }
@@ -476,9 +470,7 @@ impl Builder {
                 let ci = self.cval(inner);
                 match self.is_const(g) {
                     Some(true) => ci,
-                    Some(false) => {
-                        self.intern(NodeKind::ConstVal, vec![], Some(Value::Undef))
-                    }
+                    Some(false) => self.intern(NodeKind::ConstVal, vec![], Some(Value::Undef)),
                     None => self.intern(NodeKind::Guard, vec![g, ci], None),
                 }
             }
@@ -535,10 +527,7 @@ mod tests {
         let o0 = p.declare_event("Phi0", Program::or([Program::var(x1), Program::var(x3)]));
         let o1 = p.declare_event("Phi1", Program::var(x2));
         let o2 = p.declare_event("Phi2", Program::var(x3));
-        let _o3 = p.declare_event(
-            "Phi3",
-            Program::and([Program::nvar(x2), Program::var(x4)]),
-        );
+        let _o3 = p.declare_event("Phi3", Program::and([Program::nvar(x2), Program::var(x4)]));
         let both = p.declare_event(
             "Both12",
             Program::and([Program::eref(o1.clone()), Program::eref(o2.clone())]),
@@ -546,10 +535,7 @@ mod tests {
         // A shared subexpression: Phi0 ∨ Phi1 used twice.
         let shared = Program::or([Program::eref(o0.clone()), Program::eref(o1.clone())]);
         let d1 = p.declare_event("D1", shared.clone());
-        let d2 = p.declare_event(
-            "D2",
-            Program::and([shared, Program::eref(o2.clone())]),
-        );
+        let d2 = p.declare_event("D2", Program::and([shared, Program::eref(o2.clone())]));
         p.add_target(both);
         p.add_target(d1);
         p.add_target(d2);
@@ -633,18 +619,12 @@ mod tests {
             Program::var(x),
             ValSrc::Const(Value::Num(1.0)),
         ));
-        let a = p.declare_event(
-            "A",
-            Rc::new(SymEvent::Atom(CmpOp::Le, c.clone(), c)),
-        );
+        let a = p.declare_event("A", Rc::new(SymEvent::Atom(CmpOp::Le, c.clone(), c)));
         p.add_target(a);
         let g = p.ground().unwrap();
         let net = Network::build(&g).unwrap();
         let t = net.targets[0];
-        assert!(matches!(
-            net.node(t).kind,
-            NodeKind::ConstBool(true)
-        ));
+        assert!(matches!(net.node(t).kind, NodeKind::ConstBool(true)));
     }
 
     #[test]
@@ -695,10 +675,7 @@ mod tests {
     fn cval_targets_rejected() {
         let mut p = Program::new();
         let _ = p.fresh_var();
-        let c = p.declare_cval(
-            "C",
-            Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(1.0)))),
-        );
+        let c = p.declare_cval("C", Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(1.0)))));
         p.add_target(c);
         let g = p.ground().unwrap();
         assert!(Network::build(&g).is_err());

@@ -495,7 +495,11 @@ impl FBuilder<'_> {
                 let ca = self.cval(a)?;
                 let cb = self.cval(b)?;
                 // [c θ c] with θ ∈ {≤, ≥, =} is vacuously true (§3.2).
-                if ca == cb && matches!(op, enframe_core::CmpOp::Le | enframe_core::CmpOp::Ge | enframe_core::CmpOp::Eq)
+                if ca == cb
+                    && matches!(
+                        op,
+                        enframe_core::CmpOp::Le | enframe_core::CmpOp::Ge | enframe_core::CmpOp::Eq
+                    )
                 {
                     self.const_bool(true)
                 } else {
@@ -634,9 +638,7 @@ impl FoldedNetwork {
         }
         let epi_lo = boundaries[k - 1] + l;
         if epi_lo > gp.len() {
-            return Err(FoldError::NotFoldable(
-                "last iteration is truncated".into(),
-            ));
+            return Err(FoldError::NotFoldable("last iteration is truncated".into()));
         }
         let pre_end = boundaries[s];
 
@@ -1182,11 +1184,17 @@ mod tests {
         let x1 = p.fresh_var();
         let o0 = p.declare_cval(
             "O0",
-            Rc::new(SymCVal::Cond(Program::var(x0), ValSrc::Const(Value::Num(1.0)))),
+            Rc::new(SymCVal::Cond(
+                Program::var(x0),
+                ValSrc::Const(Value::Num(1.0)),
+            )),
         );
         let o1 = p.declare_cval(
             "O1",
-            Rc::new(SymCVal::Cond(Program::var(x1), ValSrc::Const(Value::Num(4.0)))),
+            Rc::new(SymCVal::Cond(
+                Program::var(x1),
+                ValSrc::Const(Value::Num(4.0)),
+            )),
         );
         let mut m = p.declare_cval(
             "Minit",
@@ -1294,7 +1302,10 @@ mod tests {
             unfolded.len()
         );
         // The expansion accounts one body instance per iteration.
-        assert_eq!(stats.expanded_nodes, stats.pro_nodes + 6 * stats.body_nodes + stats.epi_nodes);
+        assert_eq!(
+            stats.expanded_nodes,
+            stats.pro_nodes + 6 * stats.body_nodes + stats.epi_nodes
+        );
     }
 
     #[test]
@@ -1358,7 +1369,10 @@ mod tests {
                 Rc::new(SymEvent::Atom(
                     CmpOp::Le,
                     Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(t as f64)))),
-                    Rc::new(SymCVal::Cond(Program::var(x), ValSrc::Const(Value::Num(1.0)))),
+                    Rc::new(SymCVal::Cond(
+                        Program::var(x),
+                        ValSrc::Const(Value::Num(1.0)),
+                    )),
                 )),
             ));
         }

@@ -368,7 +368,13 @@ mod tests {
         let j = Ival::Scalar { lo: -1.0, hi: 1.0 };
         assert_eq!(j.inv(), Ival::top());
         let k = Ival::Scalar { lo: -4.0, hi: -2.0 };
-        assert_eq!(k.inv(), Ival::Scalar { lo: -0.5, hi: -0.25 });
+        assert_eq!(
+            k.inv(),
+            Ival::Scalar {
+                lo: -0.5,
+                hi: -0.25
+            }
+        );
     }
 
     #[test]
@@ -378,7 +384,13 @@ mod tests {
         assert_eq!(i.powi(3), Ival::Scalar { lo: -8.0, hi: 27.0 });
         assert_eq!(i.powi(0), Ival::Scalar { lo: 1.0, hi: 1.0 });
         let pos = Ival::Scalar { lo: 2.0, hi: 3.0 };
-        assert_eq!(pos.powi(-1), Ival::Scalar { lo: 1.0 / 3.0, hi: 0.5 });
+        assert_eq!(
+            pos.powi(-1),
+            Ival::Scalar {
+                lo: 1.0 / 3.0,
+                hi: 0.5
+            }
+        );
     }
 
     #[test]

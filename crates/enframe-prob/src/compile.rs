@@ -24,8 +24,8 @@
 
 use crate::masks::{BoolMask, MaskStore, Masks, Topology};
 use crate::order::{static_order, VarOrder};
-use enframe_network::Network;
 use enframe_core::{Var, VarTable};
+use enframe_network::Network;
 use std::collections::HashMap;
 
 /// Budget-spending strategy.
@@ -305,9 +305,11 @@ impl<T: Topology> Driver<'_, T> {
         if self.opts.strategy != Strategy::Exact {
             // Prune if the branch mass fits in every unresolved target's
             // budget.
-            let prunable = self.targets.iter().enumerate().all(|(i, &t)| {
-                self.store.state_g(t).is_resolved() || budgets[i] >= p
-            });
+            let prunable = self
+                .targets
+                .iter()
+                .enumerate()
+                .all(|(i, &t)| self.store.state_g(t).is_resolved() || budgets[i] >= p);
             if prunable {
                 self.stats.prunes += 1;
                 for (i, &t) in self.targets.iter().enumerate() {
@@ -425,7 +427,11 @@ mod tests {
         let g = p.ground().unwrap();
         let net = Network::build(&g).unwrap();
         let want = space::target_probabilities(&g, &vt);
-        for order in [VarOrder::Sequential, VarOrder::StaticOccurrence, VarOrder::Dynamic] {
+        for order in [
+            VarOrder::Sequential,
+            VarOrder::StaticOccurrence,
+            VarOrder::Dynamic,
+        ] {
             let got = compile(
                 &net,
                 &vt,

@@ -277,9 +277,11 @@ impl<T: Topology> Worker<'_, '_, T> {
 
     fn global_tight_or_resolved(&self, eps2: f64) -> bool {
         let bounds = self.shared.bounds.lock();
-        self.shared.targets.iter().enumerate().all(|(i, &t)| {
-            self.store.state_g(t).is_resolved() || bounds.1[i] - bounds.0[i] <= eps2
-        })
+        self.shared
+            .targets
+            .iter()
+            .enumerate()
+            .all(|(i, &t)| self.store.state_g(t).is_resolved() || bounds.1[i] - bounds.0[i] <= eps2)
     }
 
     fn dfs(
@@ -368,9 +370,12 @@ impl<T: Topology> Worker<'_, '_, T> {
             return budgets;
         }
         if self.shared.opts.seq.strategy != Strategy::Exact {
-            let prunable = self.shared.targets.iter().enumerate().all(|(i, &t)| {
-                self.store.state_g(t).is_resolved() || budgets[i] >= p
-            });
+            let prunable = self
+                .shared
+                .targets
+                .iter()
+                .enumerate()
+                .all(|(i, &t)| self.store.state_g(t).is_resolved() || budgets[i] >= p);
             if prunable {
                 for (i, &t) in self.shared.targets.iter().enumerate() {
                     if !self.store.state_g(t).is_resolved() {

@@ -3,7 +3,7 @@
 //! Folded networks store one body template for all loop iterations; the
 //! mask store becomes two-dimensional — "the mask data structure M becomes
 //! two-dimensional to be able to store the mask for a node v at any
-//! iteration t (M[t][v])" — and loop nodes carry masks from iteration `t`
+//! iteration t (`M[t][v]`)" — and loop nodes carry masks from iteration `t`
 //! to `t + 1`. [`FoldedTopo`] realises exactly that: it exposes the
 //! *logical expansion* of a [`FoldedNetwork`] (prologue once, body ×
 //! iterations, epilogue once) to the shared [`MaskStore`] without ever
@@ -255,7 +255,7 @@ impl<'n> FoldedMasks<'n> {
 
 /// Compiles a folded network against the variable probabilities, returning
 /// bounds for every registered target — the folded counterpart of
-/// [`crate::compile`]. All strategies (exact, eager, lazy, hybrid) apply.
+/// [`crate::compile()`]. All strategies (exact, eager, lazy, hybrid) apply.
 ///
 /// # Panics
 /// Panics if the variable table does not cover the network's variables.
@@ -338,11 +338,17 @@ mod tests {
         let x1 = p.fresh_var();
         let o0 = p.declare_cval(
             "O0",
-            Rc::new(SymCVal::Cond(Program::var(x0), ValSrc::Const(Value::Num(1.0)))),
+            Rc::new(SymCVal::Cond(
+                Program::var(x0),
+                ValSrc::Const(Value::Num(1.0)),
+            )),
         );
         let o1 = p.declare_cval(
             "O1",
-            Rc::new(SymCVal::Cond(Program::var(x1), ValSrc::Const(Value::Num(4.0)))),
+            Rc::new(SymCVal::Cond(
+                Program::var(x1),
+                ValSrc::Const(Value::Num(4.0)),
+            )),
         );
         let mut m = p.declare_cval(
             "Minit",
@@ -464,7 +470,11 @@ mod tests {
         let (_, folded, _) = folded_of(&p, &boundaries);
         let vt = VarTable::uniform(g.n_vars as usize, 0.5);
         let want = space::target_probabilities(&g, &vt);
-        for order in [VarOrder::Sequential, VarOrder::StaticOccurrence, VarOrder::Dynamic] {
+        for order in [
+            VarOrder::Sequential,
+            VarOrder::StaticOccurrence,
+            VarOrder::Dynamic,
+        ] {
             let got = compile_folded(
                 &folded,
                 &vt,
@@ -556,7 +566,11 @@ mod tests {
         let folded = FoldedNetwork::build(&g, &boundaries).unwrap();
         let mut masks = FoldedMasks::new(&folded);
         masks.assign(Var(0), true, &mut |_, _| {});
-        assert_eq!(masks.convergence_layer(), None, "alternating loop never converges");
+        assert_eq!(
+            masks.convergence_layer(),
+            None,
+            "alternating loop never converges"
+        );
     }
 
     #[test]

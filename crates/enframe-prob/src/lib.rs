@@ -5,7 +5,7 @@
 //! #P-hard in general (paper §4). Three complementary techniques are
 //! implemented, mirroring the paper:
 //!
-//! 1. **Bulk compilation** ([`compile`]): all compilation targets are
+//! 1. **Bulk compilation** ([`compile()`]): all compilation targets are
 //!    compiled in one depth-first exploration of the decision tree induced
 //!    by Shannon expansion on the input variables (Algorithm 1). Partial
 //!    variable assignments are *masked* into the event network
@@ -13,7 +13,7 @@
 //!    events `Φ|x`, and a trail-based undo makes backtracking cheap.
 //!    Per-target probability bounds `[L, U]` tighten as branches resolve;
 //!    upon full exploration they converge to the exact probabilities.
-//! 2. **Anytime absolute ε-approximation** ([`compile`] with
+//! 2. **Anytime absolute ε-approximation** ([`compile()`] with
 //!    [`Strategy::Eager`]/[`Strategy::Lazy`]/[`Strategy::Hybrid`]): an
 //!    error budget of `2ε` per target is spent on pruning subtrees whose
 //!    probability mass fits in the remaining budget; the three strategies
@@ -32,7 +32,7 @@
 //!   unchanged (the mask store is generic over a [`Topology`]), including
 //!   distribution ([`compile_folded_distributed`]), plus convergence
 //!   detection across iterations.
-//! * **Sensitivity analysis** ([`sensitivity`], §1): exact per-variable
+//! * **Sensitivity analysis** ([`sensitivity()`], §1): exact per-variable
 //!   derivatives of every target probability (multilinearity), influence
 //!   ranking for explanation, and exact what-if perturbation without
 //!   recompilation.

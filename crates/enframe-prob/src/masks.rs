@@ -379,7 +379,11 @@ impl<T: Topology> MaskStore<T> {
             v.0
         );
         let new = NState::Bool {
-            mask: if value { BoolMask::True } else { BoolMask::False },
+            mask: if value {
+                BoolMask::True
+            } else {
+                BoolMask::False
+            },
             n_true: 0,
             n_false: 0,
         };
@@ -923,15 +927,14 @@ fn pow_state(c: &NumState, r: i32) -> NumState {
 
 fn dist_state(a: &NumState, b: &NumState) -> NumState {
     let def = a.def.and(b.def);
-    let resolved = if matches!(a.resolved, Some(Value::Undef))
-        || matches!(b.resolved, Some(Value::Undef))
-    {
-        Some(Value::Undef)
-    } else if let (Some(va), Some(vb)) = (&a.resolved, &b.resolved) {
-        Some(va.dist(vb).expect("well-typed distance"))
-    } else {
-        None
-    };
+    let resolved =
+        if matches!(a.resolved, Some(Value::Undef)) || matches!(b.resolved, Some(Value::Undef)) {
+            Some(Value::Undef)
+        } else if let (Some(va), Some(vb)) = (&a.resolved, &b.resolved) {
+            Some(va.dist(vb).expect("well-typed distance"))
+        } else {
+            None
+        };
     NumState {
         def,
         ival: a.ival.dist(&b.ival),
@@ -979,7 +982,11 @@ mod tests {
             let want = net.eval(&nu).unwrap();
             for (k, &t) in net.targets.iter().enumerate() {
                 let got = masks.bool_mask(t);
-                let expect = if want[k] { BoolMask::True } else { BoolMask::False };
+                let expect = if want[k] {
+                    BoolMask::True
+                } else {
+                    BoolMask::False
+                };
                 assert_eq!(got, expect, "world {code:b}, target {k}");
             }
             masks.rollback(mark);
@@ -1010,8 +1017,14 @@ mod tests {
         let y = p.fresh_var();
         // A ≡ [x⊗1 + y⊗2 >= 2]
         let sum = Rc::new(SymCVal::Sum(vec![
-            Rc::new(SymCVal::Cond(Program::var(x), ValSrc::Const(Value::Num(1.0)))),
-            Rc::new(SymCVal::Cond(Program::var(y), ValSrc::Const(Value::Num(2.0)))),
+            Rc::new(SymCVal::Cond(
+                Program::var(x),
+                ValSrc::Const(Value::Num(1.0)),
+            )),
+            Rc::new(SymCVal::Cond(
+                Program::var(y),
+                ValSrc::Const(Value::Num(2.0)),
+            )),
         ]));
         let a = p.declare_event(
             "A",
@@ -1032,7 +1045,10 @@ mod tests {
         let mut p = Program::new();
         let x = p.fresh_var();
         let s = Rc::new(SymCVal::Sum(vec![
-            Rc::new(SymCVal::Cond(Program::var(x), ValSrc::Const(Value::Num(1.0)))),
+            Rc::new(SymCVal::Cond(
+                Program::var(x),
+                ValSrc::Const(Value::Num(1.0)),
+            )),
             Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(5.0)))),
         ]));
         let a = p.declare_event(
@@ -1061,7 +1077,10 @@ mod tests {
             Rc::new(SymEvent::Atom(
                 CmpOp::Le,
                 Rc::new(SymCVal::Lit(ValSrc::Const(Value::Undef))),
-                Rc::new(SymCVal::Cond(Program::var(x), ValSrc::Const(Value::Num(0.0)))),
+                Rc::new(SymCVal::Cond(
+                    Program::var(x),
+                    ValSrc::Const(Value::Num(0.0)),
+                )),
             )),
         );
         p.add_target(a);
@@ -1077,7 +1096,10 @@ mod tests {
         let mut p = Program::new();
         let x = p.fresh_var();
         let prod = Rc::new(SymCVal::Prod(vec![
-            Rc::new(SymCVal::Cond(Program::var(x), ValSrc::Const(Value::Num(2.0)))),
+            Rc::new(SymCVal::Cond(
+                Program::var(x),
+                ValSrc::Const(Value::Num(2.0)),
+            )),
             Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(3.0)))),
         ]));
         let a = p.declare_event(
@@ -1159,10 +1181,19 @@ mod tests {
         // S = x⊗1 + x⊗2 + dist(x⊗3, ⊤⊗0); assigning x changes all three
         // summands (and the dist's child) in one wave.
         let s = Rc::new(SymCVal::Sum(vec![
-            Rc::new(SymCVal::Cond(Program::var(x), ValSrc::Const(Value::Num(1.0)))),
-            Rc::new(SymCVal::Cond(Program::var(x), ValSrc::Const(Value::Num(2.0)))),
+            Rc::new(SymCVal::Cond(
+                Program::var(x),
+                ValSrc::Const(Value::Num(1.0)),
+            )),
+            Rc::new(SymCVal::Cond(
+                Program::var(x),
+                ValSrc::Const(Value::Num(2.0)),
+            )),
             Rc::new(SymCVal::Dist(
-                Rc::new(SymCVal::Cond(Program::var(x), ValSrc::Const(Value::Num(3.0)))),
+                Rc::new(SymCVal::Cond(
+                    Program::var(x),
+                    ValSrc::Const(Value::Num(3.0)),
+                )),
                 Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(0.0)))),
             )),
         ]));

@@ -7,8 +7,8 @@
 //! every decision node (closer to the paper's description, at extra cost
 //! per node).
 
-use enframe_network::Network;
 use enframe_core::Var;
+use enframe_network::Network;
 
 /// Which variable-order heuristic to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

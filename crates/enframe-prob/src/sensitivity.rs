@@ -222,7 +222,8 @@ mod tests {
         let s = sensitivity(&net, &vt, Options::exact());
         for v in 0..2 {
             let p = vt.prob(Var(v));
-            let recomposed = p * s.cond_true[0][v as usize] + (1.0 - p) * s.cond_false[0][v as usize];
+            let recomposed =
+                p * s.cond_true[0][v as usize] + (1.0 - p) * s.cond_false[0][v as usize];
             assert!((recomposed - s.base[0]).abs() < 1e-12, "var {v}");
         }
     }
@@ -233,11 +234,7 @@ mod tests {
         let s = sensitivity(&net, &vt, Options::exact());
         for new_p in [0.0, 0.25, 0.5, 0.99] {
             let predicted = s.perturbed(0, Var(0), new_p);
-            let recompiled = compile(
-                &net,
-                &VarTable::new(vec![new_p, 0.6]),
-                Options::exact(),
-            );
+            let recompiled = compile(&net, &VarTable::new(vec![new_p, 0.6]), Options::exact());
             assert!(
                 (predicted - recompiled.lower[0]).abs() < 1e-12,
                 "p0={new_p}: predicted {predicted} vs {}",
@@ -361,9 +358,9 @@ mod tests {
 
     mod prop {
         use super::*;
+        use enframe_core::program::SymEvent;
         use proptest::prelude::*;
         use std::rc::Rc;
-        use enframe_core::program::SymEvent;
 
         fn random_program(n: usize, seed: u64) -> Program {
             let mut p = Program::new();
@@ -375,8 +372,7 @@ mod tests {
                 s ^= s << 17;
                 s
             };
-            let mut exprs: Vec<Rc<SymEvent>> =
-                vars.iter().map(|&v| Program::var(v)).collect();
+            let mut exprs: Vec<Rc<SymEvent>> = vars.iter().map(|&v| Program::var(v)).collect();
             for _ in 0..5 {
                 let a = exprs[(next() as usize) % exprs.len()].clone();
                 let b = exprs[(next() as usize) % exprs.len()].clone();

@@ -1,6 +1,6 @@
 //! Aggregation over pc-tables, producing conditional values.
 //!
-//! Following Fink–Han–Olteanu [14], the aggregate of an uncertain relation
+//! Following Fink–Han–Olteanu \[14\], the aggregate of an uncertain relation
 //! is not a number but a *random variable*, encoded as a c-value:
 //! `SUM(col) = Σᵢ Φᵢ ⊗ vᵢ`, `COUNT(*) = Σᵢ Φᵢ ⊗ 1`, and
 //! `AVG(col) = COUNT(*)⁻¹ · SUM(col)`. These expressions plug directly into

@@ -185,7 +185,10 @@ mod tests {
         );
         let mut t = PcTable::new(Schema::new(&["substation", "region"]));
         t.insert_certain(vec![Datum::Str("A".into()), Datum::Str("north".into())]);
-        t.insert_var(vec![Datum::Str("B".into()), Datum::Str("south".into())], Var(3));
+        t.insert_var(
+            vec![Datum::Str("B".into()), Datum::Str("south".into())],
+            Var(3),
+        );
         (s, t)
     }
 
@@ -254,21 +257,15 @@ mod tests {
     }
 
     /// Local helper converting a closed core event to a symbolic event.
-    fn enframe_translate_free(
-        e: &Event,
-    ) -> std::rc::Rc<enframe_core::program::SymEvent> {
+    fn enframe_translate_free(e: &Event) -> std::rc::Rc<enframe_core::program::SymEvent> {
         use enframe_core::program::SymEvent;
         Rc::new(match e {
             Event::Tru => SymEvent::Tru,
             Event::Fls => SymEvent::Fls,
             Event::Var(v) => SymEvent::Var(*v),
             Event::Not(i) => return Rc::new(SymEvent::Not(enframe_translate_free(i))),
-            Event::And(ps) => {
-                SymEvent::And(ps.iter().map(|p| enframe_translate_free(p)).collect())
-            }
-            Event::Or(ps) => {
-                SymEvent::Or(ps.iter().map(|p| enframe_translate_free(p)).collect())
-            }
+            Event::And(ps) => SymEvent::And(ps.iter().map(|p| enframe_translate_free(p)).collect()),
+            Event::Or(ps) => SymEvent::Or(ps.iter().map(|p| enframe_translate_free(p)).collect()),
             _ => panic!("unexpected lineage"),
         })
     }

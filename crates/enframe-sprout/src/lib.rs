@@ -11,7 +11,7 @@
 //!   lineage in the provenance-semiring style (`∧` across joins, `∨` on
 //!   duplicate elimination);
 //! * [`aggregate`] — SUM/COUNT/MIN-style aggregation producing *c-values*
-//!   (`Σᵢ Φᵢ ⊗ vᵢ`), the semimodule expressions of Fink–Han–Olteanu [14]
+//!   (`Σᵢ Φᵢ ⊗ vᵢ`), the semimodule expressions of Fink–Han–Olteanu \[14\]
 //!   that ENFrame consumes directly;
 //! * [`PcTable::to_objects`] — the `loadData()` bridge: query results
 //!   become uncertain points with their lineage, ready for clustering.

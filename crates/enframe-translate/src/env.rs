@@ -66,7 +66,10 @@ impl ProbMatrix {
     /// Creates an uncertain matrix, checking shape.
     pub fn new(weights: Vec<Vec<f64>>, node_lineage: Vec<Rc<Event>>) -> Self {
         let n = weights.len();
-        assert!(weights.iter().all(|r| r.len() == n), "matrix must be square");
+        assert!(
+            weights.iter().all(|r| r.len() == n),
+            "matrix must be square"
+        );
         assert_eq!(node_lineage.len(), n, "one lineage event per node");
         ProbMatrix {
             weights,
@@ -193,7 +196,13 @@ pub fn world_env(env: &ProbEnv, nu: &Valuation) -> SimpleEnv {
 
 /// Builds a [`ProbEnv`] for the k-medoids/k-means programs: uncertain
 /// objects, parameters `(k, iter)`, and seed medoids.
-pub fn clustering_env(objects: ProbObjects, k: usize, iterations: usize, seeds: Vec<usize>, n_vars: u32) -> ProbEnv {
+pub fn clustering_env(
+    objects: ProbObjects,
+    k: usize,
+    iterations: usize,
+    seeds: Vec<usize>,
+    n_vars: u32,
+) -> ProbEnv {
     let n = objects.len();
     assert_eq!(seeds.len(), k, "need one seed per cluster");
     assert!(seeds.iter().all(|&s| s < n), "seed index out of range");

@@ -41,4 +41,4 @@ pub mod translate;
 
 pub use env::{world_env, ProbEnv, ProbMatrix, ProbObjects, ProbValue};
 pub use label::{LabelGen, Labeled};
-pub use translate::{translate, Slot, Translated, TranslateError};
+pub use translate::{translate, Slot, TranslateError, Translated};

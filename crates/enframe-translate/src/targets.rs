@@ -253,7 +253,10 @@ mod tests {
         let g = t.ground().unwrap();
         let vt = VarTable::uniform(1, 0.5);
         let p = space::target_probabilities(&g, &vt);
-        assert!(p[0].abs() < 1e-12, "mutually exclusive points never co-cluster");
+        assert!(
+            p[0].abs() < 1e-12,
+            "mutually exclusive points never co-cluster"
+        );
         assert!(p[1] > 0.0, "the unconjoined event is vacuously satisfied");
     }
 
@@ -270,7 +273,12 @@ mod tests {
         let tru: Rc<Event> = Rc::new(Event::Tru);
         let objs = ProbObjects::new(
             vec![vec![0.0], vec![1.0], vec![5.0], vec![6.0]],
-            vec![tru.clone(), Event::var(Var(0)), Event::var(Var(1)), tru.clone()],
+            vec![
+                tru.clone(),
+                Event::var(Var(0)),
+                Event::var(Var(1)),
+                tru.clone(),
+            ],
         );
         let env = clustering_env(objs, 2, 2, vec![0, 3], 2);
         let ast = parse(programs::K_MEDOIDS).unwrap();

@@ -17,7 +17,9 @@
 use crate::env::{ProbEnv, ProbValue};
 use enframe_core::program::{SymCVal, SymEvent, SymIdent, ValSrc};
 use enframe_core::{CmpOp, CoreError, Event, GroundProgram, Program, Value};
-use enframe_lang::ast::{Cmp, Expr, ExtCall, ListCompr, Lval, ReduceKind, Stmt, TieKind, UserProgram};
+use enframe_lang::ast::{
+    Cmp, Expr, ExtCall, ListCompr, Lval, ReduceKind, Stmt, TieKind, UserProgram,
+};
 use enframe_lang::{LangError, RtValue};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -257,10 +259,11 @@ impl<'e> Tr<'e> {
 
     fn b_and(&self, a: Slot, b: Slot) -> Result<Slot, TranslateError> {
         Ok(match (a, b) {
-            (Slot::Concrete(RtValue::Bool(false)), _) | (_, Slot::Concrete(RtValue::Bool(false))) => {
-                Slot::Concrete(RtValue::Bool(false))
+            (Slot::Concrete(RtValue::Bool(false)), _)
+            | (_, Slot::Concrete(RtValue::Bool(false))) => Slot::Concrete(RtValue::Bool(false)),
+            (Slot::Concrete(RtValue::Bool(true)), x) | (x, Slot::Concrete(RtValue::Bool(true))) => {
+                x
             }
-            (Slot::Concrete(RtValue::Bool(true)), x) | (x, Slot::Concrete(RtValue::Bool(true))) => x,
             (Slot::Event(x), Slot::Event(y)) => Slot::Event(Rc::new(SymEvent::And(vec![x, y]))),
             (a, b) => {
                 return Err(TranslateError::Unsupported(format!(
@@ -275,7 +278,8 @@ impl<'e> Tr<'e> {
             (Slot::Concrete(RtValue::Bool(true)), _) | (_, Slot::Concrete(RtValue::Bool(true))) => {
                 Slot::Concrete(RtValue::Bool(true))
             }
-            (Slot::Concrete(RtValue::Bool(false)), x) | (x, Slot::Concrete(RtValue::Bool(false))) => x,
+            (Slot::Concrete(RtValue::Bool(false)), x)
+            | (x, Slot::Concrete(RtValue::Bool(false))) => x,
             (Slot::Event(x), Slot::Event(y)) => Slot::Event(Rc::new(SymEvent::Or(vec![x, y]))),
             (a, b) => {
                 return Err(TranslateError::Unsupported(format!(
@@ -354,9 +358,7 @@ impl<'e> Tr<'e> {
             }
             ProbValue::SeedMedoids(seeds) => {
                 let objs = self.ext.objects().ok_or_else(|| {
-                    TranslateError::Unsupported(
-                        "SeedMedoids requires Objects in loadData()".into(),
-                    )
+                    TranslateError::Unsupported("SeedMedoids requires Objects in loadData()".into())
                 })?;
                 let points = objs.points.clone();
                 let lineage = objs.lineage.clone();
@@ -580,9 +582,9 @@ impl<'e> Tr<'e> {
                 let sa = self.expr(a)?;
                 let sb = self.expr(b)?;
                 match (&sa, &sb) {
-                    (Slot::Concrete(ra), Slot::Concrete(rb)) => Ok(Slot::Concrete(
-                        RtValue::Bool(ra.compare(*op, rb).map_err(TranslateError::Lang)?),
-                    )),
+                    (Slot::Concrete(ra), Slot::Concrete(rb)) => Ok(Slot::Concrete(RtValue::Bool(
+                        ra.compare(*op, rb).map_err(TranslateError::Lang)?,
+                    ))),
                     _ => {
                         let op = match op {
                             Cmp::Le => CmpOp::Le,
@@ -603,9 +605,9 @@ impl<'e> Tr<'e> {
                 let sa = self.expr(a)?;
                 let sb = self.expr(b)?;
                 match (&sa, &sb) {
-                    (Slot::Concrete(ra), Slot::Concrete(rb)) => Ok(Slot::Concrete(
-                        ra.add(rb).map_err(TranslateError::Lang)?,
-                    )),
+                    (Slot::Concrete(ra), Slot::Concrete(rb)) => {
+                        Ok(Slot::Concrete(ra.add(rb).map_err(TranslateError::Lang)?))
+                    }
                     _ => Ok(Slot::CVal(Rc::new(SymCVal::Sum(vec![
                         self.to_cval(&sa)?,
                         self.to_cval(&sb)?,
@@ -616,9 +618,9 @@ impl<'e> Tr<'e> {
                 let sa = self.expr(a)?;
                 let sb = self.expr(b)?;
                 match (&sa, &sb) {
-                    (Slot::Concrete(ra), Slot::Concrete(rb)) => Ok(Slot::Concrete(
-                        ra.sub(rb).map_err(TranslateError::Lang)?,
-                    )),
+                    (Slot::Concrete(ra), Slot::Concrete(rb)) => {
+                        Ok(Slot::Concrete(ra.sub(rb).map_err(TranslateError::Lang)?))
+                    }
                     _ => Err(TranslateError::Unsupported(
                         "subtraction of uncertain values is not in the event language".into(),
                     )),
@@ -628,9 +630,9 @@ impl<'e> Tr<'e> {
                 let sa = self.expr(a)?;
                 let sb = self.expr(b)?;
                 match (&sa, &sb) {
-                    (Slot::Concrete(ra), Slot::Concrete(rb)) => Ok(Slot::Concrete(
-                        ra.mul(rb).map_err(TranslateError::Lang)?,
-                    )),
+                    (Slot::Concrete(ra), Slot::Concrete(rb)) => {
+                        Ok(Slot::Concrete(ra.mul(rb).map_err(TranslateError::Lang)?))
+                    }
                     _ => Ok(Slot::CVal(Rc::new(SymCVal::Prod(vec![
                         self.to_cval(&sa)?,
                         self.to_cval(&sb)?,
@@ -653,9 +655,9 @@ impl<'e> Tr<'e> {
                 let sa = self.expr(a)?;
                 let r = self.int_expr(r)?;
                 match sa {
-                    Slot::Concrete(ra) => Ok(Slot::Concrete(
-                        ra.pow(r).map_err(TranslateError::Lang)?,
-                    )),
+                    Slot::Concrete(ra) => {
+                        Ok(Slot::Concrete(ra.pow(r).map_err(TranslateError::Lang)?))
+                    }
                     _ => Ok(Slot::CVal(Rc::new(SymCVal::Pow(
                         self.to_cval(&sa)?,
                         r as i32,
@@ -665,9 +667,9 @@ impl<'e> Tr<'e> {
             Expr::Invert(a) => {
                 let sa = self.expr(a)?;
                 match sa {
-                    Slot::Concrete(ra) => Ok(Slot::Concrete(
-                        ra.invert().map_err(TranslateError::Lang)?,
-                    )),
+                    Slot::Concrete(ra) => {
+                        Ok(Slot::Concrete(ra.invert().map_err(TranslateError::Lang)?))
+                    }
                     _ => Ok(Slot::CVal(Rc::new(SymCVal::Inv(self.to_cval(&sa)?)))),
                 }
             }
@@ -675,9 +677,9 @@ impl<'e> Tr<'e> {
                 let sa = self.expr(a)?;
                 let sb = self.expr(b)?;
                 match (&sa, &sb) {
-                    (Slot::Concrete(ra), Slot::Concrete(rb)) => Ok(Slot::Concrete(
-                        ra.dist(rb).map_err(TranslateError::Lang)?,
-                    )),
+                    (Slot::Concrete(ra), Slot::Concrete(rb)) => {
+                        Ok(Slot::Concrete(ra.dist(rb).map_err(TranslateError::Lang)?))
+                    }
                     _ => Ok(Slot::CVal(Rc::new(SymCVal::Dist(
                         self.to_cval(&sa)?,
                         self.to_cval(&sb)?,
@@ -688,9 +690,9 @@ impl<'e> Tr<'e> {
                 let ss = self.expr(s)?;
                 let sv = self.expr(v)?;
                 match (&ss, &sv) {
-                    (Slot::Concrete(rs), Slot::Concrete(rv)) => Ok(Slot::Concrete(
-                        rs.mul(rv).map_err(TranslateError::Lang)?,
-                    )),
+                    (Slot::Concrete(rs), Slot::Concrete(rv)) => {
+                        Ok(Slot::Concrete(rs.mul(rv).map_err(TranslateError::Lang)?))
+                    }
                     _ => Ok(Slot::CVal(Rc::new(SymCVal::Prod(vec![
                         self.to_cval(&ss)?,
                         self.to_cval(&sv)?,
@@ -740,10 +742,7 @@ impl<'e> Tr<'e> {
                 let elem = self.expr(&compr.expr)?;
                 match (&cond, &elem) {
                     (None, Slot::Concrete(rv)) => parts.push(Part::ConcreteElem(rv.clone())),
-                    _ => parts.push(Part::Symbolic {
-                        cond,
-                        elem,
-                    }),
+                    _ => parts.push(Part::Symbolic { cond, elem }),
                 }
                 Ok(())
             })();
@@ -787,10 +786,9 @@ impl<'e> Tr<'e> {
                                     continue;
                                 }
                                 (Some(c), SymEvent::Fls) => Rc::new(SymEvent::Not(c)),
-                                (Some(c), _) => Rc::new(SymEvent::Or(vec![
-                                    Rc::new(SymEvent::Not(c)),
-                                    ee,
-                                ])),
+                                (Some(c), _) => {
+                                    Rc::new(SymEvent::Or(vec![Rc::new(SymEvent::Not(c)), ee]))
+                                }
                             };
                             sym.push(part);
                         }
@@ -848,10 +846,9 @@ impl<'e> Tr<'e> {
                             let part = match cond {
                                 None => self.to_cval(&elem)?,
                                 Some(c) => match &elem {
-                                    Slot::Concrete(rv) => Rc::new(SymCVal::Cond(
-                                        c,
-                                        ValSrc::Const(rt_to_value(rv)?),
-                                    )),
+                                    Slot::Concrete(rv) => {
+                                        Rc::new(SymCVal::Cond(c, ValSrc::Const(rt_to_value(rv)?)))
+                                    }
                                     _ => Rc::new(SymCVal::Guard(c, self.to_cval(&elem)?)),
                                 },
                             };
@@ -922,10 +919,9 @@ impl<'e> Tr<'e> {
                         Part::ConcreteElem(_) => concrete += 1,
                         Part::Symbolic { cond, .. } => match cond {
                             None => concrete += 1,
-                            Some(c) => sym.push(Rc::new(SymCVal::Cond(
-                                c,
-                                ValSrc::Const(Value::Num(1.0)),
-                            ))),
+                            Some(c) => {
+                                sym.push(Rc::new(SymCVal::Cond(c, ValSrc::Const(Value::Num(1.0)))))
+                            }
                         },
                     }
                 }
@@ -993,8 +989,7 @@ impl<'e> Tr<'e> {
                     .collect::<Result<Vec<_>, _>>()?;
                 let n_cols = matrix.first().map_or(0, Vec::len);
                 for col in 0..n_cols {
-                    let column: Vec<Slot> =
-                        matrix.iter().map(|row| row[col].clone()).collect();
+                    let column: Vec<Slot> = matrix.iter().map(|row| row[col].clone()).collect();
                     let kept = keep_first(self, column)?;
                     for (row, v) in matrix.iter_mut().zip(kept) {
                         row[col] = v;
@@ -1020,11 +1015,7 @@ mod tests {
     fn tiny_env() -> ProbEnv {
         let objs = ProbObjects::new(
             vec![vec![0.0], vec![4.0], vec![5.0]],
-            vec![
-                Event::var(Var(0)),
-                Event::var(Var(1)),
-                Rc::new(Event::Tru),
-            ],
+            vec![Event::var(Var(0)), Event::var(Var(1)), Rc::new(Event::Tru)],
         );
         clustering_env(objs, 2, 2, vec![0, 2], 2)
     }
@@ -1127,11 +1118,7 @@ mod tests {
         // fire; validate via brute force instead of hand-reasoning.
         let objs = ProbObjects::new(
             vec![vec![0.0], vec![9.0], vec![10.0]],
-            vec![
-                Rc::new(Event::Tru),
-                Event::var(Var(0)),
-                Rc::new(Event::Tru),
-            ],
+            vec![Rc::new(Event::Tru), Event::var(Var(0)), Rc::new(Event::Tru)],
         );
         let env = clustering_env(objs, 2, 1, vec![0, 2], 1);
         let ast = parse(programs::K_MEDOIDS).unwrap();
@@ -1166,19 +1153,11 @@ mod tests {
                 vec![0.5, 0.5, 0.0],
                 vec![0.0, 0.0, 1.0],
             ],
-            vec![
-                Event::var(Var(0)),
-                Rc::new(Event::Tru),
-                Rc::new(Event::Tru),
-            ],
+            vec![Event::var(Var(0)), Rc::new(Event::Tru), Rc::new(Event::Tru)],
         );
         let env = ProbEnv {
             data: vec![
-                ProbValue::Objects(ProbObjects::certain(vec![
-                    vec![0.0],
-                    vec![1.0],
-                    vec![2.0],
-                ])),
+                ProbValue::Objects(ProbObjects::certain(vec![vec![0.0], vec![1.0], vec![2.0]])),
                 ProbValue::int(3),
                 ProbValue::Matrix(m),
             ],
@@ -1188,7 +1167,11 @@ mod tests {
         };
         let t = translate(&ast, &env).unwrap();
         let g = t.ground().unwrap();
-        assert!(g.len() > 9, "MCL should declare matrix entries, got {}", g.len());
+        assert!(
+            g.len() > 9,
+            "MCL should declare matrix entries, got {}",
+            g.len()
+        );
     }
 
     #[test]

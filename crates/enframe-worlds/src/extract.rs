@@ -4,9 +4,8 @@
 use enframe_lang::{Interp, LangError, RtValue};
 
 fn get_bool(v: &RtValue) -> Result<bool, LangError> {
-    v.as_bool().ok_or_else(|| {
-        LangError::Runtime(format!("expected Boolean output, found {}", v.kind()))
-    })
+    v.as_bool()
+        .ok_or_else(|| LangError::Runtime(format!("expected Boolean output, found {}", v.kind())))
 }
 
 fn get_matrix<'a>(

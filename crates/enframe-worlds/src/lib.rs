@@ -113,8 +113,7 @@ mod tests {
     #[test]
     fn membership_probabilities_sum_to_one_per_object() {
         let (ast, env, vt) = tiny();
-        let res = naive_probabilities(&ast, &env, &vt, extract::bool_matrix("InCl", 2, 4))
-            .unwrap();
+        let res = naive_probabilities(&ast, &env, &vt, extract::bool_matrix("InCl", 2, 4)).unwrap();
         assert_eq!(res.worlds, 4);
         assert_eq!(res.probabilities.len(), 8);
         for l in 0..4 {
@@ -129,29 +128,22 @@ mod tests {
         let env = clustering_env(objs, 2, 2, vec![0, 3], 0);
         let ast = parse(programs::K_MEDOIDS).unwrap();
         let vt = VarTable::new(vec![]);
-        let res =
-            naive_probabilities(&ast, &env, &vt, extract::bool_matrix("InCl", 2, 4)).unwrap();
-        assert!(res
-            .probabilities
-            .iter()
-            .all(|&p| p == 0.0 || p == 1.0));
+        let res = naive_probabilities(&ast, &env, &vt, extract::bool_matrix("InCl", 2, 4)).unwrap();
+        assert!(res.probabilities.iter().all(|&p| p == 0.0 || p == 1.0));
     }
 
     #[test]
     fn variable_cap_enforced() {
         let (ast, env, _) = tiny();
         let vt = VarTable::uniform(MAX_NAIVE_VARS + 1, 0.5);
-        assert!(
-            naive_probabilities(&ast, &env, &vt, extract::bool_matrix("InCl", 2, 4)).is_err()
-        );
+        assert!(naive_probabilities(&ast, &env, &vt, extract::bool_matrix("InCl", 2, 4)).is_err());
     }
 
     #[test]
     fn same_cluster_extractor() {
         let (ast, env, vt) = tiny();
         let res =
-            naive_probabilities(&ast, &env, &vt, extract::same_cluster("InCl", 2, 0, 1))
-                .unwrap();
+            naive_probabilities(&ast, &env, &vt, extract::same_cluster("InCl", 2, 0, 1)).unwrap();
         assert_eq!(res.probabilities.len(), 1);
         // Objects 0 and 1 are adjacent: always co-clustered (see the
         // translate crate's same_cluster test).

@@ -144,7 +144,9 @@ fn main() {
         a.estimate(0),
         b.estimate(0)
     );
-    println!("
---- folded DOT (regions as clusters, dashed carry edges) ---");
+    println!(
+        "
+--- folded DOT (regions as clusters, dashed carry edges) ---"
+    );
     println!("{}", dot::folded_to_dot(&folded));
 }

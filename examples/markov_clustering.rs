@@ -19,12 +19,7 @@ fn main() {
     // bridge.
     let n = 5;
     let mut w = vec![vec![0.0; n]; n];
-    for &(a, b, v) in &[
-        (0usize, 1usize, 1.0),
-        (3, 4, 1.0),
-        (1, 2, 0.6),
-        (2, 3, 0.6),
-    ] {
+    for &(a, b, v) in &[(0usize, 1usize, 1.0), (3, 4, 1.0), (1, 2, 0.6), (2, 3, 0.6)] {
         w[a][b] = v;
         w[b][a] = v;
     }
@@ -70,7 +65,9 @@ fn main() {
     // (i.e. do the communities connect)? With the bridge present the flow
     // M[1][3] is ≈ 0.011 after two inflation rounds; absent, it is 0 — so
     // the event [M[1][3] > 0.005] holds exactly when the bridge exists.
-    let m13 = tr.cval_ident("M", &[1, 3]).expect("matrix entry is symbolic");
+    let m13 = tr
+        .cval_ident("M", &[1, 3])
+        .expect("matrix entry is symbolic");
     let atom = Rc::new(SymEvent::Atom(
         CmpOp::Gt,
         Rc::new(SymCVal::Ref(m13)),
@@ -81,10 +78,7 @@ fn main() {
 
     let gp = tr.ground().unwrap();
     let net = Network::build(&gp).unwrap();
-    println!(
-        "\nevent network for 2 MCL iterations: {} nodes",
-        net.len()
-    );
+    println!("\nevent network for 2 MCL iterations: {} nodes", net.len());
     for p_bridge in [0.2, 0.5, 0.9] {
         let vt = VarTable::new(vec![p_bridge]);
         let res = compile(&net, &vt, Options::exact());
@@ -106,7 +100,9 @@ fn main() {
             ..env.clone()
         };
         let mut tr = translate(&ast, &env_r).unwrap();
-        let m13 = tr.cval_ident("M", &[1, 3]).expect("matrix entry is symbolic");
+        let m13 = tr
+            .cval_ident("M", &[1, 3])
+            .expect("matrix entry is symbolic");
         let atom = Rc::new(SymEvent::Atom(
             CmpOp::Gt,
             Rc::new(SymCVal::Ref(m13)),

@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --example probabilistic_queries`
 
+use enframe::core::space;
 use enframe::prelude::*;
 use enframe::sprout::{aggregate_cval, AggKind, Datum};
 use enframe::translate::targets;
-use enframe::core::space;
 
 fn main() {
     // Readings(sensor, substation, pd, load) — tuple-level uncertainty:

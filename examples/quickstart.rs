@@ -62,7 +62,9 @@ fn main() {
     let approx = compile(&net, &vt, Options::approx(Strategy::Hybrid, 0.05));
     println!(
         "\nhybrid ε=0.05: explored {} branches (exact explored {}), max bound width {:.4}",
-        approx.stats.branches, exact.stats.branches, approx.max_width()
+        approx.stats.branches,
+        exact.stats.branches,
+        approx.max_width()
     );
 
     // Cross-check against the naïve baseline: cluster in every world.

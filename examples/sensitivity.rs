@@ -52,9 +52,7 @@ fn main() {
         .base
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            (*a - 0.5).abs().partial_cmp(&(*b - 0.5).abs()).unwrap()
-        })
+        .min_by(|(_, a), (_, b)| (*a - 0.5).abs().partial_cmp(&(*b - 0.5).abs()).unwrap())
         .expect("at least one target");
     println!(
         "\nexplaining {}: Pr = {:.4}",
@@ -65,7 +63,11 @@ fn main() {
     println!("\ntop influencers (∂Pr/∂p_x):");
     for inf in s.top_influencers(target, 5) {
         let p = w.vt.prob(inf.var);
-        let direction = if inf.derivative > 0.0 { "supports" } else { "opposes" };
+        let direction = if inf.derivative > 0.0 {
+            "supports"
+        } else {
+            "opposes"
+        };
         println!(
             "  x{:<3} p = {:.2}   ∂Pr/∂p = {:+.4}   ({direction})",
             inf.var.0, p, inf.derivative

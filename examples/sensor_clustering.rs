@@ -7,8 +7,8 @@
 
 use enframe::data::{generate_lineage, generate_sensor_points, LineageOpts, Scheme, SensorConfig};
 use enframe::prelude::*;
-use enframe::translate::targets;
 use enframe::translate::env::clustering_env as mk_env;
+use enframe::translate::targets;
 use enframe::worlds::extract;
 use enframe_cluster::{farthest_first, DistanceKind, Point};
 use std::time::Instant;
@@ -44,7 +44,13 @@ fn main() {
         println!("== {name}: {v} variables, network {} nodes ==", net.len());
 
         let t0 = Instant::now();
-        let naive = naive_probabilities(&ast, &env, &corr.var_table, extract::bool_matrix("Centre", k, n)).unwrap();
+        let naive = naive_probabilities(
+            &ast,
+            &env,
+            &corr.var_table,
+            extract::bool_matrix("Centre", k, n),
+        )
+        .unwrap();
         let t_naive = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
@@ -52,7 +58,11 @@ fn main() {
         let t_exact = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
-        let _hybrid = compile(&net, &corr.var_table, Options::approx(Strategy::Hybrid, 0.1));
+        let _hybrid = compile(
+            &net,
+            &corr.var_table,
+            Options::approx(Strategy::Hybrid, 0.1),
+        );
         let t_hybrid = t0.elapsed().as_secs_f64();
 
         // Report agreement + the most probable medoids.
@@ -76,7 +86,10 @@ fn main() {
             t_exact / t_hybrid.max(1e-9)
         );
         for (i, p) in ranked.iter().take(2) {
-            println!("  most probable medoid event: P[{}] = {:.4}", exact.names[*i], p);
+            println!(
+                "  most probable medoid event: P[{}] = {:.4}",
+                exact.names[*i], p
+            );
         }
         println!();
     }

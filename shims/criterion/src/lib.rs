@@ -1,0 +1,282 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-io access, so this shim implements
+//! the subset of the criterion 0.5 API the workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`] (`sample_size`, `measurement_time`,
+//! `warm_up_time`, `bench_function`, `finish`), [`Bencher::iter`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and [`black_box`].
+//!
+//! Measurement is deliberately simple: after a bounded warm-up, each
+//! benchmark runs `sample_size` one-iteration samples (capped by the
+//! group's measurement time) and reports min / mean / max wall-clock
+//! time. There is no statistical analysis, plotting, or baseline store —
+//! regressions are judged from the printed numbers (or by swapping in
+//! real criterion when a registry is available). A `--list` flag and
+//! positional substring filters are honoured so `cargo bench <name>`
+//! behaves as expected; other criterion CLI flags are accepted and
+//! ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, one per bench target.
+pub struct Criterion {
+    filters: Vec<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut list_only = false;
+        // `cargo bench` forwards flags such as `--bench`/`--list`;
+        // positional args are name filters.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                a if a.starts_with("--") => {}
+                a => filters.push(a.to_string()),
+            }
+        }
+        Criterion { filters, list_only }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Benchmarks one function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        self.benchmark_group("").bench_function(id, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+        mut f: F,
+    ) {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| id.contains(p.as_str())) {
+            return;
+        }
+        if self.list_only {
+            println!("{id}: benchmark");
+            return;
+        }
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + warm_up_time,
+            },
+        };
+        f(&mut b);
+        let mut samples = Vec::with_capacity(sample_size);
+        let deadline = Instant::now() + measurement_time;
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                mode: Mode::Measure {
+                    elapsed: Duration::ZERO,
+                },
+            };
+            f(&mut b);
+            if let Mode::Measure { elapsed } = b.mode {
+                samples.push(elapsed);
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        report(id, &samples);
+    }
+}
+
+/// A set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        self.criterion.run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    WarmUp { until: Instant },
+    Measure { elapsed: Duration },
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match &mut self.mode {
+            Mode::WarmUp { until } => {
+                let until = *until;
+                loop {
+                    black_box(routine());
+                    if Instant::now() >= until {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure { elapsed } => {
+                let t0 = Instant::now();
+                black_box(routine());
+                *elapsed = t0.elapsed();
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion {
+            filters: vec![],
+            list_only: false,
+        };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u32;
+        g.bench_function("busy", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs > 0, "routine never ran");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filters: vec!["nomatch".into()],
+            list_only: false,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.000 s");
+    }
+}

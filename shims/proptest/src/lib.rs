@@ -1,0 +1,295 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-io access, so this shim implements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` header and multiple `#[test]` functions
+//!   whose arguments are drawn `name in strategy`);
+//! * [`Strategy`] implementations for half-open and inclusive numeric
+//!   ranges and for [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped onto `assert!`).
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! drawn from a generator seeded by the test's name (fully deterministic,
+//! overridable via `PROPTEST_SEED`), and failures are reported without
+//! input shrinking — the failing values are printed instead.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps tier-1 verify fast
+        // while still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the deterministic per-test generator.
+///
+/// Used by the [`proptest!`] expansion; seeded from a hash of the test
+/// name XOR-ed with `PROPTEST_SEED` (if set), so runs are reproducible
+/// and distinct tests see distinct streams.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(s) = seed.parse::<u64>() {
+            h ^= s;
+        }
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+// Signed ranges sample via an unsigned offset to avoid overflow.
+macro_rules! signed_range_strategy {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(rng.gen_range(0..span) as $t)
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i64 => u64, i32 => u32, i16 => u16, i8 => u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A constant strategy, always producing clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec()`]: a fixed `usize` or a `Range`.
+    pub trait SizeRange: Clone {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values; see [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Vectors of values drawn from `element`, with length drawn from
+    /// `len` (a fixed `usize` or a half-open `Range<usize>`).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each function runs its body against many
+/// random samples of its `arg in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    { ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )* } => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!("case {}/{}", $(concat!(", ", stringify!($arg), " = {:?}")),*),
+                        __case + 1, __cfg.cases $(, &$arg)*
+                    );
+                    let __guard = $crate::__CaseReporter(Some(__inputs));
+                    $body
+                    ::std::mem::forget(__guard);
+                }
+            }
+        )*
+    };
+}
+
+/// Prints the failing case's inputs when a property panics (no shrinking).
+#[doc(hidden)]
+pub struct __CaseReporter(pub Option<String>);
+
+impl Drop for __CaseReporter {
+    fn drop(&mut self) {
+        if let Some(inputs) = self.0.take() {
+            eprintln!("proptest: property failed at {inputs}");
+        }
+    }
+}
+
+/// Asserts a condition inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(
+            x in 0u64..10,
+            y in -5i64..5,
+            z in 0.25f64..0.75,
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        /// Vec strategies respect length and element bounds.
+        #[test]
+        fn vecs_in_bounds(
+            fixed in collection::vec(0usize..3, 4),
+            ranged in collection::vec(0.0f64..1.0, 2..9),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!(fixed.iter().all(|&v| v < 3));
+            prop_assert!((2..9).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        let s = 0u64..100;
+        for _ in 0..20 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -72,8 +72,8 @@ pub mod prelude {
     pub use enframe_lang::{parse, programs, Interp, RtValue, SimpleEnv};
     pub use enframe_network::{FoldedNetwork, Network};
     pub use enframe_prob::{
-        compile, compile_distributed, compile_folded, compile_folded_distributed,
-        CompileResult, DistOptions, Options, Strategy,
+        compile, compile_distributed, compile_folded, compile_folded_distributed, CompileResult,
+        DistOptions, Options, Strategy,
     };
     pub use enframe_sprout::{PcTable, Query, Schema};
     pub use enframe_translate::env::clustering_env;

@@ -22,8 +22,8 @@ fn both_networks(
     targets::add_all_bool_targets(&mut tr, "Centre");
     let gp = tr.ground().unwrap();
     let unfolded = Network::build(&gp).unwrap();
-    let folded = FoldedNetwork::build(&gp, &tr.outer_iter_boundaries)
-        .expect("k-medoids iterations fold");
+    let folded =
+        FoldedNetwork::build(&gp, &tr.outer_iter_boundaries).expect("k-medoids iterations fold");
     (unfolded, folded, w.vt)
 }
 
@@ -69,7 +69,10 @@ fn check_scheme(scheme: Scheme, n: usize, iters: usize, seed: u64) {
         },
     );
     for i in 0..want.lower.len() {
-        assert!((dist.lower[i] - want.lower[i]).abs() < 1e-9, "{scheme:?} distributed");
+        assert!(
+            (dist.lower[i] - want.lower[i]).abs() < 1e-9,
+            "{scheme:?} distributed"
+        );
         assert!((dist.upper[i] - want.upper[i]).abs() < 1e-9);
     }
 }
@@ -113,8 +116,7 @@ fn folded_network_is_smaller() {
 
 #[test]
 fn folded_eval_matches_unfolded_eval_per_world() {
-    let (unfolded, folded, vt) =
-        both_networks(12, 2, 3, Scheme::Positive { l: 2, v: 8 }, 17);
+    let (unfolded, folded, vt) = both_networks(12, 2, 3, Scheme::Positive { l: 2, v: 8 }, 17);
     let n = vt.len();
     assert!(n <= 12);
     for code in 0..(1u64 << n) {
@@ -181,8 +183,8 @@ fn kmeans_folds_too() {
     targets::add_all_bool_targets(&mut tr, "InCl");
     let gp = tr.ground().unwrap();
     let unfolded = Network::build(&gp).unwrap();
-    let folded = FoldedNetwork::build(&gp, &tr.outer_iter_boundaries)
-        .expect("k-means iterations fold");
+    let folded =
+        FoldedNetwork::build(&gp, &tr.outer_iter_boundaries).expect("k-means iterations fold");
     let want = compile(&unfolded, &w.vt, Options::exact());
     let got = enframe::prob::compile_folded(&folded, &w.vt, Options::exact());
     for i in 0..want.lower.len() {

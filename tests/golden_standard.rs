@@ -8,12 +8,13 @@ use enframe::prelude::*;
 use enframe::translate::targets;
 use enframe::worlds::extract;
 
-fn pipeline(n: usize, k: usize, iters: usize, scheme: Scheme, seed: u64) -> (
-    enframe::lang::UserProgram,
-    ProbEnv,
-    VarTable,
-    Network,
-) {
+fn pipeline(
+    n: usize,
+    k: usize,
+    iters: usize,
+    scheme: Scheme,
+    seed: u64,
+) -> (enframe::lang::UserProgram, ProbEnv, VarTable, Network) {
     let w = kmedoids_workload(n, k, iters, scheme, &LineageOpts::default(), seed);
     let ast = parse(programs::K_MEDOIDS).unwrap();
     let mut tr = translate(&ast, &w.env).unwrap();
@@ -115,8 +116,7 @@ fn golden_standard_with_certain_points() {
     targets::add_all_bool_targets(&mut tr, "Centre");
     let net = Network::build(&tr.ground().unwrap()).unwrap();
     let naive =
-        naive_probabilities(&ast, &w.env, &w.vt, extract::bool_matrix("Centre", 2, 20))
-            .unwrap();
+        naive_probabilities(&ast, &w.env, &w.vt, extract::bool_matrix("Centre", 2, 20)).unwrap();
     let exact = compile(&net, &w.vt, Options::exact());
     for i in 0..exact.lower.len() {
         assert!((exact.lower[i] - naive.probabilities[i]).abs() < 1e-9);

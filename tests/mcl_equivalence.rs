@@ -67,15 +67,13 @@ fn mcl_per_world_matrix_agreement() {
                     other => panic!("unexpected {other:?}"),
                 };
                 match tr.slot_at("M", &[i, j]).unwrap() {
-                    enframe::translate::Slot::Concrete(rv) => {
-                        match (&interp_val, rv) {
-                            (enframe::lang::RtValue::Undef, enframe::lang::RtValue::Undef) => {}
-                            (a, b) => {
-                                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
-                                assert!((x - y).abs() < 1e-12);
-                            }
+                    enframe::translate::Slot::Concrete(rv) => match (&interp_val, rv) {
+                        (enframe::lang::RtValue::Undef, enframe::lang::RtValue::Undef) => {}
+                        (a, b) => {
+                            let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                            assert!((x - y).abs() < 1e-12);
                         }
-                    }
+                    },
                     enframe::translate::Slot::CVal(c) => {
                         let si = match &**c {
                             SymCVal::Ref(si) => si,

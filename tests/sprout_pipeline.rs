@@ -66,8 +66,7 @@ fn query_then_cluster_matches_naive() {
     targets::add_all_bool_targets(&mut tr, "Centre");
     let net = Network::build(&tr.ground().unwrap()).unwrap();
     let exact = compile(&net, &vt, Options::exact());
-    let naive = naive_probabilities(&ast, &env, &vt, extract::bool_matrix("Centre", 2, n))
-        .unwrap();
+    let naive = naive_probabilities(&ast, &env, &vt, extract::bool_matrix("Centre", 2, n)).unwrap();
     for i in 0..exact.lower.len() {
         assert!(
             (exact.lower[i] - naive.probabilities[i]).abs() < 1e-9,
