@@ -1,0 +1,75 @@
+//! Criterion bench for the OBDD knowledge-compilation backend: BDD-exact
+//! vs decision-tree exact vs hybrid ε-approximation on lineage-query
+//! pipelines over the three correlation schemes, plus one BDD-only
+//! configuration far beyond the decision-tree exact horizon. Full sweep:
+//! `src/bin/fig_bdd.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enframe_bench::{prepare, prepare_lineage, run_engine, run_lineage_engine, Engine};
+use enframe_data::{LineageOpts, Scheme};
+
+fn engines_head_to_head(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_bdd_engines");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    // v = 12: the largest size where all three engines are feasible.
+    let prep = prepare_lineage(12, Scheme::Mutex { m: 6 }, &LineageOpts::default(), 0xBD0);
+    for engine in [Engine::Exact, Engine::Hybrid, Engine::BddExact] {
+        g.bench_function(format!("mutex_v12_{}", engine.label()), |b| {
+            b.iter(|| run_lineage_engine(&prep, engine, 0.1))
+        });
+    }
+    g.finish();
+}
+
+fn bdd_beyond_exact_horizon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_bdd_scale");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    // Sizes where decision-tree exact is infeasible (v > 18): the BDD
+    // backend's scaling is the series worth tracking for regressions.
+    for v in [24usize, 48, 96] {
+        let prep = prepare_lineage(v, Scheme::Mutex { m: 8 }, &LineageOpts::default(), 0xBD1);
+        g.bench_function(format!("mutex_v{v}_bdd"), |b| {
+            b.iter(|| run_lineage_engine(&prep, Engine::BddExact, 0.0))
+        });
+    }
+    let prep = prepare_lineage(16, Scheme::Conditional, &LineageOpts::default(), 0xBD2);
+    g.bench_function("conditional_v31_bdd", |b| {
+        b.iter(|| run_lineage_engine(&prep, Engine::BddExact, 0.0))
+    });
+    g.finish();
+}
+
+fn bdd_on_kmedoids(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_bdd_kmedoids");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(6));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    // The aggregate-heavy pipeline: BDD-exact pays the per-atom
+    // expansion; tracked to keep the comparison honest.
+    let prep = prepare(
+        16,
+        2,
+        2,
+        Scheme::Positive { l: 3, v: 8 },
+        &LineageOpts::default(),
+        0xBD3,
+    );
+    for engine in [Engine::Exact, Engine::BddExact] {
+        g.bench_function(format!("kmedoids_v8_{}", engine.label()), |b| {
+            b.iter(|| run_engine(&prep, engine, 0.0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    engines_head_to_head,
+    bdd_beyond_exact_horizon,
+    bdd_on_kmedoids
+);
+criterion_main!(benches);

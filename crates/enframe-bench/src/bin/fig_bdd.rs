@@ -1,0 +1,75 @@
+//! OBDD knowledge compilation vs the decision-tree engines on
+//! lineage-query workloads: scalability in the number of variables v for
+//! the three correlation schemes of §5.
+//!
+//! Shape to demonstrate: decision-tree exact hits its exponential wall at
+//! v ≈ 18 (reported as `timeout`, like fig6's cut-off); the hybrid
+//! ε-approximation survives but only answers within ±ε; BDD-exact keeps
+//! answering **exactly**, in milliseconds, far beyond both — polynomial
+//! compiled size for mutex (read-once chains) and conditional
+//! (hierarchical Markov steps) lineage.
+//!
+//! Run: `cargo run --release -p enframe-bench --bin fig_bdd`
+//! (`ENFRAME_BENCH_FULL=1` for the larger grid.)
+
+use enframe_bench::*;
+use enframe_data::{LineageOpts, Scheme};
+
+fn main() {
+    let full = full_scale();
+    let eps = 0.1;
+    print_header();
+
+    // Mutex: one variable per point, sets of m points.
+    let mutex_vs: Vec<usize> = if full {
+        vec![8, 12, 16, 20, 24, 32, 48, 96, 192]
+    } else {
+        vec![8, 12, 16, 20, 24, 32]
+    };
+    for &v in &mutex_vs {
+        let prep = prepare_lineage(
+            v,
+            Scheme::Mutex { m: 8.min(v) },
+            &LineageOpts::default(),
+            0xBDD + v as u64,
+        );
+        sweep_row(&prep, "mutex", v, eps);
+    }
+
+    // Conditional: a Markov chain, 2 variables per step.
+    let cond_groups: Vec<usize> = if full {
+        vec![4, 6, 8, 10, 13, 25, 49]
+    } else {
+        vec![4, 6, 8, 10, 13]
+    };
+    for &n in &cond_groups {
+        let prep = prepare_lineage(n, Scheme::Conditional, &LineageOpts::default(), 0xBDD);
+        sweep_row(&prep, "conditional", prep.vt.len(), eps);
+    }
+
+    // Positive: disjunctions over a shared pool — not read-once, so the
+    // BDD can grow; the series shows where compilation stays worthwhile.
+    let pos_vs: Vec<usize> = if full {
+        vec![8, 12, 16, 20, 24]
+    } else {
+        vec![8, 12, 16, 20]
+    };
+    for &v in &pos_vs {
+        let prep = prepare_lineage(
+            v,
+            Scheme::Positive { l: 4.min(v), v },
+            &LineageOpts::default(),
+            0xBDD + v as u64,
+        );
+        sweep_row(&prep, "positive", v, eps);
+    }
+}
+
+fn sweep_row(prep: &LineagePrepared, scheme: &str, v: usize, eps: f64) {
+    let x = format!("scheme={scheme};v={v}");
+    let detail = format!("targets={};eps={eps}", prep.net.targets.len());
+    for engine in [Engine::Exact, Engine::Hybrid, Engine::BddExact] {
+        let m = run_lineage_engine(prep, engine, eps);
+        print_row("fig_bdd", &engine.label(), &x, &m, &detail);
+    }
+}

@@ -5,13 +5,69 @@
 //! well under a minute; set `ENFRAME_BENCH_FULL=1` for the original
 //! larger grid (tens of minutes).
 //!
+//! Besides the human-readable lines, the probe writes every measurement
+//! to `BENCH_probe.json` in the working directory — an array of
+//! `{figure, series, x, seconds}` objects — so the performance
+//! trajectory accumulates machine-readably from run to run. CI fails if
+//! the file is missing or malformed.
+//!
 //! Run: `cargo run --release -p enframe-bench --bin probe`
 
 use enframe_bench::*;
 use enframe_data::{LineageOpts, Scheme};
+use std::fmt::Write as _;
+
+/// One JSON record of the probe's output.
+struct JsonRow {
+    figure: &'static str,
+    series: String,
+    x: String,
+    seconds: f64,
+}
+
+fn push_row(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &str, seconds: f64) {
+    if seconds.is_finite() {
+        rows.push(JsonRow {
+            figure,
+            series: series.to_string(),
+            x: x.to_string(),
+            seconds,
+        });
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(rows: &[JsonRow]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        // Scientific notation (valid JSON) keeps full resolution for the
+        // sub-millisecond bdd-exact series this file exists to track.
+        let _ = write!(
+            out,
+            "  {{\"figure\": \"{}\", \"series\": \"{}\", \"x\": \"{}\", \"seconds\": {:.6e}}}",
+            escape(r.figure),
+            escape(&r.series),
+            escape(&r.x),
+            r.seconds
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    match std::fs::write("BENCH_probe.json", out) {
+        Ok(()) => println!("wrote BENCH_probe.json ({} rows)", rows.len()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_probe.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let full = full_scale();
+    let mut rows: Vec<JsonRow> = Vec::new();
     let exact_grid: &[(usize, usize)] = if full {
         &[(32, 8), (48, 12), (48, 16), (64, 18), (64, 20)]
     } else {
@@ -27,6 +83,7 @@ fn main() {
             7,
         );
         let stats = prep.net.stats();
+        let x = format!("n={n};v={v}");
         let exact = run_engine(&prep, Engine::Exact, 0.0);
         let hybrid = run_engine(&prep, Engine::Hybrid, 0.1);
         let hd = run_engine(
@@ -41,6 +98,10 @@ fn main() {
             "n={n} v={v} nodes={} build={:.3}s exact={:.3}s hybrid={:.4}s hybrid-d={:.4}s",
             stats.nodes, prep.build_seconds, exact.seconds, hybrid.seconds, hd.seconds
         );
+        push_row(&mut rows, "probe", "build", &x, prep.build_seconds);
+        push_row(&mut rows, "probe", "exact", &x, exact.seconds);
+        push_row(&mut rows, "probe", "hybrid", &x, hybrid.seconds);
+        push_row(&mut rows, "probe", "hybrid-d", &x, hd.seconds);
     }
     // Larger hybrid-only configs (fig8-scale).
     let hybrid_grid: &[(usize, f64, usize)] = if full {
@@ -72,5 +133,39 @@ fn main() {
             prep.build_seconds,
             hybrid.seconds
         );
+        push_row(
+            &mut rows,
+            "probe",
+            "hybrid",
+            &format!("n={n};c={c};v={v}"),
+            hybrid.seconds,
+        );
     }
+    // OBDD backend probes: lineage queries where the decision-tree exact
+    // engine is infeasible (v > 18) stay sub-millisecond on BDDs.
+    let bdd_grid: &[usize] = if full { &[16, 32, 96] } else { &[16, 32] };
+    for &v in bdd_grid {
+        let prep = prepare_lineage(
+            v,
+            Scheme::Mutex { m: 8.min(v) },
+            &LineageOpts::default(),
+            0xBDD,
+        );
+        let x = format!("scheme=mutex;v={v}");
+        let bdd = run_lineage_engine(&prep, Engine::BddExact, 0.0);
+        let exact = run_lineage_engine(&prep, Engine::Exact, 0.0);
+        println!(
+            "lineage v={v} build={:.3}s bdd-exact={:.4}s exact={}",
+            prep.build_seconds,
+            bdd.seconds,
+            if exact.seconds.is_finite() {
+                format!("{:.4}s", exact.seconds)
+            } else {
+                exact.status.clone()
+            }
+        );
+        push_row(&mut rows, "probe", "bdd-exact", &x, bdd.seconds);
+        push_row(&mut rows, "probe", "exact", &x, exact.seconds);
+    }
+    write_json(&rows);
 }

@@ -24,10 +24,11 @@
 //! design choice: folded vs unfolded loop encoding
 //! (`ablation_folded`), via [`Engine::ExactFolded`]/[`Engine::HybridFolded`].
 
-use enframe_core::VarTable;
-use enframe_data::{kmedoids_workload, ClusteringWorkload, LineageOpts, Scheme};
+use enframe_core::{Program, Var, VarTable};
+use enframe_data::{generate_lineage, kmedoids_workload, ClusteringWorkload, LineageOpts, Scheme};
 use enframe_lang::{parse, programs, UserProgram};
 use enframe_network::{FoldedNetwork, Network};
+use enframe_obdd::{ObddEngine, ObddOptions};
 use enframe_prob::{
     compile, compile_distributed, compile_folded, CompileResult, DistOptions, Options, Strategy,
 };
@@ -119,6 +120,9 @@ pub enum Engine {
     ExactFolded,
     /// Sequential hybrid ε-approximation over the folded network (§4.2).
     HybridFolded,
+    /// OBDD knowledge compilation: exact probabilities via weighted model
+    /// counting over compiled lineage (`enframe-obdd`).
+    BddExact,
 }
 
 impl Engine {
@@ -133,6 +137,7 @@ impl Engine {
             Engine::HybridD { .. } => "hybrid-d".into(),
             Engine::ExactFolded => "exact-folded".into(),
             Engine::HybridFolded => "hybrid-folded".into(),
+            Engine::BddExact => "bdd-exact".into(),
         }
     }
 }
@@ -160,6 +165,14 @@ pub const NAIVE_VAR_CAP: usize = 16;
 /// correlation scheme (measured); beyond this cap runs are reported as
 /// `timeout`, mirroring the paper's 3600 s cut-off.
 pub const EXACT_VAR_CAP: usize = 18;
+
+/// Cap on variables for BDD-exact on the **k-medoids** pipeline. The
+/// clustering events' comparison atoms aggregate over every point, so
+/// their support spans nearly all variables and Shannon expansion costs
+/// ~2^v *per atom* — the one workload shape where knowledge compilation
+/// inherits the decision tree's exponent. Lineage-query pipelines
+/// ([`prepare_lineage`]) carry no such cap.
+pub const BDD_KMEDOIDS_VAR_CAP: usize = 12;
 
 /// Whether a naïve run of `2^v` worlds over `n` objects finishes within a
 /// couple of minutes (measured ≈ 45 µs · n² per world for k = 2, three
@@ -195,13 +208,8 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
             finish(t0, res)
         }
         Engine::Eager | Engine::Lazy | Engine::Hybrid => {
-            let strategy = match engine {
-                Engine::Eager => Strategy::Eager,
-                Engine::Lazy => Strategy::Lazy,
-                _ => Strategy::Hybrid,
-            };
             let t0 = Instant::now();
-            let res = compile(&prep.net, vt, Options::approx(strategy, epsilon));
+            let res = compile(&prep.net, vt, Options::approx(strategy_of(engine), epsilon));
             finish(t0, res)
         }
         Engine::HybridD { workers, job_depth } => {
@@ -216,6 +224,16 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
                 },
             );
             finish(t0, res)
+        }
+        Engine::BddExact => {
+            if vt.len() > BDD_KMEDOIDS_VAR_CAP {
+                return Measurement {
+                    seconds: f64::NAN,
+                    estimates: None,
+                    status: format!("timeout(v={}>{BDD_KMEDOIDS_VAR_CAP})", vt.len()),
+                };
+            }
+            run_bdd_exact(&prep.net, vt, &prep.workload.var_groups)
         }
         Engine::ExactFolded | Engine::HybridFolded => {
             let Some(folded) = &prep.folded else {
@@ -266,6 +284,135 @@ fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize
         seconds: t0.elapsed().as_secs_f64(),
         estimates: Some(res.probabilities),
         status: "ok".into(),
+    }
+}
+
+/// A prepared **lineage-query** pipeline: the compilation targets are
+/// propositional queries over the correlation lineage itself — per-group
+/// existence events, windowed co-existence disjunctions, and one global
+/// existence event — instead of clustering events. This is the workload
+/// class knowledge compilation is built for: the mutex and conditional
+/// schemes produce read-once/hierarchical events whose OBDDs stay
+/// polynomial, so BDD-exact scales where decision-tree exact cannot.
+pub struct LineagePrepared {
+    /// The event network over the lineage targets.
+    pub net: Network,
+    /// Variable probabilities.
+    pub vt: VarTable,
+    /// Multi-valued variable groups of the lineage (adjacency hints).
+    pub var_groups: Vec<Vec<Var>>,
+    /// Seconds spent declaring, grounding, and building the network.
+    pub build_seconds: f64,
+}
+
+/// Width of the co-existence windows in [`prepare_lineage`] targets.
+pub const LINEAGE_WINDOW: usize = 4;
+
+/// Builds a lineage-query pipeline over `n_groups` lineage groups (one
+/// point per group). Targets, in order: `Exists[g]` per group, then one
+/// `Any[s]` disjunction per [`LINEAGE_WINDOW`]-wide window, then a global
+/// `AtLeastOne`.
+pub fn prepare_lineage(
+    n_groups: usize,
+    scheme: Scheme,
+    opts: &LineageOpts,
+    seed: u64,
+) -> LineagePrepared {
+    let opts = LineageOpts {
+        group_size: 1,
+        ..*opts
+    };
+    let corr = generate_lineage(n_groups, scheme, &opts, seed);
+    let t0 = Instant::now();
+    let mut p = Program::new();
+    p.ensure_vars(corr.var_table.len() as u32);
+    let mut idents = Vec::with_capacity(n_groups);
+    for (g, phi) in corr.lineage.iter().enumerate() {
+        let id = p
+            .declare_closed_event(&format!("Exists{g}"), phi)
+            .expect("lineage events are closed");
+        p.add_target(id.clone());
+        idents.push(id);
+    }
+    for (w, window) in idents.chunks(LINEAGE_WINDOW).enumerate() {
+        let id = p.declare_event(
+            &format!("Any{w}"),
+            Program::or(window.iter().cloned().map(Program::eref)),
+        );
+        p.add_target(id);
+    }
+    let all = p.declare_event(
+        "AtLeastOne",
+        Program::or(idents.iter().cloned().map(Program::eref)),
+    );
+    p.add_target(all);
+    let gp = p.ground().expect("lineage program grounds");
+    let net = Network::build(&gp).expect("lineage network builds");
+    LineagePrepared {
+        net,
+        vt: corr.var_table,
+        var_groups: corr.var_groups,
+        build_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs one engine over a lineage-query pipeline. Supports the
+/// sequential engines ([`Engine::Exact`], the three approximations, and
+/// [`Engine::BddExact`]); others report a skip.
+pub fn run_lineage_engine(prep: &LineagePrepared, engine: Engine, epsilon: f64) -> Measurement {
+    let vt = &prep.vt;
+    match engine {
+        Engine::Exact => {
+            if vt.len() > EXACT_VAR_CAP {
+                return Measurement {
+                    seconds: f64::NAN,
+                    estimates: None,
+                    status: format!("timeout(v={}>{EXACT_VAR_CAP})", vt.len()),
+                };
+            }
+            let t0 = Instant::now();
+            let res = compile(&prep.net, vt, Options::exact());
+            finish(t0, res)
+        }
+        Engine::Eager | Engine::Lazy | Engine::Hybrid => {
+            let t0 = Instant::now();
+            let res = compile(&prep.net, vt, Options::approx(strategy_of(engine), epsilon));
+            finish(t0, res)
+        }
+        Engine::BddExact => run_bdd_exact(&prep.net, vt, &prep.var_groups),
+        _ => timeout_measurement("engine not applicable to lineage queries"),
+    }
+}
+
+/// The decision-tree strategy behind an approximation engine selector.
+fn strategy_of(engine: Engine) -> Strategy {
+    match engine {
+        Engine::Eager => Strategy::Eager,
+        Engine::Lazy => Strategy::Lazy,
+        _ => Strategy::Hybrid,
+    }
+}
+
+/// Compiles a network's targets into OBDDs and counts them — the shared
+/// [`Engine::BddExact`] measurement of [`run_engine`] and
+/// [`run_lineage_engine`].
+fn run_bdd_exact(net: &Network, vt: &VarTable, groups: &[Vec<Var>]) -> Measurement {
+    let t0 = Instant::now();
+    let opts = ObddOptions::with_groups(groups.to_vec());
+    match ObddEngine::compile(net, &opts) {
+        Ok(engine) => {
+            let probs = engine.probabilities(vt);
+            Measurement {
+                seconds: t0.elapsed().as_secs_f64(),
+                estimates: Some(probs),
+                status: "ok".into(),
+            }
+        }
+        Err(e) => Measurement {
+            seconds: f64::NAN,
+            estimates: None,
+            status: format!("error({e})"),
+        },
     }
 }
 
@@ -374,6 +521,59 @@ mod tests {
         // network whenever more than one iteration folds.
         let f = prep.folded.as_ref().unwrap();
         assert!(f.len() < prep.net.len());
+    }
+
+    /// The OBDD backend is a first-class engine: on the same prepared
+    /// k-medoids pipeline it must reproduce the decision-tree exact
+    /// probabilities to 1e-9.
+    #[test]
+    fn bdd_exact_matches_tree_exact_on_kmedoids() {
+        let prep = tiny_prep();
+        let exact = run_engine(&prep, Engine::Exact, 0.0).estimates.unwrap();
+        let bdd = run_engine(&prep, Engine::BddExact, 0.0);
+        assert_eq!(bdd.status, "ok");
+        let bv = bdd.estimates.unwrap();
+        assert_eq!(bv.len(), exact.len());
+        for i in 0..exact.len() {
+            assert!(
+                (bv[i] - exact[i]).abs() < 1e-9,
+                "target {i}: bdd {} vs exact {}",
+                bv[i],
+                exact[i]
+            );
+        }
+    }
+
+    #[test]
+    fn lineage_pipeline_engines_agree() {
+        for scheme in [
+            Scheme::Positive { l: 3, v: 8 },
+            Scheme::Mutex { m: 4 },
+            Scheme::Conditional,
+        ] {
+            let prep = prepare_lineage(6, scheme, &LineageOpts::default(), 11);
+            let exact = run_lineage_engine(&prep, Engine::Exact, 0.0)
+                .estimates
+                .unwrap();
+            let bdd = run_lineage_engine(&prep, Engine::BddExact, 0.0)
+                .estimates
+                .unwrap();
+            assert_eq!(exact.len(), bdd.len());
+            for i in 0..exact.len() {
+                assert!(
+                    (exact[i] - bdd[i]).abs() < 1e-9,
+                    "{scheme:?} target {i}: exact {} vs bdd {}",
+                    exact[i],
+                    bdd[i]
+                );
+            }
+            let hybrid = run_lineage_engine(&prep, Engine::Hybrid, 0.1)
+                .estimates
+                .unwrap();
+            for i in 0..exact.len() {
+                assert!((hybrid[i] - exact[i]).abs() <= 0.1 + 1e-9);
+            }
+        }
     }
 
     #[test]

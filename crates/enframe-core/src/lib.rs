@@ -56,7 +56,7 @@ pub mod var;
 pub use error::CoreError;
 pub use event::{CVal, CmpOp, Event};
 pub use ground::{Def, DefId, GroundProgram, Ident};
-pub use program::{IdxExpr, Item, Program, SymCVal, SymEvent, SymIdent};
+pub use program::{lift_cval, lift_event, IdxExpr, Item, Program, SymCVal, SymEvent, SymIdent};
 pub use symbol::{Interner, Symbol};
 pub use value::Value;
 pub use var::{Valuation, Var, VarTable};

@@ -356,6 +356,27 @@ impl Program {
         lhs
     }
 
+    /// Declares a top-level Boolean event from a *closed* [`crate::event::Event`]
+    /// expression (no `Ref`s) — the shape produced by the lineage
+    /// generators of `enframe-data`. This makes externally built lineage
+    /// directly targetable by every compilation engine.
+    ///
+    /// Also registers the event's variables via [`Program::ensure_vars`],
+    /// so the grounded program's variable count covers the lineage.
+    pub fn declare_closed_event(
+        &mut self,
+        name: &str,
+        e: &crate::event::Event,
+    ) -> Result<SymIdent, CoreError> {
+        let rhs = lift_event(e)?;
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        if let Some(max) = vars.iter().map(|v| v.0).max() {
+            self.ensure_vars(max + 1);
+        }
+        Ok(self.declare_event(name, rhs))
+    }
+
     /// Declares a top-level (unindexed) c-value and returns its identifier.
     pub fn declare_cval(&mut self, name: &str, rhs: Rc<SymCVal>) -> SymIdent {
         let lhs = SymIdent::plain(self.sym(name));
@@ -459,6 +480,70 @@ impl Program {
     }
 }
 
+/// Lifts a *closed* [`crate::event::Event`] (no `Ref`s) into the symbolic
+/// event language. Fails with [`CoreError::UnknownIdent`] on references —
+/// those are grounded `DefId`s with no symbolic counterpart.
+pub fn lift_event(e: &crate::event::Event) -> Result<Rc<SymEvent>, CoreError> {
+    use crate::event::Event as E;
+    Ok(match e {
+        E::Tru => Rc::new(SymEvent::Tru),
+        E::Fls => Rc::new(SymEvent::Fls),
+        E::Var(v) => Rc::new(SymEvent::Var(*v)),
+        E::Not(inner) => Rc::new(SymEvent::Not(lift_event(inner)?)),
+        E::And(parts) => Rc::new(SymEvent::And(
+            parts
+                .iter()
+                .map(|p| lift_event(p))
+                .collect::<Result<_, _>>()?,
+        )),
+        E::Or(parts) => Rc::new(SymEvent::Or(
+            parts
+                .iter()
+                .map(|p| lift_event(p))
+                .collect::<Result<_, _>>()?,
+        )),
+        E::Atom(op, a, b) => Rc::new(SymEvent::Atom(*op, lift_cval(a)?, lift_cval(b)?)),
+        E::Ref(d) => {
+            return Err(CoreError::UnknownIdent(format!(
+                "cannot lift grounded reference #{} into a symbolic event",
+                d.0
+            )))
+        }
+    })
+}
+
+/// Lifts a *closed* [`crate::event::CVal`] (no `Ref`s) into the symbolic
+/// c-value language. See [`lift_event`].
+pub fn lift_cval(c: &crate::event::CVal) -> Result<Rc<SymCVal>, CoreError> {
+    use crate::event::CVal as C;
+    Ok(match c {
+        C::Const(v) => Rc::new(SymCVal::Lit(ValSrc::Const(v.clone()))),
+        C::Cond(e, v) => Rc::new(SymCVal::Cond(lift_event(e)?, ValSrc::Const(v.clone()))),
+        C::Guard(e, inner) => Rc::new(SymCVal::Guard(lift_event(e)?, lift_cval(inner)?)),
+        C::Sum(parts) => Rc::new(SymCVal::Sum(
+            parts
+                .iter()
+                .map(|p| lift_cval(p))
+                .collect::<Result<_, _>>()?,
+        )),
+        C::Prod(parts) => Rc::new(SymCVal::Prod(
+            parts
+                .iter()
+                .map(|p| lift_cval(p))
+                .collect::<Result<_, _>>()?,
+        )),
+        C::Inv(inner) => Rc::new(SymCVal::Inv(lift_cval(inner)?)),
+        C::Pow(inner, r) => Rc::new(SymCVal::Pow(lift_cval(inner)?, *r)),
+        C::Dist(a, b) => Rc::new(SymCVal::Dist(lift_cval(a)?, lift_cval(b)?)),
+        C::Ref(d) => {
+            return Err(CoreError::UnknownIdent(format!(
+                "cannot lift grounded reference #{} into a symbolic c-value",
+                d.0
+            )))
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,5 +605,40 @@ mod tests {
         assert_eq!(p.n_vars(), 10);
         p.ensure_vars(5);
         assert_eq!(p.n_vars(), 10);
+    }
+
+    #[test]
+    fn closed_events_lift_and_ground() {
+        use crate::event::{CVal, Event};
+        use crate::{space, VarTable};
+        // Φ = (x0 ∧ ¬x2) ∨ [x1 ⊗ 1 ≤ 0.5] — exercises every lifted shape.
+        let atom = Rc::new(Event::Atom(
+            CmpOp::Le,
+            CVal::cond(Event::var(Var(1)), Value::Num(1.0)),
+            CVal::num(0.5),
+        ));
+        let phi = Event::or([Event::and([Event::var(Var(0)), Event::nvar(Var(2))]), atom]);
+        let mut p = Program::new();
+        let id = p.declare_closed_event("Phi", &phi).unwrap();
+        p.add_target(id);
+        assert_eq!(p.n_vars(), 3, "ensure_vars covers the lineage");
+        let g = p.ground().unwrap();
+        let vt = VarTable::new(vec![0.5, 0.5, 0.5]);
+        let want: f64 = space::worlds(&vt)
+            .filter(|(nu, _)| phi.eval_closed(nu).unwrap())
+            .map(|(_, pr)| pr)
+            .sum();
+        let got = space::target_probabilities(&g, &vt);
+        assert!((got[0] - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifting_references_is_rejected() {
+        use crate::event::{CVal, Event};
+        use crate::ground::DefId;
+        assert!(lift_event(&Event::Ref(DefId(0))).is_err());
+        assert!(lift_cval(&CVal::Ref(DefId(0))).is_err());
+        let mut p = Program::new();
+        assert!(p.declare_closed_event("R", &Event::Ref(DefId(0))).is_err());
     }
 }

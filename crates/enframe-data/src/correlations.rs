@@ -75,6 +75,12 @@ pub struct Correlations {
     pub lineage: Vec<Rc<Event>>,
     /// Probabilities of the generated variables.
     pub var_table: VarTable,
+    /// Variables that jointly encode one multi-valued choice: the chain
+    /// variables of each mutex set, and the `(xᵗ, xᶠ)` pair of each
+    /// conditional step. Empty for the positive scheme (all variables
+    /// independent). Order-sensitive consumers (e.g. the OBDD backend)
+    /// keep each group adjacent in their variable order.
+    pub var_groups: Vec<Vec<Var>>,
 }
 
 /// Generates lineage for `n` points under the given scheme.
@@ -100,6 +106,7 @@ pub fn generate_lineage(n: usize, scheme: Scheme, opts: &LineageOpts, seed: u64)
     // refcount bump; uncertain groups are overwritten below).
     #[allow(clippy::rc_clone_in_vec_init)]
     let mut group_events: Vec<Rc<Event>> = vec![Rc::new(Event::Tru); n_groups];
+    let mut var_groups: Vec<Vec<Var>> = Vec::new();
     let n_vars: usize;
     match scheme {
         Scheme::Positive { l, v } => {
@@ -121,6 +128,9 @@ pub fn generate_lineage(n: usize, scheme: Scheme, opts: &LineageOpts, seed: u64)
             for set in uncertain_groups.chunks(groups_per_set) {
                 let set_vars: Vec<Var> = (0..set.len()).map(|j| Var(next_var + j as u32)).collect();
                 next_var += set.len() as u32;
+                if set_vars.len() > 1 {
+                    var_groups.push(set_vars.clone());
+                }
                 for (j, &g) in set.iter().enumerate() {
                     let mut conj: Vec<Rc<Event>> =
                         set_vars[..j].iter().map(|&x| Event::nvar(x)).collect();
@@ -145,6 +155,7 @@ pub fn generate_lineage(n: usize, scheme: Scheme, opts: &LineageOpts, seed: u64)
                         let xt = Var(next_var);
                         let xf = Var(next_var + 1);
                         next_var += 2;
+                        var_groups.push(vec![xt, xf]);
                         Event::or([
                             Event::and([phi.clone(), Event::var(xt)]),
                             Event::and([Event::not(phi.clone()), Event::var(xf)]),
@@ -167,6 +178,7 @@ pub fn generate_lineage(n: usize, scheme: Scheme, opts: &LineageOpts, seed: u64)
     Correlations {
         lineage,
         var_table: VarTable::new(probs),
+        var_groups,
     }
 }
 
@@ -221,6 +233,7 @@ mod tests {
         let c = generate_lineage(12, Scheme::Mutex { m: 12 }, &opts(), 5);
         let n = c.var_table.len();
         assert_eq!(n, 3);
+        assert_eq!(c.var_groups, vec![vec![Var(0), Var(1), Var(2)]]);
         // In every world, at most one group's lineage holds.
         for code in 0..(1u64 << n) {
             let nu = Valuation::from_code(n, code);
@@ -238,6 +251,9 @@ mod tests {
         let c = generate_lineage(16, Scheme::Conditional, &opts(), 11);
         // 4 groups: 1 + 2·3 = 7 variables.
         assert_eq!(c.var_table.len(), 7);
+        // One (xᵗ, xᶠ) group per non-initial step.
+        assert_eq!(c.var_groups.len(), 3);
+        assert!(c.var_groups.iter().all(|g| g.len() == 2));
         // The chain gives every group a satisfiable and falsifiable event.
         let n = c.var_table.len();
         for g in 0..4 {

@@ -3,7 +3,7 @@
 use crate::correlations::{generate_lineage, LineageOpts, Scheme};
 use crate::sensor::{generate_sensor_points, SensorConfig};
 use enframe_cluster::{farthest_first, DistanceKind, Point};
-use enframe_core::VarTable;
+use enframe_core::{Var, VarTable};
 use enframe_translate::env::{clustering_env, ProbEnv, ProbObjects};
 
 /// A ready-to-run k-medoids workload: probabilistic environment, variable
@@ -18,6 +18,10 @@ pub struct ClusteringWorkload {
     pub points: Vec<Vec<f64>>,
     /// Seed medoid indices chosen by farthest-first traversal.
     pub seeds: Vec<usize>,
+    /// Multi-valued variable groups of the lineage (see
+    /// [`crate::Correlations::var_groups`]); adjacency hints for
+    /// order-sensitive engines such as the OBDD backend.
+    pub var_groups: Vec<Vec<Var>>,
 }
 
 /// Builds a k-medoids workload over synthetic sensor data with the given
@@ -46,6 +50,7 @@ pub fn kmedoids_workload(
         vt: corr.var_table,
         points,
         seeds,
+        var_groups: corr.var_groups,
     }
 }
 

@@ -1,0 +1,355 @@
+//! Compiling event-network nodes into OBDDs.
+//!
+//! Purely propositional structure (`Var`, `ConstBool`, `Not`, `And`,
+//! `Or`) compiles **compositionally**: children's BDDs are combined with
+//! the manager's apply operations, bottom-up over the network's
+//! topological order, so shared sub-events are compiled exactly once.
+//! For the read-once and hierarchical lineage produced by the mutex and
+//! conditional correlation schemes this stays polynomial — the whole
+//! point of the knowledge-compilation route.
+//!
+//! Comparison atoms (`Cmp`) close over *numeric* c-value structure, which
+//! has no direct BDD encoding. They are compiled by **Shannon expansion**
+//! over the atom's support variables in global order, with a three-valued
+//! partial evaluator pruning every branch as soon as the comparison's
+//! outcome is forced (e.g. once one side is known undefined the atom is
+//! true, §3.2). Worst case this is exponential in the atom's support —
+//! the same cost the decision-tree engine pays for the *whole network* —
+//! but it is local to each atom, shared across targets, and the partial
+//! evaluator cuts mutex- and guard-heavy structure early.
+
+use crate::manager::{Bdd, Manager};
+use crate::ObddError;
+use enframe_core::{Value, Var};
+use enframe_network::{Network, NodeId, NodeKind};
+
+/// Three-valued partial evaluation result for one network node.
+#[derive(Debug, Clone, PartialEq)]
+enum Partial {
+    /// Boolean node with a forced truth value.
+    B(bool),
+    /// Numeric node with a forced value.
+    V(Value),
+    /// Not yet determined by the partial assignment.
+    Unknown,
+}
+
+/// Compiles network nodes into BDDs over a fixed level assignment.
+pub(crate) struct Compiler<'n> {
+    net: &'n Network,
+    /// Level of each variable (index by `Var`), `None` when absent.
+    level_of: Vec<Option<u32>>,
+    /// Compiled BDD per network node (Boolean cone only).
+    cache: Vec<Option<Bdd>>,
+    /// Scratch: current partial assignment, indexed by variable.
+    assignment: Vec<Option<bool>>,
+    /// Scratch: partial values per network node for one evaluation pass.
+    scratch: Vec<Partial>,
+    /// Count of Shannon-expansion branches taken for `Cmp` atoms.
+    pub(crate) cmp_branches: u64,
+}
+
+impl<'n> Compiler<'n> {
+    pub(crate) fn new(net: &'n Network, level_of: Vec<Option<u32>>) -> Self {
+        Compiler {
+            net,
+            level_of,
+            cache: vec![None; net.len()],
+            assignment: vec![None; net.n_vars as usize],
+            scratch: vec![Partial::Unknown; net.len()],
+            cmp_branches: 0,
+        }
+    }
+
+    /// Compiles one Boolean node (typically a target) into a BDD.
+    pub(crate) fn compile(&mut self, man: &mut Manager, root: NodeId) -> Result<Bdd, ObddError> {
+        // The Boolean cone of `root`: nodes whose BDDs are combined
+        // compositionally. Recursion stops at `Cmp` atoms — their numeric
+        // subtrees are handled by Shannon expansion instead.
+        let mut cone: Vec<NodeId> = Vec::new();
+        let mut stack = vec![root];
+        let mut seen = vec![false; self.net.len()];
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] || self.cache[id.index()].is_some() {
+                continue;
+            }
+            seen[id.index()] = true;
+            cone.push(id);
+            let node = self.net.node(id);
+            match node.kind {
+                NodeKind::Not | NodeKind::And | NodeKind::Or => {
+                    stack.extend(node.children.iter().copied());
+                }
+                _ => {}
+            }
+        }
+        // Children precede parents in the network's node order, so
+        // ascending index order is a valid evaluation order for the cone.
+        cone.sort_unstable();
+        for id in cone {
+            let bdd = self.compile_one(man, id)?;
+            self.cache[id.index()] = Some(bdd);
+        }
+        Ok(self.cache[root.index()].expect("root is in its own cone"))
+    }
+
+    fn compile_one(&mut self, man: &mut Manager, id: NodeId) -> Result<Bdd, ObddError> {
+        let node = self.net.node(id);
+        let cached = |c: NodeId, cache: &[Option<Bdd>]| {
+            cache[c.index()].expect("children compiled before parents")
+        };
+        Ok(match &node.kind {
+            NodeKind::Var(v) => {
+                let level = self.level(*v)?;
+                man.var(level)
+            }
+            NodeKind::ConstBool(true) => Bdd::TRUE,
+            NodeKind::ConstBool(false) => Bdd::FALSE,
+            NodeKind::Not => !cached(node.children[0], &self.cache),
+            NodeKind::And => {
+                let mut acc = Bdd::TRUE;
+                for &c in &node.children {
+                    let b = cached(c, &self.cache);
+                    acc = man.and(acc, b);
+                    if acc == Bdd::FALSE {
+                        break;
+                    }
+                }
+                acc
+            }
+            NodeKind::Or => {
+                let mut acc = Bdd::FALSE;
+                for &c in &node.children {
+                    let b = cached(c, &self.cache);
+                    acc = man.or(acc, b);
+                    if acc == Bdd::TRUE {
+                        break;
+                    }
+                }
+                acc
+            }
+            NodeKind::Cmp(_) => self.expand_cmp(man, id)?,
+            NodeKind::LoopIn { .. } => {
+                return Err(ObddError::Unsupported(
+                    "folded networks (LoopIn nodes) have no OBDD encoding yet".into(),
+                ))
+            }
+            other => {
+                return Err(ObddError::Unsupported(format!(
+                    "numeric node {} cannot be a Boolean compilation root",
+                    other.label()
+                )))
+            }
+        })
+    }
+
+    fn level(&self, v: Var) -> Result<u32, ObddError> {
+        self.level_of[v.index()].ok_or_else(|| {
+            ObddError::Unsupported(format!("variable x{} has no assigned level", v.0))
+        })
+    }
+
+    /// Shannon expansion of a comparison atom over its support, in global
+    /// level order, pruning branches the partial evaluator resolves.
+    fn expand_cmp(&mut self, man: &mut Manager, id: NodeId) -> Result<Bdd, ObddError> {
+        // The atom's reachable subtree, ascending (topological) order.
+        let mut seen = vec![false; self.net.len()];
+        let mut stack = vec![id];
+        let mut subtree: Vec<NodeId> = Vec::new();
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            subtree.push(n);
+            stack.extend(self.net.node(n).children.iter().copied());
+        }
+        subtree.sort_unstable();
+        // Support variables, root-most level first.
+        let mut support: Vec<Var> = Vec::new();
+        for &n in &subtree {
+            if let NodeKind::Var(v) = self.net.node(n).kind {
+                support.push(v);
+            }
+        }
+        for &v in &support {
+            let _ = self.level(v)?; // fail early on unlevelled variables
+        }
+        support.sort_by_key(|v| self.level_of[v.index()]);
+        self.expand_rec(man, id, &subtree, &support, 0)
+    }
+
+    fn expand_rec(
+        &mut self,
+        man: &mut Manager,
+        id: NodeId,
+        subtree: &[NodeId],
+        support: &[Var],
+        next: usize,
+    ) -> Result<Bdd, ObddError> {
+        self.cmp_branches += 1;
+        if let Partial::B(b) = self.partial_eval(id, subtree)? {
+            return Ok(if b { Bdd::TRUE } else { Bdd::FALSE });
+        }
+        let v = *support.get(next).ok_or_else(|| {
+            ObddError::Unsupported(format!(
+                "comparison at node {} undetermined under a complete assignment",
+                id.0
+            ))
+        })?;
+        self.assignment[v.index()] = Some(true);
+        let hi = self.expand_rec(man, id, subtree, support, next + 1);
+        self.assignment[v.index()] = Some(false);
+        let lo = hi.and_then(|hi| {
+            self.expand_rec(man, id, subtree, support, next + 1)
+                .map(|lo| (hi, lo))
+        });
+        self.assignment[v.index()] = None;
+        let (hi, lo) = lo?;
+        let level = self.level(v)?;
+        Ok(man.node(level, hi, lo))
+    }
+
+    /// Three-valued evaluation of `root` under the current partial
+    /// assignment, visiting its subtree bottom-up.
+    fn partial_eval(&mut self, root: NodeId, subtree: &[NodeId]) -> Result<Partial, ObddError> {
+        for &id in subtree {
+            let node = self.net.node(id);
+            let val = match &node.kind {
+                NodeKind::Var(v) => match self.assignment[v.index()] {
+                    Some(b) => Partial::B(b),
+                    None => Partial::Unknown,
+                },
+                NodeKind::ConstBool(b) => Partial::B(*b),
+                NodeKind::Not => match self.scratch[node.children[0].index()] {
+                    Partial::B(b) => Partial::B(!b),
+                    _ => Partial::Unknown,
+                },
+                NodeKind::And => {
+                    let mut out = Partial::B(true);
+                    for &c in &node.children {
+                        match self.scratch[c.index()] {
+                            Partial::B(false) => {
+                                out = Partial::B(false);
+                                break;
+                            }
+                            Partial::B(true) => {}
+                            _ => out = Partial::Unknown,
+                        }
+                    }
+                    out
+                }
+                NodeKind::Or => {
+                    let mut out = Partial::B(false);
+                    for &c in &node.children {
+                        match self.scratch[c.index()] {
+                            Partial::B(true) => {
+                                out = Partial::B(true);
+                                break;
+                            }
+                            Partial::B(false) => {}
+                            _ => out = Partial::Unknown,
+                        }
+                    }
+                    out
+                }
+                NodeKind::Cmp(op) => {
+                    let a = &self.scratch[node.children[0].index()];
+                    let b = &self.scratch[node.children[1].index()];
+                    // An undefined side makes any comparison true (§3.2),
+                    // even when the other side is still unknown.
+                    match (a, b) {
+                        (Partial::V(Value::Undef), _) | (_, Partial::V(Value::Undef)) => {
+                            Partial::B(true)
+                        }
+                        (Partial::V(x), Partial::V(y)) => Partial::B(x.compare(*op, y)?),
+                        _ => Partial::Unknown,
+                    }
+                }
+                NodeKind::ConstVal => Partial::V(node.value.clone().expect("ConstVal payload")),
+                NodeKind::Cond => match self.scratch[node.children[0].index()] {
+                    Partial::B(true) => Partial::V(node.value.clone().expect("Cond payload")),
+                    Partial::B(false) => Partial::V(Value::Undef),
+                    _ => Partial::Unknown,
+                },
+                NodeKind::Guard => {
+                    let guard = &self.scratch[node.children[0].index()];
+                    let inner = &self.scratch[node.children[1].index()];
+                    match (guard, inner) {
+                        // Both outcomes are u once the payload is u.
+                        (_, Partial::V(Value::Undef)) | (Partial::B(false), _) => {
+                            Partial::V(Value::Undef)
+                        }
+                        (Partial::B(true), Partial::V(v)) => Partial::V(v.clone()),
+                        _ => Partial::Unknown,
+                    }
+                }
+                NodeKind::Sum => {
+                    let mut acc = Some(Value::Undef);
+                    for &c in &node.children {
+                        match (&self.scratch[c.index()], acc.take()) {
+                            (Partial::V(v), Some(a)) => acc = Some(a.add(v)?),
+                            _ => break,
+                        }
+                    }
+                    match acc {
+                        Some(v) => Partial::V(v),
+                        None => Partial::Unknown,
+                    }
+                }
+                NodeKind::Prod => {
+                    // An undefined factor absorbs the whole product (§3.2),
+                    // so one known-u child resolves it early.
+                    if node
+                        .children
+                        .iter()
+                        .any(|&c| self.scratch[c.index()] == Partial::V(Value::Undef))
+                    {
+                        Partial::V(Value::Undef)
+                    } else {
+                        let mut acc = Some(Value::Num(1.0));
+                        for &c in &node.children {
+                            match (&self.scratch[c.index()], acc.take()) {
+                                (Partial::V(v), Some(a)) => acc = Some(a.mul(v)?),
+                                _ => break,
+                            }
+                        }
+                        match acc {
+                            Some(v) => Partial::V(v),
+                            None => Partial::Unknown,
+                        }
+                    }
+                }
+                NodeKind::Inv => match &self.scratch[node.children[0].index()] {
+                    Partial::V(v) => Partial::V(v.inv()?),
+                    _ => Partial::Unknown,
+                },
+                NodeKind::Pow(r) => match &self.scratch[node.children[0].index()] {
+                    Partial::V(v) => Partial::V(v.pow(*r)?),
+                    _ => Partial::Unknown,
+                },
+                NodeKind::Dist => {
+                    let a = &self.scratch[node.children[0].index()];
+                    let b = &self.scratch[node.children[1].index()];
+                    match (a, b) {
+                        (Partial::V(Value::Undef), _) | (_, Partial::V(Value::Undef)) => {
+                            Partial::V(Value::Undef)
+                        }
+                        (Partial::V(x), Partial::V(y)) => Partial::V(x.dist(y)?),
+                        _ => Partial::Unknown,
+                    }
+                }
+                NodeKind::LoopIn { .. } => {
+                    return Err(ObddError::Unsupported(
+                        "folded networks (LoopIn nodes) have no OBDD encoding yet".into(),
+                    ))
+                }
+            };
+            self.scratch[id.index()] = val;
+        }
+        Ok(std::mem::replace(
+            &mut self.scratch[root.index()],
+            Partial::Unknown,
+        ))
+    }
+}

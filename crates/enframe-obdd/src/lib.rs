@@ -1,0 +1,544 @@
+//! # enframe-obdd — OBDD knowledge compilation for event networks
+//!
+//! The decision-tree engine of `enframe-prob` explores the Shannon tree
+//! induced by the input variables (paper Algorithm 1) — exact answers cost
+//! time exponential in the variable count, whatever the lineage looks
+//! like. This crate implements the *knowledge compilation* route of Koch &
+//! Olteanu's "Conditioning Probabilistic Databases": compile each target
+//! event **once** into an ordered binary decision diagram, then answer
+//! probability and conditioning queries in time **linear in the compiled
+//! size**. For the read-once and hierarchical lineage produced by the
+//! mutex and conditional correlation schemes the compiled size is
+//! polynomial, so exact probabilities become feasible far beyond the
+//! decision-tree engine's horizon.
+//!
+//! * [`Manager`] — the hash-consed node store: unique table, memoised
+//!   [`Manager::ite`], constant-time negation via complement edges.
+//! * [`ObddEngine`] — compiles an [`enframe_network::Network`]'s targets
+//!   (propositional structure compositionally; comparison atoms by
+//!   Shannon expansion with three-valued pruning), computes exact
+//!   probabilities by weighted model counting ([`Wmc`]), and answers
+//!   [`ObddEngine::condition`] queries: posteriors `P(target | evidence)`
+//!   for arbitrary evidence events.
+//!
+//! Mutex var-groups — the paper's encoding of a multi-valued "which of
+//! these points exists" choice as a Boolean chain `¬x₁ ∧ … ∧ xⱼ` — are
+//! respected natively: [`ObddOptions::groups`] keeps each group's
+//! variables adjacent in the order (anchored at the group's best-ranked
+//! member under the chosen [`VarOrder`] heuristic), which keeps every
+//! mutex chain's BDD linear in the group size.
+//!
+//! ```
+//! use enframe_core::{Program, Var, VarTable};
+//! use enframe_network::Network;
+//! use enframe_obdd::{ObddEngine, ObddOptions};
+//!
+//! let mut p = Program::new();
+//! let x = p.fresh_var();
+//! let y = p.fresh_var();
+//! let e = p.declare_event("E", Program::or([Program::var(x), Program::var(y)]));
+//! p.add_target(e);
+//! let net = Network::build(&p.ground().unwrap()).unwrap();
+//! let mut engine = ObddEngine::compile(&net, &ObddOptions::default()).unwrap();
+//! let vt = VarTable::uniform(2, 0.5);
+//! assert!((engine.probabilities(&vt)[0] - 0.75).abs() < 1e-12);
+//!
+//! // Condition on x being false: P(E | ¬x) = P(y) = 0.5.
+//! let ev = engine.evidence(&[(Var(0), false)]);
+//! let post = engine.condition(&vt, ev).unwrap();
+//! assert!((post.posteriors[0] - 0.5).abs() < 1e-12);
+//! ```
+
+mod compile;
+pub mod manager;
+pub mod wmc;
+
+pub use manager::{Bdd, Manager};
+pub use wmc::Wmc;
+
+use compile::Compiler;
+use enframe_core::{CoreError, Var, VarTable};
+use enframe_network::Network;
+use enframe_prob::order::{static_order, VarOrder};
+use std::collections::HashMap;
+
+/// Errors of the OBDD backend.
+#[derive(Debug)]
+pub enum ObddError {
+    /// The network contains structure with no OBDD encoding (folded
+    /// loops), or a query refers to unknown entities.
+    Unsupported(String),
+    /// A numeric evaluation failed while expanding a comparison atom.
+    Core(CoreError),
+    /// Conditioning on evidence of probability zero.
+    ZeroEvidence,
+}
+
+impl std::fmt::Display for ObddError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObddError::Unsupported(what) => write!(f, "unsupported for OBDD compilation: {what}"),
+            ObddError::Core(e) => write!(f, "evaluation error during compilation: {e}"),
+            ObddError::ZeroEvidence => write!(f, "conditioning on evidence of probability zero"),
+        }
+    }
+}
+
+impl std::error::Error for ObddError {}
+
+impl From<CoreError> for ObddError {
+    fn from(e: CoreError) -> Self {
+        ObddError::Core(e)
+    }
+}
+
+/// Options for OBDD compilation.
+#[derive(Debug, Clone, Default)]
+pub struct ObddOptions {
+    /// Variable-order heuristic (shared with the decision-tree engine).
+    pub order: VarOrder,
+    /// Variable groups to keep **adjacent** in the order — one group per
+    /// mutex set or conditional step, i.e. per encoded multi-valued
+    /// variable. Members absent from the network are ignored; a variable
+    /// listed in several groups joins the first.
+    pub groups: Vec<Vec<Var>>,
+}
+
+impl ObddOptions {
+    /// Default heuristic with the given adjacency groups.
+    pub fn with_groups(groups: Vec<Vec<Var>>) -> Self {
+        ObddOptions {
+            order: VarOrder::default(),
+            groups,
+        }
+    }
+}
+
+/// Compilation statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObddStats {
+    /// Total nodes in the manager after compiling all targets.
+    pub nodes: usize,
+    /// Decision nodes of the largest single target BDD.
+    pub largest_target: usize,
+    /// Shannon-expansion branches taken while compiling comparison atoms.
+    pub cmp_branches: u64,
+    /// `ite` computed-table hits during compilation.
+    pub cache_hits: u64,
+}
+
+/// Posteriors from a conditioning query.
+#[derive(Debug, Clone)]
+pub struct Conditioned {
+    /// The probability of the evidence itself.
+    pub evidence_prob: f64,
+    /// `P(target | evidence)` per target, in registration order.
+    pub posteriors: Vec<f64>,
+}
+
+/// A compiled network: one BDD per target over a shared manager.
+///
+/// Compile once, then query many times — probabilities and posteriors
+/// are linear in the compiled size per query.
+#[derive(Debug)]
+pub struct ObddEngine {
+    man: Manager,
+    /// Level → variable (the compilation order).
+    order: Vec<Var>,
+    /// Variable index → level.
+    level_of: Vec<Option<u32>>,
+    targets: Vec<Bdd>,
+    names: Vec<String>,
+    stats: ObddStats,
+}
+
+impl ObddEngine {
+    /// Compiles every registered target of `net` into a BDD.
+    pub fn compile(net: &Network, opts: &ObddOptions) -> Result<Self, ObddError> {
+        let order = grouped_order(static_order(net, opts.order), &opts.groups);
+        let mut level_of: Vec<Option<u32>> = vec![None; net.n_vars as usize];
+        for (l, v) in order.iter().enumerate() {
+            level_of[v.index()] = Some(l as u32);
+        }
+        let mut man = Manager::new();
+        let mut compiler = Compiler::new(net, level_of.clone());
+        let mut targets = Vec::with_capacity(net.targets.len());
+        for &t in &net.targets {
+            targets.push(compiler.compile(&mut man, t)?);
+        }
+        let stats = ObddStats {
+            nodes: man.len(),
+            largest_target: targets.iter().map(|&t| man.size(t)).max().unwrap_or(0),
+            cmp_branches: compiler.cmp_branches,
+            cache_hits: man.cache_hits(),
+        };
+        Ok(ObddEngine {
+            man,
+            order,
+            level_of,
+            targets,
+            names: net.target_names.clone(),
+            stats,
+        })
+    }
+
+    /// Compilation statistics.
+    pub fn stats(&self) -> &ObddStats {
+        &self.stats
+    }
+
+    /// The shared manager (e.g. to combine target BDDs into richer
+    /// evidence).
+    pub fn manager_mut(&mut self) -> &mut Manager {
+        &mut self.man
+    }
+
+    /// The compiled BDD of target `i`.
+    pub fn target(&self, i: usize) -> Bdd {
+        self.targets[i]
+    }
+
+    /// Target names, parallel to the probability vectors.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of compiled targets.
+    pub fn n_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Exact probability of every target — one weighted-model-counting
+    /// pass over the union of the target DAGs.
+    ///
+    /// # Panics
+    /// Panics if `vt` does not cover the compiled variables.
+    pub fn probabilities(&self, vt: &VarTable) -> Vec<f64> {
+        let mut wmc = Wmc::new(&self.man, self.level_weights(vt));
+        self.targets.iter().map(|&t| wmc.probability(t)).collect()
+    }
+
+    /// The conjunction of the given literals as an evidence BDD.
+    /// Variables the compiled targets never mention get fresh bottom
+    /// levels, so conditioning on them is a well-defined no-op.
+    pub fn evidence(&mut self, literals: &[(Var, bool)]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for &(v, value) in literals {
+            let level = self.ensure_level(v);
+            let lit = if value {
+                self.man.var(level)
+            } else {
+                self.man.nvar(level)
+            };
+            acc = self.man.and(acc, lit);
+        }
+        acc
+    }
+
+    /// Posterior probabilities `P(target | evidence)` for every target,
+    /// plus `P(evidence)`. The evidence may be any BDD over this
+    /// engine's manager — literal conjunctions from
+    /// [`ObddEngine::evidence`], a compiled [`ObddEngine::target`], or
+    /// any combination built via [`ObddEngine::manager_mut`].
+    ///
+    /// # Panics
+    /// Panics if `vt` does not cover the compiled variables.
+    pub fn condition(&mut self, vt: &VarTable, evidence: Bdd) -> Result<Conditioned, ObddError> {
+        // Reject impossible evidence before conjoining it into every
+        // target: the joints would permanently grow the (never-GC'd)
+        // manager only to be thrown away.
+        let evidence_prob = Wmc::new(&self.man, self.level_weights(vt)).probability(evidence);
+        if evidence_prob <= 0.0 {
+            return Err(ObddError::ZeroEvidence);
+        }
+        let joint: Vec<Bdd> = self
+            .targets
+            .clone()
+            .into_iter()
+            .map(|t| self.man.and(t, evidence))
+            .collect();
+        let mut wmc = Wmc::new(&self.man, self.level_weights(vt));
+        let posteriors = joint
+            .into_iter()
+            .map(|j| wmc.probability(j) / evidence_prob)
+            .collect();
+        Ok(Conditioned {
+            evidence_prob,
+            posteriors,
+        })
+    }
+
+    fn level_weights(&self, vt: &VarTable) -> Vec<f64> {
+        assert!(
+            self.order.iter().all(|v| v.index() < vt.len()),
+            "variable table covers {} variables but the OBDD uses up to x{}",
+            vt.len(),
+            self.order.iter().map(|v| v.0).max().unwrap_or(0)
+        );
+        self.order.iter().map(|&v| vt.prob(v)).collect()
+    }
+
+    fn ensure_level(&mut self, v: Var) -> u32 {
+        if v.index() >= self.level_of.len() {
+            self.level_of.resize(v.index() + 1, None);
+        }
+        match self.level_of[v.index()] {
+            Some(l) => l,
+            None => {
+                let l = self.order.len() as u32;
+                self.order.push(v);
+                self.level_of[v.index()] = Some(l);
+                l
+            }
+        }
+    }
+}
+
+/// Re-ranks a base variable order so that each group's members sit
+/// adjacent, anchored at the group's best-ranked member. Variables not in
+/// `base` (absent from the network) are dropped from groups; the result
+/// is always a permutation of `base`.
+fn grouped_order(base: Vec<Var>, groups: &[Vec<Var>]) -> Vec<Var> {
+    if groups.is_empty() {
+        return base;
+    }
+    let rank: HashMap<Var, usize> = base.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut group_of: HashMap<Var, usize> = HashMap::new();
+    for (gi, group) in groups.iter().enumerate() {
+        for &v in group {
+            group_of.entry(v).or_insert(gi);
+        }
+    }
+    let mut emitted: Vec<bool> = vec![false; base.len()];
+    let mut out = Vec::with_capacity(base.len());
+    for &v in &base {
+        if emitted[rank[&v]] {
+            continue;
+        }
+        match group_of.get(&v) {
+            Some(&gi) => {
+                let mut members: Vec<Var> = groups[gi]
+                    .iter()
+                    .copied()
+                    .filter(|m| rank.contains_key(m) && group_of[m] == gi)
+                    .collect();
+                members.sort_by_key(|m| rank[m]);
+                for m in members {
+                    if !emitted[rank[&m]] {
+                        emitted[rank[&m]] = true;
+                        out.push(m);
+                    }
+                }
+            }
+            None => {
+                emitted[rank[&v]] = true;
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enframe_core::{space, Program};
+
+    fn engine_for(p: &Program, opts: &ObddOptions) -> (ObddEngine, Vec<f64>, VarTable) {
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let vt = VarTable::new((0..g.n_vars).map(|i| 0.3 + 0.05 * i as f64).collect());
+        let want = space::target_probabilities(&g, &vt);
+        let engine = ObddEngine::compile(&net, opts).unwrap();
+        (engine, want, vt)
+    }
+
+    fn mutex_chain_program(k: usize) -> Program {
+        let mut p = Program::new();
+        let vars: Vec<Var> = (0..k).map(|_| p.fresh_var()).collect();
+        for j in 0..k {
+            let mut conj: Vec<_> = vars[..j].iter().map(|&x| Program::nvar(x)).collect();
+            conj.push(Program::var(vars[j]));
+            let e = p.declare_event(&format!("Phi{j}"), Program::and(conj));
+            p.add_target(e);
+        }
+        p
+    }
+
+    #[test]
+    fn propositional_probabilities_match_enumeration() {
+        let mut p = Program::new();
+        let x = p.fresh_var();
+        let y = p.fresh_var();
+        let z = p.fresh_var();
+        let e1 = p.declare_event(
+            "E1",
+            Program::or([
+                Program::and([Program::var(x), Program::nvar(y)]),
+                Program::var(z),
+            ]),
+        );
+        let e2 = p.declare_event("E2", Program::not(Program::eref(e1.clone())));
+        p.add_target(e1);
+        p.add_target(e2);
+        let (engine, want, vt) = engine_for(&p, &ObddOptions::default());
+        let got = engine.probabilities(&vt);
+        for i in 0..want.len() {
+            assert!((got[i] - want[i]).abs() < 1e-12, "target {i}");
+        }
+        assert!((got[0] + got[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutex_chain_compiles_linearly() {
+        // The mutex encoding Φⱼ = ¬x₁ ∧ … ∧ xⱼ is read-once: each target's
+        // BDD is a chain of at most k nodes, and the manager holding all k
+        // targets stays quadratic — polynomial where the decision tree
+        // over k variables has 2^k branches.
+        let k = 40;
+        let p = mutex_chain_program(k);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let engine = ObddEngine::compile(&net, &ObddOptions::default()).unwrap();
+        assert!(
+            engine.stats().largest_target <= k,
+            "a mutex chain target must stay linear: {} nodes for k={k}",
+            engine.stats().largest_target
+        );
+        assert!(
+            engine.stats().nodes <= k * k,
+            "all k mutex targets together must stay quadratic: {} nodes for k={k}",
+            engine.stats().nodes
+        );
+        // Closed form: P(Φⱼ) = Πᵢ<ⱼ (1−pᵢ) · pⱼ.
+        let vt = VarTable::new((0..k).map(|i| 0.3 + 0.01 * i as f64).collect());
+        let got = engine.probabilities(&vt);
+        for j in 0..k {
+            let mut want = vt.prob(Var(j as u32));
+            for i in 0..j {
+                want *= 1.0 - vt.prob(Var(i as u32));
+            }
+            assert!((got[j] - want).abs() < 1e-12, "target {j}");
+        }
+    }
+
+    #[test]
+    fn comparison_atoms_expand_correctly() {
+        use enframe_core::program::{SymCVal, SymEvent, ValSrc};
+        use enframe_core::{CmpOp, Value};
+        use std::rc::Rc;
+        // E = [Σᵢ xᵢ⊗(i+1) ≥ 3] over 3 variables.
+        let mut p = Program::new();
+        let vars: Vec<_> = (0..3).map(|_| p.fresh_var()).collect();
+        let sum = Rc::new(SymCVal::Sum(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    Rc::new(SymCVal::Cond(
+                        Program::var(v),
+                        ValSrc::Const(Value::Num(i as f64 + 1.0)),
+                    ))
+                })
+                .collect(),
+        ));
+        let e = p.declare_event(
+            "E",
+            Rc::new(SymEvent::Atom(
+                CmpOp::Ge,
+                sum,
+                Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(3.0)))),
+            )),
+        );
+        p.add_target(e);
+        let (engine, want, vt) = engine_for(&p, &ObddOptions::default());
+        let got = engine.probabilities(&vt);
+        assert!((got[0] - want[0]).abs() < 1e-12);
+        assert!(engine.stats().cmp_branches > 0);
+    }
+
+    #[test]
+    fn conditioning_matches_bayes_by_hand() {
+        // E = x ∨ y, evidence ¬x: P(E | ¬x) = P(y).
+        let mut p = Program::new();
+        let x = p.fresh_var();
+        let y = p.fresh_var();
+        let e = p.declare_event("E", Program::or([Program::var(x), Program::var(y)]));
+        p.add_target(e);
+        let (mut engine, _, _) = engine_for(&p, &ObddOptions::default());
+        let vt = VarTable::new(vec![0.6, 0.25]);
+        let ev = engine.evidence(&[(x, false)]);
+        let cond = engine.condition(&vt, ev).unwrap();
+        assert!((cond.evidence_prob - 0.4).abs() < 1e-12);
+        assert!((cond.posteriors[0] - 0.25).abs() < 1e-12);
+        // Conditioning on a target: P(E | E) = 1.
+        let t = engine.target(0);
+        let cond = engine.condition(&vt, t).unwrap();
+        assert!((cond.posteriors[0] - 1.0).abs() < 1e-12);
+        // Zero-probability evidence is rejected.
+        let bad = engine.evidence(&[(x, true), (x, false)]);
+        assert!(matches!(
+            engine.condition(&vt, bad),
+            Err(ObddError::ZeroEvidence)
+        ));
+    }
+
+    #[test]
+    fn conditioning_on_unmentioned_variable_is_a_noop() {
+        let mut p = Program::new();
+        let x = p.fresh_var();
+        let free = p.fresh_var(); // never used in any event
+        let e = p.declare_event("E", Program::var(x));
+        p.add_target(e);
+        let (mut engine, _, _) = engine_for(&p, &ObddOptions::default());
+        let vt = VarTable::new(vec![0.7, 0.5]);
+        let prior = engine.probabilities(&vt)[0];
+        let ev = engine.evidence(&[(free, true)]);
+        let cond = engine.condition(&vt, ev).unwrap();
+        assert!((cond.evidence_prob - 0.5).abs() < 1e-12);
+        assert!((cond.posteriors[0] - prior).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_order_keeps_groups_adjacent() {
+        let base: Vec<Var> = [4, 0, 2, 1, 3].iter().map(|&i| Var(i)).collect();
+        let groups = vec![vec![Var(1), Var(2)], vec![Var(9), Var(3)]];
+        let got = grouped_order(base.clone(), &groups);
+        // Group {1,2} anchors at rank of Var(2) (earlier), ordered by
+        // base rank; Var(9) is absent and dropped; result is a
+        // permutation of base.
+        assert_eq!(got, vec![Var(4), Var(0), Var(2), Var(1), Var(3)]);
+        let mut sorted = got.clone();
+        sorted.sort();
+        let mut b = base;
+        b.sort();
+        assert_eq!(sorted, b);
+        assert_eq!(grouped_order(vec![Var(0)], &[]), vec![Var(0)]);
+    }
+
+    #[test]
+    fn every_order_heuristic_gives_the_same_probabilities() {
+        let p = mutex_chain_program(6);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let vt = VarTable::uniform(6, 0.4);
+        let want = space::target_probabilities(&g, &vt);
+        for order in [
+            VarOrder::Sequential,
+            VarOrder::StaticOccurrence,
+            VarOrder::Dynamic,
+        ] {
+            let engine = ObddEngine::compile(
+                &net,
+                &ObddOptions {
+                    order,
+                    groups: vec![],
+                },
+            )
+            .unwrap();
+            let got = engine.probabilities(&vt);
+            for i in 0..want.len() {
+                assert!((got[i] - want[i]).abs() < 1e-12, "{order:?} target {i}");
+            }
+        }
+    }
+}

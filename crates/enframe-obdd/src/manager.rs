@@ -1,0 +1,454 @@
+//! The hash-consed OBDD manager.
+//!
+//! Ordered binary decision diagrams in the classic Brace–Rudell–Bryant
+//! style: a global *unique table* guarantees that every (level, then, else)
+//! triple is stored exactly once, so two functions are equal iff their
+//! [`Bdd`] handles are equal; all Boolean connectives reduce to the
+//! ternary [`Manager::ite`] operator, memoised in a computed-table; and
+//! negation is **constant time** via complement edges — a [`Bdd`] is a
+//! node index plus a complement bit, and `¬f` just flips the bit.
+//!
+//! Canonical form with complement edges requires one invariant: the
+//! *then* edge of a stored node is never complemented ([`Manager::node`]
+//! re-normalises by complementing the output instead). There is a single
+//! terminal, ⊤; ⊥ is its complement.
+//!
+//! Levels are plain `u32`s: smaller levels sit closer to the root. The
+//! mapping between levels and the engine's [`enframe_core::Var`]s lives in
+//! [`crate::ObddEngine`], keeping the manager reusable for any variable
+//! universe.
+
+use std::collections::HashMap;
+
+/// A handle to a Boolean function: node index and complement bit packed
+/// into one word. Copy-cheap; equality is function equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(0);
+    /// The constant-false function (complement of the terminal).
+    pub const FALSE: Bdd = Bdd(1);
+
+    fn pack(index: u32, complement: bool) -> Bdd {
+        Bdd(index << 1 | complement as u32)
+    }
+
+    fn index(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether this edge carries the complement bit.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `¬f`, in constant time (also available as the `!` operator).
+    pub fn complement(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+
+    /// Whether this is one of the two constant functions.
+    pub fn is_const(self) -> bool {
+        self.index() == 0
+    }
+}
+
+impl std::ops::Not for Bdd {
+    type Output = Bdd;
+    fn not(self) -> Bdd {
+        self.complement()
+    }
+}
+
+/// Level of the terminal node: below every decision level.
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// One stored decision node.
+#[derive(Debug, Clone, Copy)]
+struct NodeData {
+    /// Decision level (smaller = closer to the root).
+    level: u32,
+    /// The *then* cofactor; never complemented (canonical form).
+    hi: Bdd,
+    /// The *else* cofactor; may be complemented.
+    lo: Bdd,
+}
+
+/// The shared store of all BDD nodes, with the unique table and the
+/// `ite` computed-table.
+#[derive(Debug)]
+pub struct Manager {
+    nodes: Vec<NodeData>,
+    unique: HashMap<(u32, Bdd, Bdd), u32>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    cache_hits: u64,
+}
+
+impl Default for Manager {
+    fn default() -> Self {
+        Manager::new()
+    }
+}
+
+impl Manager {
+    /// An empty manager holding only the terminal.
+    pub fn new() -> Self {
+        Manager {
+            nodes: vec![NodeData {
+                level: TERMINAL_LEVEL,
+                hi: Bdd::TRUE,
+                lo: Bdd::TRUE,
+            }],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            cache_hits: 0,
+        }
+    }
+
+    /// Total stored nodes, terminal included.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the manager holds only the terminal.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// `ite` computed-table hits so far (for stats).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// The decision level of `f`'s root ([`u32::MAX`] for constants).
+    pub fn level(&self, f: Bdd) -> u32 {
+        self.nodes[f.index() as usize].level
+    }
+
+    /// The positive literal of a level.
+    pub fn var(&mut self, level: u32) -> Bdd {
+        self.node(level, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// The negative literal of a level.
+    pub fn nvar(&mut self, level: u32) -> Bdd {
+        self.node(level, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The cofactors `(f|level=1, f|level=0)` of `f` with respect to
+    /// `level`, which must be ≤ `f`'s root level.
+    pub fn cofactors(&self, f: Bdd, level: u32) -> (Bdd, Bdd) {
+        let n = &self.nodes[f.index() as usize];
+        debug_assert!(level <= n.level, "cofactor below the root level");
+        if n.level != level {
+            return (f, f);
+        }
+        if f.is_complement() {
+            (!n.hi, !n.lo)
+        } else {
+            (n.hi, n.lo)
+        }
+    }
+
+    /// The unique (reduced) node `level ? hi : lo`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a child's level is not strictly below
+    /// `level` (ordering violation).
+    pub fn node(&mut self, level: u32, hi: Bdd, lo: Bdd) -> Bdd {
+        debug_assert!(
+            self.level(hi) > level && self.level(lo) > level,
+            "child level above parent"
+        );
+        if hi == lo {
+            return hi;
+        }
+        // Canonical form: the then-edge is never complemented.
+        if hi.is_complement() {
+            return !self.node_raw(level, !hi, !lo);
+        }
+        self.node_raw(level, hi, lo)
+    }
+
+    fn node_raw(&mut self, level: u32, hi: Bdd, lo: Bdd) -> Bdd {
+        let key = (level, hi, lo);
+        if let Some(&idx) = self.unique.get(&key) {
+            return Bdd::pack(idx, false);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(NodeData { level, hi, lo });
+        self.unique.insert(key, idx);
+        Bdd::pack(idx, false)
+    }
+
+    /// The if-then-else connective `f ? g : h` — the single apply
+    /// operation every binary connective reduces to.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        if f == Bdd::TRUE {
+            return g;
+        }
+        if f == Bdd::FALSE {
+            return h;
+        }
+        // Absorption: a branch equal (or complementary) to the condition
+        // collapses to a constant.
+        let g = if f == g {
+            Bdd::TRUE
+        } else if f == !g {
+            Bdd::FALSE
+        } else {
+            g
+        };
+        let h = if f == h {
+            Bdd::FALSE
+        } else if f == !h {
+            Bdd::TRUE
+        } else {
+            h
+        };
+        // Terminal cases.
+        if g == h {
+            return g;
+        }
+        if g == Bdd::TRUE && h == Bdd::FALSE {
+            return f;
+        }
+        if g == Bdd::FALSE && h == Bdd::TRUE {
+            return !f;
+        }
+        // Normalise for cache density: condition never complemented
+        // (swap branches), output complement hoisted out of g.
+        if f.is_complement() {
+            return self.ite(!f, h, g);
+        }
+        if g.is_complement() {
+            return !self.ite(f, !g, !h);
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            self.cache_hits += 1;
+            return r;
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f1, f0) = self.cofactors(f, top);
+        let (g1, g0) = self.cofactors(g, top);
+        let (h1, h0) = self.cofactors(h, top);
+        let hi = self.ite(f1, g1, h1);
+        let lo = self.ite(f0, g0, h0);
+        let r = self.node(top, hi, lo);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, !g, g)
+    }
+
+    /// Evaluates `f` under a complete assignment of levels to truth
+    /// values.
+    pub fn eval(&self, f: Bdd, assignment: impl Fn(u32) -> bool) -> bool {
+        let mut cur = f;
+        let mut parity = false;
+        while !cur.is_const() {
+            let n = &self.nodes[cur.index() as usize];
+            parity ^= cur.is_complement();
+            cur = if assignment(n.level) { n.hi } else { n.lo };
+        }
+        parity ^= cur.is_complement();
+        !parity
+    }
+
+    /// Number of decision nodes in the DAG rooted at `f` (complement
+    /// bits ignored; constants count as 0).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.index()];
+        while let Some(i) = stack.pop() {
+            if i == 0 || !seen.insert(i) {
+                continue;
+            }
+            let n = &self.nodes[i as usize];
+            stack.push(n.hi.index());
+            stack.push(n.lo.index());
+        }
+        seen.len()
+    }
+
+    /// Walks the DAG rooted at `f`, calling `visit(level, node)` once per
+    /// distinct decision node. Used by model counting.
+    pub(crate) fn node_of(&self, f: Bdd) -> (u32, u32, Bdd, Bdd) {
+        let i = f.index();
+        let n = &self.nodes[i as usize];
+        (i, n.level, n.hi, n.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(man: &mut Manager) -> (Bdd, Bdd, Bdd) {
+        (man.var(0), man.var(1), man.var(2))
+    }
+
+    #[test]
+    fn constants_and_negation() {
+        assert_eq!(!Bdd::TRUE, Bdd::FALSE);
+        assert_eq!(!!Bdd::TRUE, Bdd::TRUE);
+        assert!(Bdd::TRUE.is_const() && Bdd::FALSE.is_const());
+    }
+
+    #[test]
+    fn hash_consing_gives_pointer_equality() {
+        let mut man = Manager::new();
+        let (x, y, _) = lits(&mut man);
+        let a = man.and(x, y);
+        let b = man.and(y, x);
+        assert_eq!(a, b, "∧ is commutative up to hash-consing");
+        let c = man.or(!x, !y);
+        assert_eq!(c, !a, "De Morgan via complement edges");
+    }
+
+    #[test]
+    fn negation_is_free() {
+        let mut man = Manager::new();
+        let (x, y, _) = lits(&mut man);
+        let f = man.or(x, y);
+        let before = man.len();
+        let g = !f;
+        assert_eq!(man.len(), before, "¬ allocates no nodes");
+        assert_ne!(f, g);
+        assert_eq!(!g, f);
+    }
+
+    #[test]
+    fn ite_matches_truth_table() {
+        let mut man = Manager::new();
+        let (x, y, z) = lits(&mut man);
+        let f = man.ite(x, y, z);
+        for code in 0..8u32 {
+            let a = |l: u32| code >> l & 1 == 1;
+            let want = if a(0) { a(1) } else { a(2) };
+            assert_eq!(man.eval(f, a), want, "code {code:03b}");
+        }
+    }
+
+    #[test]
+    fn connectives_match_truth_tables() {
+        let mut man = Manager::new();
+        let (x, y, _) = lits(&mut man);
+        let and = man.and(x, y);
+        let or = man.or(x, y);
+        let xor = man.xor(x, y);
+        for code in 0..4u32 {
+            let a = |l: u32| code >> l & 1 == 1;
+            assert_eq!(man.eval(and, a), a(0) && a(1));
+            assert_eq!(man.eval(or, a), a(0) || a(1));
+            assert_eq!(man.eval(xor, a), a(0) ^ a(1));
+        }
+    }
+
+    #[test]
+    fn reduction_removes_redundant_tests() {
+        let mut man = Manager::new();
+        let (x, y, _) = lits(&mut man);
+        // x ? y : y ≡ y
+        let f = man.ite(x, y, y);
+        assert_eq!(f, y);
+        // tautology collapses to the terminal
+        let t = man.or(x, !x);
+        assert_eq!(t, Bdd::TRUE);
+        let c = man.and(x, !x);
+        assert_eq!(c, Bdd::FALSE);
+    }
+
+    #[test]
+    fn size_counts_distinct_nodes() {
+        let mut man = Manager::new();
+        let (x, y, z) = lits(&mut man);
+        assert_eq!(man.size(Bdd::TRUE), 0);
+        assert_eq!(man.size(x), 1);
+        let xy = man.and(x, y);
+        let f = man.or(xy, z);
+        assert_eq!(man.size(f), 3);
+    }
+
+    #[test]
+    fn ordering_is_respected() {
+        let mut man = Manager::new();
+        let (x, y, _) = lits(&mut man);
+        let f = man.and(x, y);
+        // Root tests the smaller level.
+        assert_eq!(man.level(f), 0);
+        let (hi, lo) = man.cofactors(f, 0);
+        assert_eq!(hi, y);
+        assert_eq!(lo, Bdd::FALSE);
+    }
+
+    #[test]
+    fn cache_reuses_results() {
+        let mut man = Manager::new();
+        let (x, y, z) = lits(&mut man);
+        let a = man.ite(x, y, z);
+        let before = man.cache_hits();
+        let b = man.ite(x, y, z);
+        assert_eq!(a, b);
+        assert!(man.cache_hits() > before);
+    }
+
+    /// Shannon expansion holds on random 4-level functions built from a
+    /// seeded formula generator.
+    #[test]
+    fn random_formulas_agree_with_direct_eval() {
+        let mut man = Manager::new();
+        let vars: Vec<Bdd> = (0..4).map(|l| man.var(l)).collect();
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut pool = vars.clone();
+        for _ in 0..40 {
+            let a = pool[next() as usize % pool.len()];
+            let b = pool[next() as usize % pool.len()];
+            let f = match next() % 4 {
+                0 => man.and(a, b),
+                1 => man.or(a, b),
+                2 => man.xor(a, b),
+                _ => !a,
+            };
+            pool.push(f);
+        }
+        // Cross-check every pooled function against a reference
+        // evaluation derived from its construction is implicit in the
+        // connective tests; here we check the Shannon identity
+        // f = (x ∧ f|x) ∨ (¬x ∧ f|¬x) on the manager itself.
+        for &f in &pool {
+            let (f1, f0) = if man.level(f) == 0 {
+                man.cofactors(f, 0)
+            } else {
+                (f, f)
+            };
+            let x = vars[0];
+            let a = man.and(x, f1);
+            let b = man.and(!x, f0);
+            let back = man.or(a, b);
+            assert_eq!(back, f);
+        }
+    }
+}

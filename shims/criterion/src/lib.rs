@@ -8,10 +8,11 @@
 //!
 //! Measurement is deliberately simple: after a bounded warm-up, each
 //! benchmark runs `sample_size` one-iteration samples (capped by the
-//! group's measurement time) and reports min / mean / max wall-clock
-//! time. There is no statistical analysis, plotting, or baseline store —
-//! regressions are judged from the printed numbers (or by swapping in
-//! real criterion when a registry is available). A `--list` flag and
+//! group's measurement time) and reports min / **median** / mean / max
+//! wall-clock time plus the sample standard deviation (σ), so
+//! regressions are judged on robust statistics rather than a single
+//! outlier-prone mean. There is no plotting or baseline store — swap in
+//! real criterion when a registry is available. A `--list` flag and
 //! positional substring filters are honoured so `cargo bench <name>`
 //! behaves as expected; other criterion CLI flags are accepted and
 //! ignored.
@@ -188,20 +189,63 @@ impl Bencher {
     }
 }
 
-fn report(id: &str, samples: &[Duration]) {
+/// Summary statistics of one benchmark's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Summary {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    max: Duration,
+    /// Sample standard deviation (zero for a single sample).
+    std_dev: Duration,
+}
+
+fn summarize(samples: &[Duration]) -> Option<Summary> {
     if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len();
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    };
+    let total: Duration = sorted.iter().sum();
+    let mean = total / n as u32;
+    let std_dev = if n < 2 {
+        Duration::ZERO
+    } else {
+        let mean_s = mean.as_secs_f64();
+        let var = sorted
+            .iter()
+            .map(|d| (d.as_secs_f64() - mean_s).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        Duration::from_secs_f64(var.sqrt())
+    };
+    Some(Summary {
+        min: sorted[0],
+        median,
+        mean,
+        max: sorted[n - 1],
+        std_dev,
+    })
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    let Some(s) = summarize(samples) else {
         println!("{id:<40} no samples collected");
         return;
-    }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = samples.iter().min().copied().unwrap_or_default();
-    let max = samples.iter().max().copied().unwrap_or_default();
+    };
     println!(
-        "{id:<40} time: [{} {} {}]  ({} samples)",
-        fmt_duration(min),
-        fmt_duration(mean),
-        fmt_duration(max),
+        "{id:<40} time: [{} {} {} {}]  σ {}  ({} samples; min median mean max)",
+        fmt_duration(s.min),
+        fmt_duration(s.median),
+        fmt_duration(s.mean),
+        fmt_duration(s.max),
+        fmt_duration(s.std_dev),
         samples.len()
     );
 }
@@ -270,6 +314,32 @@ mod tests {
         let mut ran = false;
         c.bench_function("other", |b| b.iter(|| ran = true));
         assert!(!ran);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let ms = Duration::from_millis;
+        // Odd count: median is the middle element.
+        let s = summarize(&[ms(3), ms(1), ms(2)]).unwrap();
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.median, ms(2));
+        assert_eq!(s.mean, ms(2));
+        assert_eq!(s.max, ms(3));
+        assert!((s.std_dev.as_secs_f64() - 0.001).abs() < 1e-9);
+        // Even count: median is the midpoint of the two middle elements.
+        let s = summarize(&[ms(1), ms(2), ms(3), ms(10)]).unwrap();
+        assert_eq!(s.median, Duration::from_micros(2500));
+        // Outliers move the mean but not the median.
+        assert_eq!(s.mean, ms(4));
+        // Degenerate cases.
+        assert_eq!(summarize(&[]), None);
+        let s = summarize(&[ms(5)]).unwrap();
+        assert_eq!(s.median, ms(5));
+        assert_eq!(s.std_dev, Duration::ZERO);
+        // Constant samples have zero deviation.
+        let s = summarize(&[ms(4); 6]).unwrap();
+        assert_eq!(s.std_dev, Duration::ZERO);
+        assert_eq!(s.median, ms(4));
     }
 
     #[test]

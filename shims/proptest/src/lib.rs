@@ -8,12 +8,18 @@
 //!   whose arguments are drawn `name in strategy`);
 //! * [`Strategy`] implementations for half-open and inclusive numeric
 //!   ranges and for [`collection::vec`];
-//! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped onto `assert!`).
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped onto `assert!`);
+//! * **basic input shrinking**: when a case fails, each argument is
+//!   greedily simplified — integers halve toward zero (clamped into
+//!   their range, with a final decrement pass to land on the exact
+//!   boundary), collections drop elements and shrink their elements —
+//!   and the minimal counterexample found is reported before the panic
+//!   is re-raised.
 //!
-//! Semantics differ from real proptest in two deliberate ways: cases are
-//! drawn from a generator seeded by the test's name (fully deterministic,
-//! overridable via `PROPTEST_SEED`), and failures are reported without
-//! input shrinking — the failing values are printed instead.
+//! Semantics still differ from real proptest in one deliberate way:
+//! cases are drawn from a generator seeded by the test's name (fully
+//! deterministic, overridable via `PROPTEST_SEED`), not from OS entropy
+//! with a persisted failure file.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -63,11 +69,44 @@ pub fn test_rng(test_name: &str) -> TestRng {
 
 /// A source of random values of one type.
 pub trait Strategy {
-    /// The type of value this strategy produces.
-    type Value: std::fmt::Debug;
+    /// The type of value this strategy produces. `Clone` is required so
+    /// the runner can re-execute a failing body on shrunk inputs.
+    type Value: std::fmt::Debug + Clone;
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing value, most aggressive
+    /// first. The runner keeps any candidate that still fails and calls
+    /// `shrink` again on it; an empty list stops shrinking. The default
+    /// does not shrink.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Shared integer-shrinking chain: the anchor (most aggressive), then
+/// halvings of the distance toward the anchor, then a single decrement
+/// step so greedy acceptance converges on the exact failure boundary.
+#[doc(hidden)]
+pub fn __halve_chain(value: i128, anchor: i128) -> Vec<i128> {
+    if value == anchor {
+        return Vec::new();
+    }
+    let mut out = vec![anchor];
+    let mut d = value - anchor;
+    loop {
+        d /= 2;
+        if d == 0 {
+            break;
+        }
+        out.push(anchor + d);
+    }
+    let dec = value - if value > anchor { 1 } else { -1 };
+    if dec != anchor {
+        out.push(dec);
+    }
+    out
 }
 
 macro_rules! int_range_strategy {
@@ -77,18 +116,32 @@ macro_rules! int_range_strategy {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                __halve_chain(*value as i128, self.start as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                __halve_chain(*value as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 int_range_strategy!(usize, u64, u32, u16, u8);
 
-// Signed ranges sample via an unsigned offset to avoid overflow.
+// Signed ranges sample via an unsigned offset to avoid overflow; they
+// shrink toward zero when the range contains it, else toward the bound
+// nearest zero.
 macro_rules! signed_range_strategy {
     ($($t:ty => $u:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -97,6 +150,19 @@ macro_rules! signed_range_strategy {
                 assert!(self.start < self.end, "empty strategy range");
                 let span = (self.end as $u).wrapping_sub(self.start as $u);
                 self.start.wrapping_add(rng.gen_range(0..span) as $t)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let anchor: i128 = if self.start > 0 {
+                    self.start as i128
+                } else if self.end <= 0 {
+                    self.end as i128 - 1
+                } else {
+                    0
+                };
+                __halve_chain(*value as i128, anchor)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};
@@ -139,10 +205,16 @@ pub mod collection {
     pub trait SizeRange: Clone {
         /// Draws a length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
+
+        /// The smallest admissible length (shrinking never goes below).
+        fn min_len(&self) -> usize;
     }
 
     impl SizeRange for usize {
         fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+        fn min_len(&self) -> usize {
             *self
         }
     }
@@ -150,6 +222,9 @@ pub mod collection {
     impl SizeRange for Range<usize> {
         fn sample_len(&self, rng: &mut TestRng) -> usize {
             rng.gen_range(self.clone())
+        }
+        fn min_len(&self) -> usize {
+            self.start
         }
     }
 
@@ -172,6 +247,35 @@ pub mod collection {
             let n = self.len.sample_len(rng);
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
+
+        /// Drop-elements shrinking: truncate to the minimum length, halve
+        /// toward it, drop each single element — then shrink elements in
+        /// place via the element strategy.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.len.min_len();
+            let n = value.len();
+            if n > min {
+                out.push(value[..min].to_vec());
+                let half = min + (n - min) / 2;
+                if half > min && half < n {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..n {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            for i in 0..n {
+                for cand in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
     }
 }
 
@@ -182,8 +286,62 @@ pub mod prelude {
     pub use crate::{Just, ProptestConfig, Strategy};
 }
 
+/// Clone helper used by the macro expansion (avoids `clone_on_copy`
+/// lints inside the shim's own tests).
+#[doc(hidden)]
+pub fn __dup<T: Clone>(v: &T) -> T {
+    v.clone()
+}
+
+/// The hook type [`std::panic::take_hook`] returns.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+/// How many shrink loops are active, and the hook to restore once the
+/// last one finishes. Refcounting keeps concurrent (multi-threaded test
+/// harness) shrink loops from saving each other's silencer as "the
+/// previous hook" and leaving it installed for the rest of the process.
+static QUIET_PANICS: std::sync::Mutex<(usize, Option<PanicHook>)> =
+    std::sync::Mutex::new((0, None));
+
+/// Silences the default panic hook while the runner re-executes a
+/// failing body on shrink candidates; restores the previous hook when
+/// the last concurrent guard drops. (Shrinking triggers many *caught*
+/// panics that would otherwise each print a backtrace banner; a panic
+/// message from an unrelated test failing inside this window is
+/// swallowed too — the cost of the hook being process-global.)
+#[doc(hidden)]
+#[non_exhaustive]
+pub struct __QuietPanics;
+
+impl __QuietPanics {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let mut g = QUIET_PANICS.lock().unwrap();
+        if g.0 == 0 {
+            g.1 = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        g.0 += 1;
+        __QuietPanics
+    }
+}
+
+impl Drop for __QuietPanics {
+    fn drop(&mut self) {
+        let mut g = QUIET_PANICS.lock().unwrap();
+        g.0 -= 1;
+        if g.0 == 0 {
+            if let Some(prev) = g.1.take() {
+                std::panic::set_hook(prev);
+            }
+        }
+    }
+}
+
 /// Defines property tests: each function runs its body against many
-/// random samples of its `arg in strategy` parameters.
+/// random samples of its `arg in strategy` parameters. On failure the
+/// inputs are shrunk (greedily, within a bounded budget) and the minimal
+/// counterexample is reported before the panic propagates.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -208,30 +366,87 @@ macro_rules! __proptest_items {
                 let __cfg: $crate::ProptestConfig = $cfg;
                 let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
                 for __case in 0..__cfg.cases {
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
-                    let __inputs = format!(
-                        concat!("case {}/{}", $(concat!(", ", stringify!($arg), " = {:?}")),*),
-                        __case + 1, __cfg.cases $(, &$arg)*
+                    // The arguments live in `RefCell`s so the shrinking
+                    // loops below can swap candidates in and out while
+                    // one shared closure re-runs the body on all of them.
+                    $(let $arg = ::std::cell::RefCell::new(
+                        $crate::Strategy::sample(&($strat), &mut __rng)
+                    );)*
+                    let mut __check = || {
+                        $(
+                            let $arg = $crate::__dup(&*$arg.borrow());
+                            let _ = &$arg;
+                        )*
+                        $body
+                    };
+                    let mut __recheck = || {
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(&mut __check))
+                    };
+                    let ::std::result::Result::Err(__payload) = __recheck() else {
+                        continue;
+                    };
+                    ::std::eprintln!(
+                        concat!(
+                            "proptest: property failed at case {}/{}",
+                            $(concat!(", ", stringify!($arg), " = {:?}")),*
+                        ),
+                        __case + 1, __cfg.cases $(, &*$arg.borrow())*
                     );
-                    let __guard = $crate::__CaseReporter(Some(__inputs));
-                    $body
-                    ::std::mem::forget(__guard);
+                    // Greedy shrinking: repeatedly replace any argument
+                    // with a simpler candidate that still fails.
+                    let mut __payload = __payload;
+                    let mut __budget: usize = 256;
+                    let __quiet = $crate::__QuietPanics::new();
+                    loop {
+                        let mut __progress = false;
+                        let _ = &mut __progress;
+                        $(
+                            loop {
+                                let mut __accepted = false;
+                                let __cands = {
+                                    let __cur = $arg.borrow();
+                                    $crate::Strategy::shrink(&($strat), &*__cur)
+                                };
+                                for __cand in __cands {
+                                    if __budget == 0 {
+                                        break;
+                                    }
+                                    __budget -= 1;
+                                    let __prev = $arg.replace(__cand);
+                                    match __recheck() {
+                                        ::std::result::Result::Err(__p) => {
+                                            __payload = __p;
+                                            __accepted = true;
+                                            __progress = true;
+                                            break;
+                                        }
+                                        ::std::result::Result::Ok(()) => {
+                                            let _ = $arg.replace(__prev);
+                                        }
+                                    }
+                                }
+                                if !__accepted || __budget == 0 {
+                                    break;
+                                }
+                            }
+                        )*
+                        if !__progress || __budget == 0 {
+                            break;
+                        }
+                    }
+                    ::std::mem::drop(__quiet);
+                    ::std::eprintln!(
+                        concat!(
+                            "proptest: minimal counterexample:",
+                            $(concat!(" ", stringify!($arg), " = {:?}")),*
+                        )
+                        $(, &*$arg.borrow())*
+                    );
+                    ::std::panic::resume_unwind(__payload);
                 }
             }
         )*
     };
-}
-
-/// Prints the failing case's inputs when a property panics (no shrinking).
-#[doc(hidden)]
-pub struct __CaseReporter(pub Option<String>);
-
-impl Drop for __CaseReporter {
-    fn drop(&mut self) {
-        if let Some(inputs) = self.0.take() {
-            eprintln!("proptest: property failed at {inputs}");
-        }
-    }
 }
 
 /// Asserts a condition inside a property, reporting the failing inputs.
@@ -291,5 +506,83 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
         }
+    }
+
+    #[test]
+    fn integer_shrink_halves_toward_range_start() {
+        let s = 0u64..100;
+        let cands = Strategy::shrink(&s, &77);
+        assert_eq!(cands[0], 0, "anchor first (most aggressive)");
+        assert!(cands.contains(&38), "halfway point offered");
+        assert_eq!(*cands.last().unwrap(), 76, "decrement step last");
+        assert!(cands.iter().all(|&c| c < 77), "candidates are simpler");
+        assert!(Strategy::shrink(&s, &0).is_empty(), "anchor cannot shrink");
+        // Inclusive ranges anchor at their start too.
+        let cands = Strategy::shrink(&(5u64..=50), &20);
+        assert_eq!(cands[0], 5);
+        assert!(cands.iter().all(|&c| (5..20).contains(&c)));
+    }
+
+    #[test]
+    fn signed_shrink_targets_zero_when_in_range() {
+        let s = -50i64..50;
+        let cands = Strategy::shrink(&s, &-31);
+        assert_eq!(cands[0], 0);
+        assert!(cands.iter().all(|&c| (-31..=0).contains(&c)));
+        assert_eq!(*cands.last().unwrap(), -30, "decrement moves toward 0");
+        // A range strictly above zero anchors at its start...
+        assert_eq!(Strategy::shrink(&(10i64..20), &17)[0], 10);
+        // ...and one strictly below zero at its greatest member.
+        assert_eq!(Strategy::shrink(&(-20i64..-10), &-17)[0], -11);
+    }
+
+    #[test]
+    fn vec_shrink_drops_elements_within_min_len() {
+        let s = collection::vec(0u64..10, 2..6);
+        let value = vec![7, 3, 9, 1, 5];
+        let cands = Strategy::shrink(&s, &value);
+        assert_eq!(cands[0], vec![7, 3], "truncates to the minimum first");
+        assert!(
+            cands.iter().any(|c| c.len() == 4),
+            "single-element drops offered"
+        );
+        assert!(cands.iter().all(|c| c.len() >= 2), "min length respected");
+        assert!(
+            cands.iter().any(|c| c.len() == 5 && c[0] == 0),
+            "elements shrink in place"
+        );
+        // Fixed-length vectors only shrink their elements.
+        let fixed = collection::vec(0u64..10, 3);
+        let cands = Strategy::shrink(&fixed, &vec![4, 0, 2]);
+        assert!(cands.iter().all(|c| c.len() == 3));
+        assert!(!cands.is_empty());
+    }
+
+    // A deliberately failing property (no #[test] attribute — driven by
+    // `failing_property_shrinks_to_boundary` below): fails iff x ≥ 10,
+    // recording the smallest failing input the runner ever tried.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SMALLEST_FAILURE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        fn fails_at_ten_or_more(x in 0u64..1000) {
+            if x >= 10 {
+                SMALLEST_FAILURE.fetch_min(x, Ordering::SeqCst);
+                panic!("x = {x} is too big");
+            }
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        let result = std::panic::catch_unwind(fails_at_ten_or_more);
+        assert!(result.is_err(), "the property must fail");
+        assert_eq!(
+            SMALLEST_FAILURE.load(Ordering::SeqCst),
+            10,
+            "shrinking must land on the exact failure boundary"
+        );
     }
 }

@@ -19,6 +19,7 @@
 //! | [`translate`] | user programs → event programs (§3.5), probabilistic environments, target helpers |
 //! | [`network`] | hash-consed event networks (§4.1), DOT export |
 //! | [`prob`] | probability computation: exact, eager/lazy/hybrid ε-approximation, distributed (§4) |
+//! | [`obdd`] | OBDD knowledge compilation: exact and conditioned probabilities, linear-time queries over compiled lineage |
 //! | [`worlds`] | the naïve possible-worlds baseline (§5) |
 //! | [`cluster`] | deterministic k-means / k-medoids / MCL with ENFrame tie-breaking |
 //! | [`sprout`] | pc-tables and positive relational algebra with aggregates (the `loadData()` query path) |
@@ -57,6 +58,7 @@ pub use enframe_core as core;
 pub use enframe_data as data;
 pub use enframe_lang as lang;
 pub use enframe_network as network;
+pub use enframe_obdd as obdd;
 pub use enframe_prob as prob;
 pub use enframe_sprout as sprout;
 pub use enframe_translate as translate;
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use enframe_data::{kmedoids_workload, LineageOpts, Scheme};
     pub use enframe_lang::{parse, programs, Interp, RtValue, SimpleEnv};
     pub use enframe_network::{FoldedNetwork, Network};
+    pub use enframe_obdd::{ObddEngine, ObddOptions};
     pub use enframe_prob::{
         compile, compile_distributed, compile_folded, compile_folded_distributed, CompileResult,
         DistOptions, Options, Strategy,
