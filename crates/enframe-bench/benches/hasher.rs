@@ -1,0 +1,83 @@
+//! Micro-bench: the in-tree FxHash (`enframe_core::fxhash`) vs `std`'s
+//! default SipHash-1-3 on the node-key workloads of the hash-consing hot
+//! paths — `(level, hi, lo)` unique-table triples and `(f, g, h)`
+//! computed-table triples, i.e. three machine words per key.
+//!
+//! Two angles per hasher: raw hashing throughput (`hash3_*`) and a
+//! `HashMap` insert+lookup workload (`map_*`) approximating the
+//! unique-table access pattern (every lookup misses once, then hits
+//! three times). The FxHash advantage here is the reason the OBDD
+//! manager's subtables and `enframe-network`'s interner moved off
+//! SipHash; this bench keeps the win tracked over time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkGroup, Criterion};
+use enframe_core::fxhash::FxBuildHasher;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+
+const KEYS: usize = 1 << 14;
+
+/// Deterministic pseudo-random node-key triples (xorshift).
+fn node_keys() -> Vec<(u32, u32, u32)> {
+    let mut s = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..KEYS)
+        .map(|_| {
+            let w = next();
+            ((w >> 40) as u32 & 0xff, (w >> 20) as u32, w as u32)
+        })
+        .collect()
+}
+
+fn bench_hash3<H: BuildHasher>(g: &mut BenchmarkGroup<'_>, name: &str, bh: &H) {
+    let keys = node_keys();
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in &keys {
+                acc ^= bh.hash_one(black_box(*k));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_map<H: BuildHasher + Clone>(g: &mut BenchmarkGroup<'_>, name: &str, bh: &H) {
+    let keys = node_keys();
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            let mut map: HashMap<(u32, u32, u32), u32, H> =
+                HashMap::with_capacity_and_hasher(KEYS * 2, bh.clone());
+            for (i, k) in keys.iter().enumerate() {
+                map.insert(black_box(*k), i as u32);
+            }
+            let mut acc = 0u64;
+            for _ in 0..3 {
+                for k in &keys {
+                    acc += map[black_box(k)] as u64;
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn hasher_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hasher");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    bench_hash3(&mut g, "hash3_fx", &FxBuildHasher::default());
+    bench_hash3(&mut g, "hash3_sip", &RandomState::new());
+    bench_map(&mut g, "map_fx", &FxBuildHasher::default());
+    bench_map(&mut g, "map_sip", &RandomState::new());
+    g.finish();
+}
+
+criterion_group!(benches, hasher_benches);
+criterion_main!(benches);

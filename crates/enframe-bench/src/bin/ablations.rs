@@ -153,6 +153,7 @@ fn main() {
             seconds: t0.elapsed().as_secs_f64(),
             estimates: Some((0..res.lower.len()).map(|i| res.estimate(i)).collect()),
             status: "ok".into(),
+            stats: None,
         };
         print_row(
             "ablation_dimensions",
@@ -179,6 +180,7 @@ fn main() {
             seconds: t0.elapsed().as_secs_f64(),
             estimates: Some((0..res.lower.len()).map(|i| res.estimate(i)).collect()),
             status: "ok".into(),
+            stats: None,
         };
         print_row(
             "ablation_targets",
@@ -198,6 +200,7 @@ fn main() {
             seconds: t0.elapsed().as_secs_f64(),
             estimates: None,
             status: "ok".into(),
+            stats: None,
         };
         print_row("ablation_targets", "co_occurrence", "targets=1", &m, "");
     }
@@ -218,6 +221,7 @@ fn main() {
             seconds: prep.build_seconds,
             estimates: None,
             status: "ok".into(),
+            stats: None,
         };
         print_row(
             "ablation_network_size",
@@ -273,6 +277,7 @@ fn main() {
                 seconds: t0.elapsed().as_secs_f64(),
                 estimates: None,
                 status: format!("branches={}", res.stats.branches),
+                stats: None,
             };
             print_row("ablation_var_order", label, "v=16", &m, "");
         }

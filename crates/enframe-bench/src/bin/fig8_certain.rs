@@ -42,6 +42,7 @@ fn main() {
                         seconds: f64::NAN,
                         estimates: None,
                         status: "timeout".into(),
+                        stats: None,
                     },
                     "",
                 );

@@ -9,6 +9,13 @@
 //! compiled size for mutex (read-once chains) and conditional
 //! (hierarchical Markov steps) lineage.
 //!
+//! The `bdd-exact` series runs the overhauled manager (automatic GC +
+//! group sifting); `bdd-static` is the static-order, never-collected
+//! baseline. The trailing CSV columns carry the manager statistics
+//! (live/peak nodes, GC and reorder counts, table load factor): on the
+//! positive scheme — the order-sensitive one — compare the two series'
+//! `peak_nodes` to read off the sifting win directly.
+//!
 //! Run: `cargo run --release -p enframe-bench --bin fig_bdd`
 //! (`ENFRAME_BENCH_FULL=1` for the larger grid.)
 
@@ -48,11 +55,12 @@ fn main() {
     }
 
     // Positive: disjunctions over a shared pool — not read-once, so the
-    // BDD can grow; the series shows where compilation stays worthwhile.
+    // BDD can grow; the series shows where compilation stays worthwhile
+    // and where dynamic reordering pays.
     let pos_vs: Vec<usize> = if full {
-        vec![8, 12, 16, 20, 24]
+        vec![8, 12, 16, 20, 24, 28, 32]
     } else {
-        vec![8, 12, 16, 20]
+        vec![8, 12, 16, 20, 24, 28]
     };
     for &v in &pos_vs {
         let prep = prepare_lineage(
@@ -68,7 +76,12 @@ fn main() {
 fn sweep_row(prep: &LineagePrepared, scheme: &str, v: usize, eps: f64) {
     let x = format!("scheme={scheme};v={v}");
     let detail = format!("targets={};eps={eps}", prep.net.targets.len());
-    for engine in [Engine::Exact, Engine::Hybrid, Engine::BddExact] {
+    for engine in [
+        Engine::Exact,
+        Engine::Hybrid,
+        Engine::BddExact,
+        Engine::BddStatic,
+    ] {
         let m = run_lineage_engine(prep, engine, eps);
         print_row("fig_bdd", &engine.label(), &x, &m, &detail);
     }

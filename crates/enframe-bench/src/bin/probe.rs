@@ -15,6 +15,7 @@
 
 use enframe_bench::*;
 use enframe_data::{LineageOpts, Scheme};
+use enframe_obdd::ObddStats;
 use std::fmt::Write as _;
 
 /// One JSON record of the probe's output.
@@ -23,15 +24,29 @@ struct JsonRow {
     series: String,
     x: String,
     seconds: f64,
+    /// OBDD manager statistics (BDD series only).
+    stats: Option<ObddStats>,
 }
 
 fn push_row(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &str, seconds: f64) {
+    push_row_stats(rows, figure, series, x, seconds, None);
+}
+
+fn push_row_stats(
+    rows: &mut Vec<JsonRow>,
+    figure: &'static str,
+    series: &str,
+    x: &str,
+    seconds: f64,
+    stats: Option<ObddStats>,
+) {
     if seconds.is_finite() {
         rows.push(JsonRow {
             figure,
             series: series.to_string(),
             x: x.to_string(),
             seconds,
+            stats,
         });
     }
 }
@@ -47,12 +62,21 @@ fn write_json(rows: &[JsonRow]) {
         // sub-millisecond bdd-exact series this file exists to track.
         let _ = write!(
             out,
-            "  {{\"figure\": \"{}\", \"series\": \"{}\", \"x\": \"{}\", \"seconds\": {:.6e}}}",
+            "  {{\"figure\": \"{}\", \"series\": \"{}\", \"x\": \"{}\", \"seconds\": {:.6e}",
             escape(r.figure),
             escape(&r.series),
             escape(&r.x),
             r.seconds
         );
+        if let Some(st) = &r.stats {
+            let m = &st.manager;
+            let _ = write!(
+                out,
+                ", \"stats\": {{\"live_nodes\": {}, \"peak_nodes\": {}, \"gc_runs\": {}, \"reorders\": {}, \"load_factor\": {:.3}}}",
+                m.live_nodes, m.peak_nodes, m.gc_runs, m.reorders, m.load_factor
+            );
+        }
+        out.push('}');
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out.push_str("]\n");
@@ -164,7 +188,14 @@ fn main() {
                 exact.status.clone()
             }
         );
-        push_row(&mut rows, "probe", "bdd-exact", &x, bdd.seconds);
+        push_row_stats(
+            &mut rows,
+            "probe",
+            "bdd-exact",
+            &x,
+            bdd.seconds,
+            bdd.stats.clone(),
+        );
         push_row(&mut rows, "probe", "exact", &x, exact.seconds);
     }
     write_json(&rows);

@@ -28,7 +28,7 @@ use enframe_core::{Program, Var, VarTable};
 use enframe_data::{generate_lineage, kmedoids_workload, ClusteringWorkload, LineageOpts, Scheme};
 use enframe_lang::{parse, programs, UserProgram};
 use enframe_network::{FoldedNetwork, Network};
-use enframe_obdd::{ObddEngine, ObddOptions};
+use enframe_obdd::{ObddEngine, ObddOptions, ObddStats};
 use enframe_prob::{
     compile, compile_distributed, compile_folded, CompileResult, DistOptions, Options, Strategy,
 };
@@ -121,8 +121,13 @@ pub enum Engine {
     /// Sequential hybrid ε-approximation over the folded network (§4.2).
     HybridFolded,
     /// OBDD knowledge compilation: exact probabilities via weighted model
-    /// counting over compiled lineage (`enframe-obdd`).
+    /// counting over compiled lineage (`enframe-obdd`), with the default
+    /// maintenance policy (automatic GC + group sifting).
     BddExact,
+    /// The OBDD backend with all automatic maintenance disabled — the
+    /// static-order, never-collected baseline the reordering/GC numbers
+    /// are compared against.
+    BddStatic,
 }
 
 impl Engine {
@@ -138,6 +143,7 @@ impl Engine {
             Engine::ExactFolded => "exact-folded".into(),
             Engine::HybridFolded => "hybrid-folded".into(),
             Engine::BddExact => "bdd-exact".into(),
+            Engine::BddStatic => "bdd-static".into(),
         }
     }
 }
@@ -152,6 +158,9 @@ pub struct Measurement {
     pub estimates: Option<Vec<f64>>,
     /// `ok` or a skip/timeout reason.
     pub status: String,
+    /// OBDD compilation/manager statistics (BDD engines only): live and
+    /// peak nodes, GC and reorder counts, table load factor.
+    pub stats: Option<ObddStats>,
 }
 
 /// Cap on variables for the naïve baseline in harness runs (the paper's
@@ -172,6 +181,14 @@ pub const EXACT_VAR_CAP: usize = 18;
 /// ~2^v *per atom* — the one workload shape where knowledge compilation
 /// inherits the decision tree's exponent. Lineage-query pipelines
 /// ([`prepare_lineage`]) carry no such cap.
+///
+/// Re-evaluated under the reordering manager: the wall is the
+/// **expansion branch count**, not diagram size (measured on the
+/// n = 16, 2-iteration pipeline: 111 k branches / 1.9 s at v = 12 vs
+/// 874 k branches / 14.8 s at v = 14, with the manager peak staying
+/// under 500 nodes throughout), so group sifting moves nothing here and
+/// the cap stays at 12. Lifting it needs d-DNNF-style decomposable
+/// aggregate compilation (see ROADMAP), not a better variable order.
 pub const BDD_KMEDOIDS_VAR_CAP: usize = 12;
 
 /// Whether a naïve run of `2^v` worlds over `n` objects finishes within a
@@ -187,6 +204,7 @@ pub fn timeout_measurement(reason: &str) -> Measurement {
         seconds: f64::NAN,
         estimates: None,
         status: format!("timeout({reason})"),
+        stats: None,
     }
 }
 
@@ -201,6 +219,7 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
                     seconds: f64::NAN,
                     estimates: None,
                     status: format!("timeout(v={}>{EXACT_VAR_CAP})", vt.len()),
+                    stats: None,
                 };
             }
             let t0 = Instant::now();
@@ -225,15 +244,21 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
             );
             finish(t0, res)
         }
-        Engine::BddExact => {
+        Engine::BddExact | Engine::BddStatic => {
             if vt.len() > BDD_KMEDOIDS_VAR_CAP {
                 return Measurement {
                     seconds: f64::NAN,
                     estimates: None,
                     status: format!("timeout(v={}>{BDD_KMEDOIDS_VAR_CAP})", vt.len()),
+                    stats: None,
                 };
             }
-            run_bdd_exact(&prep.net, vt, &prep.workload.var_groups)
+            run_bdd_exact(
+                &prep.net,
+                vt,
+                &prep.workload.var_groups,
+                engine == Engine::BddStatic,
+            )
         }
         Engine::ExactFolded | Engine::HybridFolded => {
             let Some(folded) = &prep.folded else {
@@ -246,6 +271,7 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
                             seconds: f64::NAN,
                             estimates: None,
                             status: format!("timeout(v={}>{EXACT_VAR_CAP})", vt.len()),
+                            stats: None,
                         };
                     }
                     Options::exact()
@@ -266,6 +292,7 @@ fn finish(t0: Instant, res: CompileResult) -> Measurement {
         seconds,
         estimates: Some(estimates),
         status: "ok".into(),
+        stats: None,
     }
 }
 
@@ -275,6 +302,7 @@ fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize
             seconds: f64::NAN,
             estimates: None,
             status: format!("timeout(v={}>{NAIVE_VAR_CAP})", vt.len()),
+            stats: None,
         };
     }
     let t0 = Instant::now();
@@ -284,6 +312,7 @@ fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize
         seconds: t0.elapsed().as_secs_f64(),
         estimates: Some(res.probabilities),
         status: "ok".into(),
+        stats: None,
     }
 }
 
@@ -311,7 +340,15 @@ pub const LINEAGE_WINDOW: usize = 4;
 /// Builds a lineage-query pipeline over `n_groups` lineage groups (one
 /// point per group). Targets, in order: `Exists[g]` per group, then one
 /// `Any[s]` disjunction per [`LINEAGE_WINDOW`]-wide window, then a global
-/// `AtLeastOne`.
+/// `AtLeastOne`, then one `Co[i]` **distant-pair co-existence** event per
+/// pair `(i, i + n/2)` and their disjunction `AnyCo`. The co-existence
+/// family asks the paper's correlation question directly — are two
+/// far-apart points present in the same world? — and is the
+/// order-sensitive part of the workload: on the positive scheme each
+/// `Co[i]` conjoins two disjunctions over the shared variable pool, so
+/// the static order interleaves the pairs badly and dynamic reordering
+/// has real work to do (mutex/conditional lineage stays read-once and
+/// small either way).
 pub fn prepare_lineage(
     n_groups: usize,
     scheme: Scheme,
@@ -346,6 +383,23 @@ pub fn prepare_lineage(
         Program::or(idents.iter().cloned().map(Program::eref)),
     );
     p.add_target(all);
+    let half = n_groups / 2;
+    let mut pairs = Vec::with_capacity(half);
+    for i in 0..half {
+        let id = p.declare_event(
+            &format!("Co{i}"),
+            Program::and([
+                Program::eref(idents[i].clone()),
+                Program::eref(idents[i + half].clone()),
+            ]),
+        );
+        p.add_target(id.clone());
+        pairs.push(id);
+    }
+    if !pairs.is_empty() {
+        let id = p.declare_event("AnyCo", Program::or(pairs.into_iter().map(Program::eref)));
+        p.add_target(id);
+    }
     let gp = p.ground().expect("lineage program grounds");
     let net = Network::build(&gp).expect("lineage network builds");
     LineagePrepared {
@@ -368,6 +422,7 @@ pub fn run_lineage_engine(prep: &LineagePrepared, engine: Engine, epsilon: f64) 
                     seconds: f64::NAN,
                     estimates: None,
                     status: format!("timeout(v={}>{EXACT_VAR_CAP})", vt.len()),
+                    stats: None,
                 };
             }
             let t0 = Instant::now();
@@ -379,7 +434,8 @@ pub fn run_lineage_engine(prep: &LineagePrepared, engine: Engine, epsilon: f64) 
             let res = compile(&prep.net, vt, Options::approx(strategy_of(engine), epsilon));
             finish(t0, res)
         }
-        Engine::BddExact => run_bdd_exact(&prep.net, vt, &prep.var_groups),
+        Engine::BddExact => run_bdd_exact(&prep.net, vt, &prep.var_groups, false),
+        Engine::BddStatic => run_bdd_exact(&prep.net, vt, &prep.var_groups, true),
         _ => timeout_measurement("engine not applicable to lineage queries"),
     }
 }
@@ -394,11 +450,20 @@ fn strategy_of(engine: Engine) -> Strategy {
 }
 
 /// Compiles a network's targets into OBDDs and counts them — the shared
-/// [`Engine::BddExact`] measurement of [`run_engine`] and
-/// [`run_lineage_engine`].
-fn run_bdd_exact(net: &Network, vt: &VarTable, groups: &[Vec<Var>]) -> Measurement {
+/// [`Engine::BddExact`]/[`Engine::BddStatic`] measurement of
+/// [`run_engine`] and [`run_lineage_engine`].
+fn run_bdd_exact(
+    net: &Network,
+    vt: &VarTable,
+    groups: &[Vec<Var>],
+    static_manager: bool,
+) -> Measurement {
     let t0 = Instant::now();
-    let opts = ObddOptions::with_groups(groups.to_vec());
+    let opts = if static_manager {
+        ObddOptions::static_with_groups(groups.to_vec())
+    } else {
+        ObddOptions::with_groups(groups.to_vec())
+    };
     match ObddEngine::compile(net, &opts) {
         Ok(engine) => {
             let probs = engine.probabilities(vt);
@@ -406,29 +471,47 @@ fn run_bdd_exact(net: &Network, vt: &VarTable, groups: &[Vec<Var>]) -> Measureme
                 seconds: t0.elapsed().as_secs_f64(),
                 estimates: Some(probs),
                 status: "ok".into(),
+                stats: Some(engine.stats().clone()),
             }
         }
         Err(e) => Measurement {
             seconds: f64::NAN,
             estimates: None,
             status: format!("error({e})"),
+            stats: None,
         },
     }
 }
 
-/// Prints the CSV header used by all figure binaries.
+/// Prints the CSV header used by all figure binaries. The trailing five
+/// columns carry OBDD manager statistics and stay empty for non-BDD
+/// engines.
 pub fn print_header() {
-    println!("figure,series,x,seconds,status,detail");
+    println!(
+        "figure,series,x,seconds,status,detail,live_nodes,peak_nodes,gc_runs,reorders,load_factor"
+    );
 }
 
-/// Prints one CSV measurement row.
+/// Prints one CSV measurement row (with manager-stat columns when the
+/// measurement carries them).
 pub fn print_row(figure: &str, series: &str, x: &str, m: &Measurement, detail: &str) {
     let secs = if m.seconds.is_nan() {
         "".to_string()
     } else {
         format!("{:.6}", m.seconds)
     };
-    println!("{figure},{series},{x},{secs},{},{detail}", m.status);
+    let stats = match &m.stats {
+        Some(s) => format!(
+            "{},{},{},{},{:.3}",
+            s.manager.live_nodes,
+            s.manager.peak_nodes,
+            s.manager.gc_runs,
+            s.manager.reorders,
+            s.manager.load_factor
+        ),
+        None => ",,,,".into(),
+    };
+    println!("{figure},{series},{x},{secs},{},{detail},{stats}", m.status);
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@
 
 pub mod error;
 pub mod event;
+pub mod fxhash;
 pub mod ground;
 pub mod program;
 pub mod space;

@@ -79,7 +79,9 @@ pub struct Correlations {
     /// variables of each mutex set, and the `(xᵗ, xᶠ)` pair of each
     /// conditional step. Empty for the positive scheme (all variables
     /// independent). Order-sensitive consumers (e.g. the OBDD backend)
-    /// keep each group adjacent in their variable order.
+    /// keep each group adjacent in their variable order **and move it as
+    /// one block under dynamic reordering** (group sifting), so the
+    /// encoding's read-once structure survives any reorder.
     pub var_groups: Vec<Vec<Var>>,
 }
 

@@ -20,7 +20,8 @@ pub struct ClusteringWorkload {
     pub seeds: Vec<usize>,
     /// Multi-valued variable groups of the lineage (see
     /// [`crate::Correlations::var_groups`]); adjacency hints for
-    /// order-sensitive engines such as the OBDD backend.
+    /// order-sensitive engines such as the OBDD backend, which also
+    /// moves each group as one group-sifting block when reordering.
     pub var_groups: Vec<Vec<Var>>,
 }
 

@@ -1,8 +1,8 @@
 //! Building hash-consed event networks from grounded event programs.
 
 use crate::node::{Node, NodeId, NodeKind};
+use enframe_core::fxhash::FxHashMap;
 use enframe_core::{CVal, CmpOp, CoreError, Def, Event, GroundProgram, Valuation, Value, Var};
-use std::collections::HashMap;
 
 /// Hashable stand-in for a constant payload (bit-exact).
 #[derive(PartialEq, Eq, Hash, Clone)]
@@ -66,9 +66,9 @@ pub struct Network {
 
 struct Builder {
     nodes: Vec<Node>,
-    intern: HashMap<(NodeKind, Vec<NodeId>, Option<ValueKey>), NodeId>,
-    ev_memo: HashMap<*const Event, NodeId>,
-    cv_memo: HashMap<*const CVal, NodeId>,
+    intern: FxHashMap<(NodeKind, Vec<NodeId>, Option<ValueKey>), NodeId>,
+    ev_memo: FxHashMap<*const Event, NodeId>,
+    cv_memo: FxHashMap<*const CVal, NodeId>,
     def_nodes: Vec<NodeId>,
     var_nodes: Vec<Option<NodeId>>,
 }
@@ -79,9 +79,9 @@ impl Network {
     pub fn build(gp: &GroundProgram) -> Result<Network, CoreError> {
         let mut b = Builder {
             nodes: Vec::with_capacity(gp.len() * 2),
-            intern: HashMap::new(),
-            ev_memo: HashMap::new(),
-            cv_memo: HashMap::new(),
+            intern: FxHashMap::default(),
+            ev_memo: FxHashMap::default(),
+            cv_memo: FxHashMap::default(),
             def_nodes: Vec::with_capacity(gp.len()),
             var_nodes: vec![None; gp.n_vars as usize],
         };

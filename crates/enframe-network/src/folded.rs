@@ -37,8 +37,9 @@
 
 use crate::build::ValueKey;
 use crate::node::{Node, NodeId, NodeKind};
+use enframe_core::fxhash::{FxHashMap, FxHashSet};
 use enframe_core::{CVal, CoreError, Def, DefId, Event, GroundProgram, Valuation, Value, Var};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Why a program could not be folded.
@@ -147,7 +148,7 @@ pub struct FoldedNetwork {
     /// program are absorbed into the prologue.
     pub fold_start: usize,
     var_nodes: Vec<Option<NodeId>>,
-    carry_of: HashMap<NodeId, (NodeId, NodeId)>,
+    carry_of: FxHashMap<NodeId, (NodeId, NodeId)>,
 }
 
 /// How a reference inside the body template resolves.
@@ -176,7 +177,7 @@ struct Zipper<'a> {
     /// only verify.
     record: bool,
     class: &'a mut BTreeMap<usize, RefClass>,
-    seen: HashSet<(usize, usize)>,
+    seen: FxHashSet<(usize, usize)>,
 }
 
 impl Zipper<'_> {
@@ -312,9 +313,9 @@ struct FBuilder<'g> {
     gp: &'g GroundProgram,
     nodes: Vec<Node>,
     region_of: Vec<Region>,
-    intern: HashMap<(NodeKind, Vec<NodeId>, Option<ValueKey>), NodeId>,
-    ev_memo: HashMap<usize, NodeId>,
-    cv_memo: HashMap<usize, NodeId>,
+    intern: FxHashMap<(NodeKind, Vec<NodeId>, Option<ValueKey>), NodeId>,
+    ev_memo: FxHashMap<usize, NodeId>,
+    cv_memo: FxHashMap<usize, NodeId>,
     var_nodes: Vec<Option<NodeId>>,
     phase: Phase,
     // Def-resolution tables.
@@ -651,7 +652,7 @@ impl FoldedNetwork {
                 l,
                 record: t == s,
                 class: &mut class,
-                seen: HashSet::new(),
+                seen: FxHashSet::default(),
             };
             for i in 0..l {
                 let a = &gp.defs()[boundaries[t] + i].1;
@@ -677,9 +678,9 @@ impl FoldedNetwork {
             gp,
             nodes: Vec::with_capacity(gp.len() * 2),
             region_of: Vec::with_capacity(gp.len() * 2),
-            intern: HashMap::new(),
-            ev_memo: HashMap::new(),
-            cv_memo: HashMap::new(),
+            intern: FxHashMap::default(),
+            ev_memo: FxHashMap::default(),
+            cv_memo: FxHashMap::default(),
             var_nodes: vec![None; gp.n_vars as usize],
             phase: Phase::Pro,
             pre_end,
@@ -766,7 +767,7 @@ impl FoldedNetwork {
 
         // Liveness from the targets; a live LoopIn keeps its init and
         // source alive.
-        let loopin_wiring: HashMap<NodeId, (NodeId, NodeId)> = carries
+        let loopin_wiring: FxHashMap<NodeId, (NodeId, NodeId)> = carries
             .iter()
             .map(|c| (c.input, (c.init, c.source)))
             .collect();

@@ -17,11 +17,34 @@
 //! the same cost the decision-tree engine pays for the *whole network* —
 //! but it is local to each atom, shared across targets, and the partial
 //! evaluator cuts mutex- and guard-heavy structure early.
+//!
+//! The compiler cooperates with the manager's automatic maintenance:
+//! every per-network-node BDD it memoises is [`Manager::protect`]ed as a
+//! GC root until [`Compiler::finish`], and [`Manager::maybe_maintain`]
+//! runs at *safe points* — between cone nodes and between the apply steps
+//! of n-ary `And`/`Or` accumulations (with the accumulator protected) —
+//! so garbage collection and growth-triggered sifting can reclaim and
+//! shrink the table mid-compilation without ever invalidating a handle
+//! the compiler still holds. No maintenance runs inside a Shannon
+//! expansion: its recursion holds pending cofactors and relies on a
+//! fixed level order.
 
 use crate::manager::{Bdd, Manager};
 use crate::ObddError;
 use enframe_core::{Value, Var};
 use enframe_network::{Network, NodeId, NodeKind};
+
+/// A maintenance safe point with `acc` as the only unprotected live
+/// handle: protect it, let the manager GC/sift if its growth triggers
+/// fired, unprotect. Maintenance never moves a live handle, so `acc`
+/// stays valid (constants are ignored by protect).
+fn checkpoint(man: &mut Manager, acc: Bdd) {
+    if man.needs_maintenance() {
+        man.protect(acc);
+        man.maybe_maintain();
+        man.unprotect(acc);
+    }
+}
 
 /// Three-valued partial evaluation result for one network node.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,10 +57,12 @@ enum Partial {
     Unknown,
 }
 
-/// Compiles network nodes into BDDs over a fixed level assignment.
+/// Compiles network nodes into BDDs over a fixed variable-label
+/// assignment (labels are stable across reordering; the manager maps
+/// them to current levels).
 pub(crate) struct Compiler<'n> {
     net: &'n Network,
-    /// Level of each variable (index by `Var`), `None` when absent.
+    /// Manager variable label of each `Var`, `None` when absent.
     level_of: Vec<Option<u32>>,
     /// Compiled BDD per network node (Boolean cone only).
     cache: Vec<Option<Bdd>>,
@@ -88,9 +113,21 @@ impl<'n> Compiler<'n> {
         cone.sort_unstable();
         for id in cone {
             let bdd = self.compile_one(man, id)?;
+            // Memoised BDDs are GC roots until `finish`: later cone
+            // nodes (and later targets) combine them compositionally.
+            man.protect(bdd);
             self.cache[id.index()] = Some(bdd);
+            man.maybe_maintain();
         }
         Ok(self.cache[root.index()].expect("root is in its own cone"))
+    }
+
+    /// Releases every memoised BDD from the manager's root registry.
+    /// Call once, when no more targets will be compiled.
+    pub(crate) fn finish(self, man: &mut Manager) {
+        for bdd in self.cache.into_iter().flatten() {
+            man.unprotect(bdd);
+        }
     }
 
     fn compile_one(&mut self, man: &mut Manager, id: NodeId) -> Result<Bdd, ObddError> {
@@ -114,6 +151,7 @@ impl<'n> Compiler<'n> {
                     if acc == Bdd::FALSE {
                         break;
                     }
+                    checkpoint(man, acc);
                 }
                 acc
             }
@@ -125,6 +163,7 @@ impl<'n> Compiler<'n> {
                     if acc == Bdd::TRUE {
                         break;
                     }
+                    checkpoint(man, acc);
                 }
                 acc
             }
@@ -147,6 +186,15 @@ impl<'n> Compiler<'n> {
         self.level_of[v.index()].ok_or_else(|| {
             ObddError::Unsupported(format!("variable x{} has no assigned level", v.0))
         })
+    }
+
+    /// The variable's *current* level under the manager's order — the
+    /// sort key for Shannon-expansion supports (labels are stable,
+    /// levels move under reordering).
+    fn current_level(&self, man: &Manager, v: Var) -> u32 {
+        self.level_of[v.index()]
+            .map(|label| man.level_of_var(label))
+            .unwrap_or(u32::MAX)
     }
 
     /// Shannon expansion of a comparison atom over its support, in global
@@ -175,7 +223,7 @@ impl<'n> Compiler<'n> {
         for &v in &support {
             let _ = self.level(v)?; // fail early on unlevelled variables
         }
-        support.sort_by_key(|v| self.level_of[v.index()]);
+        support.sort_by_key(|&v| self.current_level(man, v));
         self.expand_rec(man, id, &subtree, &support, 0)
     }
 

@@ -12,8 +12,14 @@
 //! polynomial, so exact probabilities become feasible far beyond the
 //! decision-tree engine's horizon.
 //!
-//! * [`Manager`] — the hash-consed node store: unique table, memoised
-//!   [`Manager::ite`], constant-time negation via complement edges.
+//! * [`Manager`] — the hash-consed node store: open-addressed
+//!   per-variable unique subtables (FxHash, load-factor resizing), a
+//!   bounded epoch-tagged [`Manager::ite`] computed-table, constant-time
+//!   negation via complement edges, **mark-and-sweep garbage
+//!   collection** rooted at [`Manager::protect`]-registered handles, and
+//!   **dynamic variable reordering** by group sifting — automatic past a
+//!   growth threshold ([`ReorderPolicy`]) or on demand
+//!   ([`Manager::reorder`]).
 //! * [`ObddEngine`] — compiles an [`enframe_network::Network`]'s targets
 //!   (propositional structure compositionally; comparison atoms by
 //!   Shannon expansion with three-valued pruning), computes exact
@@ -51,16 +57,18 @@
 
 mod compile;
 pub mod manager;
+mod reorder;
 pub mod wmc;
 
-pub use manager::{Bdd, Manager};
-pub use wmc::Wmc;
+pub use manager::{Bdd, Manager, ManagerStats, ReorderPolicy};
+pub use wmc::{Wmc, WmcCache};
 
 use compile::Compiler;
+use enframe_core::fxhash::FxHashMap;
 use enframe_core::{CoreError, Var, VarTable};
 use enframe_network::Network;
 use enframe_prob::order::{static_order, VarOrder};
-use std::collections::HashMap;
+use std::cell::RefCell;
 
 /// Errors of the OBDD backend.
 #[derive(Debug)]
@@ -95,21 +103,39 @@ impl From<CoreError> for ObddError {
 /// Options for OBDD compilation.
 #[derive(Debug, Clone, Default)]
 pub struct ObddOptions {
-    /// Variable-order heuristic (shared with the decision-tree engine).
+    /// Variable-order heuristic (shared with the decision-tree engine)
+    /// fixing the **initial** order; dynamic reordering refines it.
     pub order: VarOrder,
     /// Variable groups to keep **adjacent** in the order — one group per
     /// mutex set or conditional step, i.e. per encoded multi-valued
     /// variable. Members absent from the network are ignored; a variable
-    /// listed in several groups joins the first.
+    /// listed in several groups joins the first. Group sifting moves
+    /// each group as one block, preserving the adjacency.
     pub groups: Vec<Vec<Var>>,
+    /// Maintenance policy: automatic garbage collection and
+    /// growth-triggered group sifting (the default), or
+    /// [`ReorderPolicy::disabled`] for a fully static manager.
+    pub reorder: ReorderPolicy,
 }
 
 impl ObddOptions {
-    /// Default heuristic with the given adjacency groups.
+    /// Default heuristic and maintenance with the given adjacency
+    /// groups.
     pub fn with_groups(groups: Vec<Vec<Var>>) -> Self {
         ObddOptions {
-            order: VarOrder::default(),
             groups,
+            ..ObddOptions::default()
+        }
+    }
+
+    /// Like [`ObddOptions::with_groups`], but with all automatic
+    /// maintenance off — the static baseline the benchmarks compare
+    /// group sifting against.
+    pub fn static_with_groups(groups: Vec<Vec<Var>>) -> Self {
+        ObddOptions {
+            groups,
+            reorder: ReorderPolicy::disabled(),
+            ..ObddOptions::default()
         }
     }
 }
@@ -117,7 +143,9 @@ impl ObddOptions {
 /// Compilation statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObddStats {
-    /// Total nodes in the manager after compiling all targets.
+    /// Total nodes in the manager after compiling all targets (live
+    /// nodes only — compilation garbage has been collected under the
+    /// default policy).
     pub nodes: usize,
     /// Decision nodes of the largest single target BDD.
     pub largest_target: usize,
@@ -125,6 +153,9 @@ pub struct ObddStats {
     pub cmp_branches: u64,
     /// `ite` computed-table hits during compilation.
     pub cache_hits: u64,
+    /// Manager health counters as of the end of compilation: live/peak
+    /// nodes, GC and reorder passes, unique-table load factor.
+    pub manager: ManagerStats,
 }
 
 /// Posteriors from a conditioning query.
@@ -143,34 +174,54 @@ pub struct Conditioned {
 #[derive(Debug)]
 pub struct ObddEngine {
     man: Manager,
-    /// Level → variable (the compilation order).
+    /// Manager variable label → engine variable (the initial
+    /// compilation order; labels are stable under reordering).
     order: Vec<Var>,
-    /// Variable index → level.
+    /// Variable index → manager variable label.
     level_of: Vec<Option<u32>>,
     targets: Vec<Bdd>,
     names: Vec<String>,
     stats: ObddStats,
+    /// Persistent WMC cache, epoch/weight-stamped (see [`WmcCache`]).
+    wmc_cache: RefCell<WmcCache>,
 }
 
 impl ObddEngine {
-    /// Compiles every registered target of `net` into a BDD.
+    /// Compiles every registered target of `net` into a BDD. Under the
+    /// default [`ReorderPolicy`] the manager garbage-collects and
+    /// group-sifts itself whenever compilation growth crosses the policy
+    /// triggers; the compiled targets are kept protected for the life of
+    /// the engine, so later [`ObddEngine::reorder`]/GC calls are always
+    /// safe.
     pub fn compile(net: &Network, opts: &ObddOptions) -> Result<Self, ObddError> {
         let order = grouped_order(static_order(net, opts.order), &opts.groups);
         let mut level_of: Vec<Option<u32>> = vec![None; net.n_vars as usize];
         for (l, v) in order.iter().enumerate() {
             level_of[v.index()] = Some(l as u32);
         }
-        let mut man = Manager::new();
+        let mut man = Manager::with_policy(opts.reorder.clone());
+        man.declare_vars(order.len() as u32);
+        man.set_level_blocks(&level_blocks(&order, &opts.groups));
         let mut compiler = Compiler::new(net, level_of.clone());
         let mut targets = Vec::with_capacity(net.targets.len());
         for &t in &net.targets {
-            targets.push(compiler.compile(&mut man, t)?);
+            let bdd = compiler.compile(&mut man, t)?;
+            man.protect(bdd);
+            targets.push(bdd);
+        }
+        let cmp_branches = compiler.cmp_branches;
+        compiler.finish(&mut man);
+        if opts.reorder.auto {
+            // Final sweep: drop the compilation scaffolding so the
+            // manager holds exactly the union of the target DAGs.
+            man.collect_garbage();
         }
         let stats = ObddStats {
             nodes: man.len(),
             largest_target: targets.iter().map(|&t| man.size(t)).max().unwrap_or(0),
-            cmp_branches: compiler.cmp_branches,
+            cmp_branches,
             cache_hits: man.cache_hits(),
+            manager: man.stats(),
         };
         Ok(ObddEngine {
             man,
@@ -179,12 +230,33 @@ impl ObddEngine {
             targets,
             names: net.target_names.clone(),
             stats,
+            wmc_cache: RefCell::new(WmcCache::new()),
         })
     }
 
     /// Compilation statistics.
     pub fn stats(&self) -> &ObddStats {
         &self.stats
+    }
+
+    /// Current manager health counters (live view; [`ObddEngine::stats`]
+    /// is the end-of-compilation snapshot).
+    pub fn manager_stats(&self) -> ManagerStats {
+        self.man.stats()
+    }
+
+    /// Runs one group-sifting pass over the manager. The compiled
+    /// targets are protected, so this is always safe; any unprotected
+    /// evidence BDD held by the caller is invalidated.
+    pub fn reorder(&mut self) {
+        self.man.reorder();
+    }
+
+    /// Collects garbage unreachable from the compiled targets (and any
+    /// handle protected via [`ObddEngine::manager_mut`]). Returns the
+    /// number of nodes freed.
+    pub fn collect_garbage(&mut self) -> usize {
+        self.man.collect_garbage()
     }
 
     /// The shared manager (e.g. to combine target BDDs into richer
@@ -209,18 +281,28 @@ impl ObddEngine {
     }
 
     /// Exact probability of every target — one weighted-model-counting
-    /// pass over the union of the target DAGs.
+    /// pass over the union of the target DAGs. The per-node cache
+    /// persists across calls (epoch/weight-stamped), so repeated queries
+    /// under the same weights are near-free.
     ///
     /// # Panics
     /// Panics if `vt` does not cover the compiled variables.
     pub fn probabilities(&self, vt: &VarTable) -> Vec<f64> {
-        let mut wmc = Wmc::new(&self.man, self.level_weights(vt));
-        self.targets.iter().map(|&t| wmc.probability(t)).collect()
+        let mut wmc = Wmc::with_cache(&self.man, self.level_weights(vt), self.wmc_cache.take());
+        let probs = self.targets.iter().map(|&t| wmc.probability(t)).collect();
+        self.wmc_cache.replace(wmc.into_cache());
+        probs
     }
 
     /// The conjunction of the given literals as an evidence BDD.
     /// Variables the compiled targets never mention get fresh bottom
     /// levels, so conditioning on them is a well-defined no-op.
+    ///
+    /// The handle is **not** GC-protected: it stays valid until the next
+    /// maintenance point (any [`ObddEngine::condition`],
+    /// [`ObddEngine::collect_garbage`] or [`ObddEngine::reorder`] call).
+    /// Build evidence fresh per query, or protect it via
+    /// [`ObddEngine::manager_mut`] to keep it across queries.
     pub fn evidence(&mut self, literals: &[(Var, bool)]) -> Bdd {
         let mut acc = Bdd::TRUE;
         for &(v, value) in literals {
@@ -245,9 +327,12 @@ impl ObddEngine {
     /// Panics if `vt` does not cover the compiled variables.
     pub fn condition(&mut self, vt: &VarTable, evidence: Bdd) -> Result<Conditioned, ObddError> {
         // Reject impossible evidence before conjoining it into every
-        // target: the joints would permanently grow the (never-GC'd)
-        // manager only to be thrown away.
-        let evidence_prob = Wmc::new(&self.man, self.level_weights(vt)).probability(evidence);
+        // target: the joints would grow the manager only to be thrown
+        // away.
+        let weights = self.level_weights(vt);
+        let mut wmc = Wmc::with_cache(&self.man, weights.clone(), self.wmc_cache.take());
+        let evidence_prob = wmc.probability(evidence);
+        self.wmc_cache.replace(wmc.into_cache());
         if evidence_prob <= 0.0 {
             return Err(ObddError::ZeroEvidence);
         }
@@ -257,11 +342,16 @@ impl ObddEngine {
             .into_iter()
             .map(|t| self.man.and(t, evidence))
             .collect();
-        let mut wmc = Wmc::new(&self.man, self.level_weights(vt));
+        let mut wmc = Wmc::with_cache(&self.man, weights, self.wmc_cache.take());
         let posteriors = joint
             .into_iter()
             .map(|j| wmc.probability(j) / evidence_prob)
             .collect();
+        self.wmc_cache.replace(wmc.into_cache());
+        // Maintenance point: the joints (and the caller's evidence) are
+        // garbage now, the targets are protected — repeated conditioning
+        // on one engine stays bounded instead of growing monotonically.
+        self.man.maybe_maintain();
         Ok(Conditioned {
             evidence_prob,
             posteriors,
@@ -294,6 +384,38 @@ impl ObddEngine {
     }
 }
 
+/// Variable → group index, first group wins — the membership rule shared
+/// by [`grouped_order`] and [`level_blocks`].
+fn group_of_map(groups: &[Vec<Var>]) -> FxHashMap<Var, usize> {
+    let mut group_of: FxHashMap<Var, usize> = FxHashMap::default();
+    for (gi, group) in groups.iter().enumerate() {
+        for &v in group {
+            group_of.entry(v).or_insert(gi);
+        }
+    }
+    group_of
+}
+
+/// The group-sifting block sizes for a grouped order: maximal runs of
+/// consecutive variables from the same group become one block, everything
+/// else is a singleton. The result partitions `order`.
+fn level_blocks(order: &[Var], groups: &[Vec<Var>]) -> Vec<u32> {
+    let group_of = group_of_map(groups);
+    let mut sizes = Vec::new();
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i + 1;
+        if let Some(g) = group_of.get(&order[i]) {
+            while j < order.len() && group_of.get(&order[j]) == Some(g) {
+                j += 1;
+            }
+        }
+        sizes.push((j - i) as u32);
+        i = j;
+    }
+    sizes
+}
+
 /// Re-ranks a base variable order so that each group's members sit
 /// adjacent, anchored at the group's best-ranked member. Variables not in
 /// `base` (absent from the network) are dropped from groups; the result
@@ -302,13 +424,8 @@ fn grouped_order(base: Vec<Var>, groups: &[Vec<Var>]) -> Vec<Var> {
     if groups.is_empty() {
         return base;
     }
-    let rank: HashMap<Var, usize> = base.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-    let mut group_of: HashMap<Var, usize> = HashMap::new();
-    for (gi, group) in groups.iter().enumerate() {
-        for &v in group {
-            group_of.entry(v).or_insert(gi);
-        }
-    }
+    let rank: FxHashMap<Var, usize> = base.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let group_of = group_of_map(groups);
     let mut emitted: Vec<bool> = vec![false; base.len()];
     let mut out = Vec::with_capacity(base.len());
     for &v in &base {
@@ -531,7 +648,7 @@ mod tests {
                 &net,
                 &ObddOptions {
                     order,
-                    groups: vec![],
+                    ..ObddOptions::default()
                 },
             )
             .unwrap();

@@ -4,35 +4,100 @@
 //! over the DAG (Koch & Olteanu's conditioning route): each decision node
 //! contributes `p·P(hi) + (1−p)·P(lo)`, complement edges contribute
 //! `1 − P(node)`, and variables absent from the support marginalise out
-//! automatically because both branch weights sum to one. The per-node
-//! cache is shared across calls, so computing the probabilities of many
-//! targets over one manager costs one traversal of their *union* DAG.
+//! automatically because both branch weights sum to one. Weights are
+//! indexed by the manager's **variable labels**, which are stable under
+//! dynamic reordering — a reorder changes levels, not labels, so the same
+//! weight vector keeps working.
+//!
+//! The per-node cache is a [`WmcCache`] keyed by node index and stamped
+//! with the manager [`epoch`](crate::Manager::epoch) and the weight
+//! vector it was computed under: garbage collection and reordering
+//! recycle node indices, so a cache from an older epoch (or different
+//! weights) is discarded on attach instead of serving stale
+//! probabilities. This lets
+//! one cache persist across many queries — computing the probabilities
+//! of many targets over one manager costs one traversal of their *union*
+//! DAG, and the engine reuses the cache across whole
+//! `probabilities`/`condition` calls until the manager moves on.
 
 use crate::manager::{Bdd, Manager};
-use std::collections::HashMap;
+use enframe_core::fxhash::FxHashMap;
 
-/// A weighted model counter over one manager: level weights plus a
-/// per-node cache shared across [`Wmc::probability`] calls.
-pub struct Wmc<'m> {
-    man: &'m Manager,
-    /// `P(level = true)` per decision level.
+/// A reusable per-node probability cache, epoch- and weight-stamped so it
+/// survives exactly as long as its entries stay valid.
+#[derive(Debug, Default, Clone)]
+pub struct WmcCache {
+    /// Manager epoch the entries were computed in.
+    epoch: u64,
+    /// The weight vector the entries were computed under (compared by
+    /// equality — a fingerprint could collide and silently serve
+    /// probabilities for the wrong weights).
     weights: Vec<f64>,
     /// Probability of each *uncomplemented* node function, by node index.
-    cache: HashMap<u32, f64>,
+    probs: FxHashMap<u32, f64>,
+}
+
+impl WmcCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        WmcCache::default()
+    }
+
+    /// Cached entries (for tests and stats).
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    fn validate(&mut self, man: &Manager, weights: &[f64]) {
+        if self.epoch != man.epoch() || self.weights != weights {
+            self.probs.clear();
+            self.epoch = man.epoch();
+            self.weights.clear();
+            self.weights.extend_from_slice(weights);
+        }
+    }
+}
+
+/// A weighted model counter over one manager: per-variable weights plus
+/// a per-node cache shared across [`Wmc::probability`] calls.
+pub struct Wmc<'m> {
+    man: &'m Manager,
+    /// `P(var = true)` per manager variable label.
+    weights: Vec<f64>,
+    cache: WmcCache,
 }
 
 impl<'m> Wmc<'m> {
-    /// A counter with the given per-level weights (`weights[l]` is the
-    /// probability that level `l`'s variable is true).
+    /// A counter with the given per-variable weights (`weights[v]` is
+    /// the probability that manager variable `v` is true) and a fresh
+    /// cache.
     pub fn new(man: &'m Manager, weights: Vec<f64>) -> Self {
+        Wmc::with_cache(man, weights, WmcCache::new())
+    }
+
+    /// A counter reusing a persistent cache. Entries from an older
+    /// manager epoch or a different weight vector are discarded here —
+    /// node indices may have been recycled by GC or reordering since.
+    pub fn with_cache(man: &'m Manager, weights: Vec<f64>, mut cache: WmcCache) -> Self {
+        cache.validate(man, &weights);
         Wmc {
             man,
             weights,
-            cache: HashMap::new(),
+            cache,
         }
     }
 
-    /// The probability of the function `f` under the level weights.
+    /// Hands the cache back for reuse in a later query.
+    pub fn into_cache(self) -> WmcCache {
+        self.cache
+    }
+
+    /// The probability of the function `f` under the weights.
     pub fn probability(&mut self, f: Bdd) -> f64 {
         let p = self.node_probability(f);
         if f.is_complement() {
@@ -43,18 +108,18 @@ impl<'m> Wmc<'m> {
     }
 
     fn node_probability(&mut self, f: Bdd) -> f64 {
-        let (index, level, hi, lo) = self.man.node_of(f);
+        let (index, var, hi, lo) = self.man.node_of(f);
         if index == 0 {
             return 1.0; // the ⊤ terminal
         }
-        if let Some(&p) = self.cache.get(&index) {
+        if let Some(&p) = self.cache.probs.get(&index) {
             return p;
         }
-        let pv = self.weights[level as usize];
+        let pv = self.weights[var as usize];
         let ph = self.probability(hi);
         let pl = self.probability(lo);
         let p = pv * ph + (1.0 - pv) * pl;
-        self.cache.insert(index, p);
+        self.cache.probs.insert(index, p);
         p
     }
 }
@@ -89,7 +154,7 @@ mod tests {
         let n = 5usize;
         let weights = [0.3, 0.5, 0.7, 0.2, 0.9];
         let mut man = Manager::new();
-        let vars: Vec<Bdd> = (0..n as u32).map(|l| man.var(l)).collect();
+        let vars: Vec<Bdd> = (0..n as u32).map(|v| man.var(v)).collect();
         let mut s = 42u64;
         let mut next = move || {
             s ^= s << 13;
@@ -112,10 +177,10 @@ mod tests {
         for &f in pool.iter().rev().take(8) {
             let mut want = 0.0;
             for code in 0..1u32 << n {
-                if man.eval(f, |l| code >> l & 1 == 1) {
+                if man.eval(f, |v| code >> v & 1 == 1) {
                     let mut p = 1.0;
-                    for (l, w) in weights.iter().enumerate() {
-                        p *= if code >> l & 1 == 1 { *w } else { 1.0 - w };
+                    for (v, w) in weights.iter().enumerate() {
+                        p *= if code >> v & 1 == 1 { *w } else { 1.0 - w };
                     }
                     want += p;
                 }
@@ -142,5 +207,48 @@ mod tests {
         let before = wmc.cache.len();
         let _ = wmc.probability(g);
         assert!(wmc.cache.len() > before, "g reuses f's cached nodes");
+    }
+
+    #[test]
+    fn persistent_cache_survives_matching_epoch_and_invalidates_on_change() {
+        let mut man = Manager::new();
+        let x = man.var(0);
+        let y = man.var(1);
+        let f = man.and(x, y);
+        let weights = vec![0.4, 0.6];
+        let mut wmc = Wmc::with_cache(&man, weights.clone(), WmcCache::new());
+        let p = wmc.probability(f);
+        let cache = wmc.into_cache();
+        assert!(!cache.is_empty());
+        // Same epoch, same weights: entries survive the round-trip.
+        let wmc = Wmc::with_cache(&man, weights.clone(), cache);
+        assert!(!wmc.cache.is_empty());
+        let cache = wmc.into_cache();
+        // Different weights: discarded.
+        let wmc = Wmc::with_cache(&man, vec![0.5, 0.5], cache);
+        assert!(wmc.cache.is_empty());
+        let cache = wmc.into_cache();
+        // Epoch bump (GC): discarded.
+        man.protect(f);
+        man.collect_garbage();
+        let mut wmc = Wmc::with_cache(&man, weights, cache);
+        assert!(wmc.cache.is_empty());
+        assert!((wmc.probability(f) - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_index_variables_not_levels() {
+        // After a reorder the level order flips, but weights stay keyed
+        // by variable label, so probabilities are unchanged.
+        let mut man = Manager::new();
+        let x = man.var(0);
+        let y = man.var(1);
+        let f = man.and(x, y);
+        man.protect(f);
+        let mut wmc = Wmc::new(&man, vec![0.3, 0.9]);
+        let before = wmc.probability(f);
+        man.reorder();
+        let mut wmc = Wmc::new(&man, vec![0.3, 0.9]);
+        assert!((wmc.probability(f) - before).abs() < 1e-12);
     }
 }

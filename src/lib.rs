@@ -73,7 +73,7 @@ pub mod prelude {
     pub use enframe_data::{kmedoids_workload, LineageOpts, Scheme};
     pub use enframe_lang::{parse, programs, Interp, RtValue, SimpleEnv};
     pub use enframe_network::{FoldedNetwork, Network};
-    pub use enframe_obdd::{ObddEngine, ObddOptions};
+    pub use enframe_obdd::{ObddEngine, ObddOptions, ReorderPolicy};
     pub use enframe_prob::{
         compile, compile_distributed, compile_folded, compile_folded_distributed, CompileResult,
         DistOptions, Options, Strategy,

@@ -11,6 +11,12 @@
 //!    BDD backend well inside a generous wall-clock guard, with the
 //!    answers validated against the mutex chain's closed form and a
 //!    second, independently ordered compilation.
+//! 4. Manager maintenance: probabilities and posteriors are invariant
+//!    under random interleavings of `reorder()` / `collect_garbage()` /
+//!    queries (property test); group sifting never ends larger than the
+//!    static order on positive-scheme lineage; and 1 000 repeated
+//!    conditioning queries on one engine keep both the node store and
+//!    the `ite` cache bounded.
 
 use enframe::core::space;
 use enframe::data::{generate_lineage, kmedoids_workload, LineageOpts, Scheme};
@@ -85,6 +91,154 @@ mod prop {
             check_kmedoids_scheme(Scheme::Conditional, 12, seed);
         }
     }
+}
+
+mod maintenance_props {
+    use super::*;
+    use enframe::obdd::ReorderPolicy;
+    use proptest::prelude::*;
+
+    /// A positive-scheme lineage engine (the order-sensitive scheme) and
+    /// its reference probabilities, compiled under `policy`.
+    fn positive_engine(seed: u64, policy: ReorderPolicy) -> (ObddEngine, Vec<f64>, VarTable) {
+        let prep = enframe_bench::prepare_lineage(
+            10,
+            Scheme::Positive { l: 3, v: 10 },
+            &LineageOpts::default(),
+            seed,
+        );
+        let opts = ObddOptions {
+            groups: prep.var_groups.clone(),
+            reorder: policy,
+            ..ObddOptions::default()
+        };
+        let engine = ObddEngine::compile(&prep.net, &opts).unwrap();
+        let want = engine.probabilities(&prep.vt);
+        (engine, want, prep.vt)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// WMC and conditioning answers are invariant under arbitrary
+        /// interleavings of reorder / GC / queries — handles survive
+        /// every maintenance pass and keep denoting the same functions.
+        #[test]
+        fn queries_invariant_under_reorder_and_gc(
+            seed in 0u64..1000,
+            ops in collection::vec(0u8..4, 1..12),
+        ) {
+            let (mut engine, want, vt) = positive_engine(seed, ReorderPolicy::default());
+            let ev_var = Var(0);
+            let base_cond = {
+                let ev = engine.evidence(&[(ev_var, true)]);
+                engine.condition(&vt, ev).unwrap()
+            };
+            for op in ops {
+                match op {
+                    0 => engine.reorder(),
+                    1 => {
+                        engine.collect_garbage();
+                    }
+                    2 => {
+                        let got = engine.probabilities(&vt);
+                        for i in 0..want.len() {
+                            prop_assert!(
+                                (got[i] - want[i]).abs() < 1e-12,
+                                "probability {i} drifted after maintenance"
+                            );
+                        }
+                    }
+                    _ => {
+                        // Evidence must be rebuilt per query: handles are
+                        // not GC-protected across maintenance points.
+                        let ev = engine.evidence(&[(ev_var, true)]);
+                        let cond = engine.condition(&vt, ev).unwrap();
+                        prop_assert!(
+                            (cond.evidence_prob - base_cond.evidence_prob).abs() < 1e-12
+                        );
+                        for i in 0..want.len() {
+                            prop_assert!(
+                                (cond.posteriors[i] - base_cond.posteriors[i]).abs() < 1e-12,
+                                "posterior {i} drifted after maintenance"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Group sifting never ends larger than the static grouped order
+        /// on positive-scheme lineage (sifting parks every block at the
+        /// best size seen, which includes its starting position).
+        #[test]
+        fn sifted_size_never_exceeds_static(seed in 0u64..1000) {
+            let (mut engine, want, vt) = positive_engine(seed, ReorderPolicy::disabled());
+            let static_live = {
+                engine.collect_garbage();
+                engine.manager_stats().live_nodes
+            };
+            engine.reorder();
+            let sifted_live = engine.manager_stats().live_nodes;
+            prop_assert!(
+                sifted_live <= static_live,
+                "sifting grew the manager: {static_live} -> {sifted_live}"
+            );
+            let got = engine.probabilities(&vt);
+            for i in 0..want.len() {
+                prop_assert!((got[i] - want[i]).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+/// Satellite regression: repeated conditioning with *varying* evidence on
+/// one manager must not grow memory monotonically — the computed-table is
+/// bounded by construction and automatic maintenance sweeps the dead
+/// joint BDDs between queries.
+#[test]
+fn repeated_conditioning_stays_bounded() {
+    use enframe::obdd::Manager;
+    let prep =
+        enframe_bench::prepare_lineage(12, Scheme::Conditional, &LineageOpts::default(), 0xCAFE);
+    let mut engine = ObddEngine::compile(
+        &prep.net,
+        &ObddOptions::with_groups(prep.var_groups.clone()),
+    )
+    .unwrap();
+    let vt = &prep.vt;
+    let n_vars = vt.len() as u32;
+    let baseline = engine.manager_stats().live_nodes;
+    let mut peak_seen = 0usize;
+    for q in 0..1000u32 {
+        // Vary the evidence so each query really builds fresh BDDs.
+        let a = Var(q % n_vars);
+        let b = Var((q / 3 + 1) % n_vars);
+        let lits = [(a, q % 2 == 0), (b, q % 3 == 0)];
+        let ev = engine.evidence(&lits);
+        match engine.condition(vt, ev) {
+            Ok(cond) => assert!(cond
+                .posteriors
+                .iter()
+                .all(|p| (0.0..=1.0 + 1e-9).contains(p))),
+            // a == b with opposite polarities: legitimately impossible.
+            Err(enframe::obdd::ObddError::ZeroEvidence) => {}
+            Err(e) => panic!("conditioning failed at query {q}: {e}"),
+        }
+        peak_seen = peak_seen.max(engine.manager_stats().live_nodes);
+    }
+    let stats = engine.manager_stats();
+    assert!(stats.gc_runs > 0, "1k queries must have triggered GC");
+    // The manager never grew past a small multiple of the GC trigger,
+    // and ended bounded — not 1000 × per-query garbage.
+    assert!(
+        peak_seen < baseline + 4096,
+        "manager grew monotonically: peak {peak_seen} from baseline {baseline}"
+    );
+    assert!(
+        engine.manager_mut().ite_cache_capacity() <= Manager::ITE_CACHE_MAX_CAPACITY,
+        "computed-table exceeded its hard cap"
+    );
 }
 
 /// Posteriors against brute-force possible-worlds filtering:
@@ -262,6 +416,7 @@ fn bdd_completes_mutex_sweep_beyond_exact_horizon() {
         &ObddOptions {
             order: enframe::prob::VarOrder::Sequential,
             groups: prep.var_groups.clone(),
+            ..ObddOptions::default()
         },
     )
     .unwrap();
