@@ -1,8 +1,9 @@
-//! Criterion bench for the OBDD knowledge-compilation backend: BDD-exact
-//! vs decision-tree exact vs hybrid ε-approximation on lineage-query
-//! pipelines over the three correlation schemes, plus one BDD-only
-//! configuration far beyond the decision-tree exact horizon. Full sweep:
-//! `src/bin/fig_bdd.rs`.
+//! Criterion bench for the knowledge-compilation backends: BDD-exact and
+//! d-DNNF vs decision-tree exact vs hybrid ε-approximation on
+//! lineage-query pipelines over the three correlation schemes, plus one
+//! BDD-only configuration far beyond the decision-tree exact horizon and
+//! the d-DNNF engine on the aggregate-comparison k-medoids pipeline past
+//! the Shannon-expansion wall. Full sweep: `src/bin/fig_bdd.rs`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use enframe_bench::{prepare, prepare_lineage, run_engine, run_lineage_engine, Engine};
@@ -15,7 +16,12 @@ fn engines_head_to_head(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     // v = 12: the largest size where all three engines are feasible.
     let prep = prepare_lineage(12, Scheme::Mutex { m: 6 }, &LineageOpts::default(), 0xBD0);
-    for engine in [Engine::Exact, Engine::Hybrid, Engine::BddExact] {
+    for engine in [
+        Engine::Exact,
+        Engine::Hybrid,
+        Engine::BddExact,
+        Engine::DnnfExact,
+    ] {
         g.bench_function(format!("mutex_v12_{}", engine.label()), |b| {
             b.iter(|| run_lineage_engine(&prep, engine, 0.1))
         });
@@ -58,11 +64,25 @@ fn bdd_on_kmedoids(c: &mut Criterion) {
         &LineageOpts::default(),
         0xBD3,
     );
-    for engine in [Engine::Exact, Engine::BddExact] {
+    for engine in [Engine::Exact, Engine::BddExact, Engine::DnnfExact] {
         g.bench_function(format!("kmedoids_v8_{}", engine.label()), |b| {
             b.iter(|| run_engine(&prep, engine, 0.0))
         });
     }
+    // The d-DNNF engine past the Shannon wall: v = 14 is where the BDD
+    // path recorded 874 k branches / 14.8 s; residual-state memoisation
+    // keeps this configuration sub-second.
+    let prep = prepare(
+        16,
+        2,
+        2,
+        Scheme::Positive { l: 8, v: 14 },
+        &LineageOpts::default(),
+        7,
+    );
+    g.bench_function("kmedoids_v14_dnnf", |b| {
+        b.iter(|| run_engine(&prep, Engine::DnnfExact, 0.0))
+    });
     g.finish();
 }
 

@@ -154,6 +154,7 @@ fn main() {
             estimates: Some((0..res.lower.len()).map(|i| res.estimate(i)).collect()),
             status: "ok".into(),
             stats: None,
+            dnnf_stats: None,
         };
         print_row(
             "ablation_dimensions",
@@ -181,6 +182,7 @@ fn main() {
             estimates: Some((0..res.lower.len()).map(|i| res.estimate(i)).collect()),
             status: "ok".into(),
             stats: None,
+            dnnf_stats: None,
         };
         print_row(
             "ablation_targets",
@@ -201,6 +203,7 @@ fn main() {
             estimates: None,
             status: "ok".into(),
             stats: None,
+            dnnf_stats: None,
         };
         print_row("ablation_targets", "co_occurrence", "targets=1", &m, "");
     }
@@ -222,6 +225,7 @@ fn main() {
             estimates: None,
             status: "ok".into(),
             stats: None,
+            dnnf_stats: None,
         };
         print_row(
             "ablation_network_size",
@@ -278,6 +282,7 @@ fn main() {
                 estimates: None,
                 status: format!("branches={}", res.stats.branches),
                 stats: None,
+                dnnf_stats: None,
             };
             print_row("ablation_var_order", label, "v=16", &m, "");
         }

@@ -43,6 +43,7 @@ fn main() {
                         estimates: None,
                         status: "timeout".into(),
                         stats: None,
+                        dnnf_stats: None,
                     },
                     "",
                 );

@@ -11,10 +11,15 @@
 //!
 //! The `bdd-exact` series runs the overhauled manager (automatic GC +
 //! group sifting); `bdd-static` is the static-order, never-collected
-//! baseline. The trailing CSV columns carry the manager statistics
-//! (live/peak nodes, GC and reorder counts, table load factor): on the
-//! positive scheme — the order-sensitive one — compare the two series'
-//! `peak_nodes` to read off the sifting win directly.
+//! baseline; `dnnf` is the d-DNNF compilation path (residual-state
+//! memoisation + decomposable AND), exact like the BDD engines. The
+//! trailing CSV columns carry the manager statistics (live/peak nodes,
+//! GC and reorder counts, table load factor), the `cmp_branches`
+//! expansion counter (Shannon branches for the BDD engines, expansion
+//! steps for d-DNNF — directly comparable), and the d-DNNF node/edge
+//! counts. On the positive scheme — the order-sensitive one — compare
+//! the two BDD series' `peak_nodes` to read off the sifting win
+//! directly.
 //!
 //! Run: `cargo run --release -p enframe-bench --bin fig_bdd`
 //! (`ENFRAME_BENCH_FULL=1` for the larger grid.)
@@ -81,6 +86,7 @@ fn sweep_row(prep: &LineagePrepared, scheme: &str, v: usize, eps: f64) {
         Engine::Hybrid,
         Engine::BddExact,
         Engine::BddStatic,
+        Engine::DnnfExact,
     ] {
         let m = run_lineage_engine(prep, engine, eps);
         print_row("fig_bdd", &engine.label(), &x, &m, &detail);

@@ -15,6 +15,7 @@
 
 use enframe_bench::*;
 use enframe_data::{LineageOpts, Scheme};
+use enframe_obdd::dnnf::DnnfStats;
 use enframe_obdd::ObddStats;
 use std::fmt::Write as _;
 
@@ -26,10 +27,12 @@ struct JsonRow {
     seconds: f64,
     /// OBDD manager statistics (BDD series only).
     stats: Option<ObddStats>,
+    /// d-DNNF compilation statistics (`dnnf` series only).
+    dnnf: Option<DnnfStats>,
 }
 
 fn push_row(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &str, seconds: f64) {
-    push_row_stats(rows, figure, series, x, seconds, None);
+    push_full_row(rows, figure, series, x, seconds, None, None);
 }
 
 fn push_row_stats(
@@ -40,6 +43,31 @@ fn push_row_stats(
     seconds: f64,
     stats: Option<ObddStats>,
 ) {
+    push_full_row(rows, figure, series, x, seconds, stats, None);
+}
+
+fn push_row_dnnf(
+    rows: &mut Vec<JsonRow>,
+    figure: &'static str,
+    series: &str,
+    x: &str,
+    seconds: f64,
+    dnnf: Option<DnnfStats>,
+) {
+    push_full_row(rows, figure, series, x, seconds, None, dnnf);
+}
+
+/// Appends one finite measurement (rows with NaN seconds — timeouts and
+/// skips — stay out of the trajectory file).
+fn push_full_row(
+    rows: &mut Vec<JsonRow>,
+    figure: &'static str,
+    series: &str,
+    x: &str,
+    seconds: f64,
+    stats: Option<ObddStats>,
+    dnnf: Option<DnnfStats>,
+) {
     if seconds.is_finite() {
         rows.push(JsonRow {
             figure,
@@ -47,6 +75,7 @@ fn push_row_stats(
             x: x.to_string(),
             seconds,
             stats,
+            dnnf,
         });
     }
 }
@@ -72,8 +101,15 @@ fn write_json(rows: &[JsonRow]) {
             let m = &st.manager;
             let _ = write!(
                 out,
-                ", \"stats\": {{\"live_nodes\": {}, \"peak_nodes\": {}, \"gc_runs\": {}, \"reorders\": {}, \"load_factor\": {:.3}}}",
-                m.live_nodes, m.peak_nodes, m.gc_runs, m.reorders, m.load_factor
+                ", \"stats\": {{\"live_nodes\": {}, \"peak_nodes\": {}, \"gc_runs\": {}, \"reorders\": {}, \"load_factor\": {:.3}, \"cmp_branches\": {}}}",
+                m.live_nodes, m.peak_nodes, m.gc_runs, m.reorders, m.load_factor, st.cmp_branches
+            );
+        }
+        if let Some(d) = &r.dnnf {
+            let _ = write!(
+                out,
+                ", \"stats\": {{\"cmp_branches\": {}, \"dnnf_nodes\": {}, \"dnnf_edges\": {}, \"memo_hits\": {}}}",
+                d.expansion_steps, d.nodes, d.edges, d.memo_hits
             );
         }
         out.push('}');
@@ -177,11 +213,13 @@ fn main() {
         );
         let x = format!("scheme=mutex;v={v}");
         let bdd = run_lineage_engine(&prep, Engine::BddExact, 0.0);
+        let dnnf = run_lineage_engine(&prep, Engine::DnnfExact, 0.0);
         let exact = run_lineage_engine(&prep, Engine::Exact, 0.0);
         println!(
-            "lineage v={v} build={:.3}s bdd-exact={:.4}s exact={}",
+            "lineage v={v} build={:.3}s bdd-exact={:.4}s dnnf={:.4}s exact={}",
             prep.build_seconds,
             bdd.seconds,
+            dnnf.seconds,
             if exact.seconds.is_finite() {
                 format!("{:.4}s", exact.seconds)
             } else {
@@ -196,7 +234,51 @@ fn main() {
             bdd.seconds,
             bdd.stats.clone(),
         );
+        push_row_dnnf(
+            &mut rows,
+            "probe",
+            "dnnf",
+            &x,
+            dnnf.seconds,
+            dnnf.dnnf_stats.clone(),
+        );
         push_row(&mut rows, "probe", "exact", &x, exact.seconds);
+    }
+    // The d-DNNF headline: the k-medoids aggregate-comparison pipeline
+    // at the exact configuration PR 3 measured the Shannon wall on
+    // (n = 16, 2 iterations, positive l = 8). At v = 14 the Shannon path
+    // recorded 874 k branches / 14.8 s; the `cmp_branches` stat of the
+    // `dnnf` series row is its expansion-step count on the same
+    // workload, and CI asserts the ≥50× collapse from it.
+    let dnnf_grid: &[usize] = if full { &[12, 14, 20, 24] } else { &[12, 14] };
+    for &v in dnnf_grid {
+        let prep = prepare(
+            16,
+            2,
+            2,
+            Scheme::Positive { l: 8.min(v), v },
+            &LineageOpts::default(),
+            7,
+        );
+        let x = format!("n=16;v={v}");
+        let dnnf = run_engine(&prep, Engine::DnnfExact, 0.0);
+        let steps = dnnf
+            .dnnf_stats
+            .as_ref()
+            .map(|d| d.expansion_steps)
+            .unwrap_or(0);
+        println!(
+            "kmedoids-dnnf v={v} build={:.3}s dnnf={:.4}s steps={steps}",
+            prep.build_seconds, dnnf.seconds
+        );
+        push_row_dnnf(
+            &mut rows,
+            "probe",
+            "dnnf",
+            &x,
+            dnnf.seconds,
+            dnnf.dnnf_stats.clone(),
+        );
     }
     write_json(&rows);
 }

@@ -28,6 +28,7 @@ use enframe_core::{Program, Var, VarTable};
 use enframe_data::{generate_lineage, kmedoids_workload, ClusteringWorkload, LineageOpts, Scheme};
 use enframe_lang::{parse, programs, UserProgram};
 use enframe_network::{FoldedNetwork, Network};
+use enframe_obdd::dnnf::{DnnfEngine, DnnfOptions, DnnfStats};
 use enframe_obdd::{ObddEngine, ObddOptions, ObddStats};
 use enframe_prob::{
     compile, compile_distributed, compile_folded, CompileResult, DistOptions, Options, Strategy,
@@ -128,6 +129,13 @@ pub enum Engine {
     /// static-order, never-collected baseline the reordering/GC numbers
     /// are compared against.
     BddStatic,
+    /// d-DNNF knowledge compilation (`enframe::obdd::dnnf`): targets
+    /// compiled with residual-state memoisation (partial-sum DP over
+    /// comparison atoms, decomposable-AND factoring), probabilities by
+    /// single-pass weighted model counting. The engine that breaks the
+    /// Shannon-expansion wall on aggregate-comparison workloads — see
+    /// [`DNNF_KMEDOIDS_VAR_CAP`] vs [`BDD_KMEDOIDS_VAR_CAP`].
+    DnnfExact,
 }
 
 impl Engine {
@@ -144,6 +152,7 @@ impl Engine {
             Engine::HybridFolded => "hybrid-folded".into(),
             Engine::BddExact => "bdd-exact".into(),
             Engine::BddStatic => "bdd-static".into(),
+            Engine::DnnfExact => "dnnf".into(),
         }
     }
 }
@@ -161,6 +170,9 @@ pub struct Measurement {
     /// OBDD compilation/manager statistics (BDD engines only): live and
     /// peak nodes, GC and reorder counts, table load factor.
     pub stats: Option<ObddStats>,
+    /// d-DNNF compilation statistics ([`Engine::DnnfExact`] only):
+    /// expansion steps (the `cmp_branches` analogue), node/edge counts.
+    pub dnnf_stats: Option<DnnfStats>,
 }
 
 /// Cap on variables for the naïve baseline in harness runs (the paper's
@@ -187,9 +199,25 @@ pub const EXACT_VAR_CAP: usize = 18;
 /// n = 16, 2-iteration pipeline: 111 k branches / 1.9 s at v = 12 vs
 /// 874 k branches / 14.8 s at v = 14, with the manager peak staying
 /// under 500 nodes throughout), so group sifting moves nothing here and
-/// the cap stays at 12. Lifting it needs d-DNNF-style decomposable
-/// aggregate compilation (see ROADMAP), not a better variable order.
+/// the cap stays at 12 — this is precisely the wall the d-DNNF engine
+/// removes ([`Engine::DnnfExact`], [`DNNF_KMEDOIDS_VAR_CAP`]).
 pub const BDD_KMEDOIDS_VAR_CAP: usize = 12;
+
+/// Cap on variables for the d-DNNF engine on the **k-medoids** pipeline
+/// — twice the OBDD cap, because residual-state memoisation collapses
+/// the per-atom Shannon branch tree onto the DP over distinct
+/// (support level, partial-sum) states. Measured on the same n = 16,
+/// 2-iteration pipeline as [`BDD_KMEDOIDS_VAR_CAP`]'s baseline: the
+/// 874 k-branch / 14.8 s Shannon compilation at v = 14 becomes 1 178
+/// expansion steps / ~0.35 s (742× fewer steps), and expansion steps
+/// then grow *polynomially* in v — 1 922 at v = 20, 2 124 at v = 24,
+/// 4 898 at v = 40 (~1.4 s) — because the comparison atoms' sums are
+/// functions of a handful of shared lineage events, not of individual
+/// variables. The remaining wall is the **point count**, not v: more
+/// points mean more distinct lineage groups and denser guard structure
+/// (n = 32 at v = 20 takes ~100 s), so the cap guards v only, at the
+/// fig-grid margin where the n = 16 pipeline stays well under a second.
+pub const DNNF_KMEDOIDS_VAR_CAP: usize = 24;
 
 /// Whether a naïve run of `2^v` worlds over `n` objects finishes within a
 /// couple of minutes (measured ≈ 45 µs · n² per world for k = 2, three
@@ -205,6 +233,18 @@ pub fn timeout_measurement(reason: &str) -> Measurement {
         estimates: None,
         status: format!("timeout({reason})"),
         stats: None,
+        dnnf_stats: None,
+    }
+}
+
+/// A ready-made `error` measurement row (compilation failed).
+fn error_measurement(e: impl std::fmt::Display) -> Measurement {
+    Measurement {
+        seconds: f64::NAN,
+        estimates: None,
+        status: format!("error({e})"),
+        stats: None,
+        dnnf_stats: None,
     }
 }
 
@@ -215,12 +255,7 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
         Engine::Naive => run_naive(&prep.ast, &prep.workload.env, vt, prep.k, prep.n),
         Engine::Exact => {
             if vt.len() > EXACT_VAR_CAP {
-                return Measurement {
-                    seconds: f64::NAN,
-                    estimates: None,
-                    status: format!("timeout(v={}>{EXACT_VAR_CAP})", vt.len()),
-                    stats: None,
-                };
+                return timeout_measurement(&format!("v={}>{EXACT_VAR_CAP}", vt.len()));
             }
             let t0 = Instant::now();
             let res = compile(&prep.net, vt, Options::exact());
@@ -246,12 +281,7 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
         }
         Engine::BddExact | Engine::BddStatic => {
             if vt.len() > BDD_KMEDOIDS_VAR_CAP {
-                return Measurement {
-                    seconds: f64::NAN,
-                    estimates: None,
-                    status: format!("timeout(v={}>{BDD_KMEDOIDS_VAR_CAP})", vt.len()),
-                    stats: None,
-                };
+                return timeout_measurement(&format!("v={}>{BDD_KMEDOIDS_VAR_CAP}", vt.len()));
             }
             run_bdd_exact(
                 &prep.net,
@@ -260,6 +290,12 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
                 engine == Engine::BddStatic,
             )
         }
+        Engine::DnnfExact => {
+            if vt.len() > DNNF_KMEDOIDS_VAR_CAP {
+                return timeout_measurement(&format!("v={}>{DNNF_KMEDOIDS_VAR_CAP}", vt.len()));
+            }
+            run_dnnf_exact(&prep.net, vt)
+        }
         Engine::ExactFolded | Engine::HybridFolded => {
             let Some(folded) = &prep.folded else {
                 return timeout_measurement("program does not fold");
@@ -267,12 +303,7 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
             let opts = match engine {
                 Engine::ExactFolded => {
                     if vt.len() > EXACT_VAR_CAP {
-                        return Measurement {
-                            seconds: f64::NAN,
-                            estimates: None,
-                            status: format!("timeout(v={}>{EXACT_VAR_CAP})", vt.len()),
-                            stats: None,
-                        };
+                        return timeout_measurement(&format!("v={}>{EXACT_VAR_CAP}", vt.len()));
                     }
                     Options::exact()
                 }
@@ -293,17 +324,13 @@ fn finish(t0: Instant, res: CompileResult) -> Measurement {
         estimates: Some(estimates),
         status: "ok".into(),
         stats: None,
+        dnnf_stats: None,
     }
 }
 
 fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize) -> Measurement {
     if vt.len() > NAIVE_VAR_CAP {
-        return Measurement {
-            seconds: f64::NAN,
-            estimates: None,
-            status: format!("timeout(v={}>{NAIVE_VAR_CAP})", vt.len()),
-            stats: None,
-        };
+        return timeout_measurement(&format!("v={}>{NAIVE_VAR_CAP}", vt.len()));
     }
     let t0 = Instant::now();
     let res = naive_probabilities(ast, env, vt, extract::bool_matrix("Centre", k, n))
@@ -313,6 +340,7 @@ fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize
         estimates: Some(res.probabilities),
         status: "ok".into(),
         stats: None,
+        dnnf_stats: None,
     }
 }
 
@@ -418,12 +446,7 @@ pub fn run_lineage_engine(prep: &LineagePrepared, engine: Engine, epsilon: f64) 
     match engine {
         Engine::Exact => {
             if vt.len() > EXACT_VAR_CAP {
-                return Measurement {
-                    seconds: f64::NAN,
-                    estimates: None,
-                    status: format!("timeout(v={}>{EXACT_VAR_CAP})", vt.len()),
-                    stats: None,
-                };
+                return timeout_measurement(&format!("v={}>{EXACT_VAR_CAP}", vt.len()));
             }
             let t0 = Instant::now();
             let res = compile(&prep.net, vt, Options::exact());
@@ -436,6 +459,7 @@ pub fn run_lineage_engine(prep: &LineagePrepared, engine: Engine, epsilon: f64) 
         }
         Engine::BddExact => run_bdd_exact(&prep.net, vt, &prep.var_groups, false),
         Engine::BddStatic => run_bdd_exact(&prep.net, vt, &prep.var_groups, true),
+        Engine::DnnfExact => run_dnnf_exact(&prep.net, vt),
         _ => timeout_measurement("engine not applicable to lineage queries"),
     }
 }
@@ -472,44 +496,65 @@ fn run_bdd_exact(
                 estimates: Some(probs),
                 status: "ok".into(),
                 stats: Some(engine.stats().clone()),
+                dnnf_stats: None,
             }
         }
-        Err(e) => Measurement {
-            seconds: f64::NAN,
-            estimates: None,
-            status: format!("error({e})"),
-            stats: None,
-        },
+        Err(e) => error_measurement(e),
     }
 }
 
-/// Prints the CSV header used by all figure binaries. The trailing five
-/// columns carry OBDD manager statistics and stay empty for non-BDD
-/// engines.
+/// Compiles a network's targets into d-DNNF and counts them — the
+/// [`Engine::DnnfExact`] measurement shared by [`run_engine`] and
+/// [`run_lineage_engine`].
+fn run_dnnf_exact(net: &Network, vt: &VarTable) -> Measurement {
+    let t0 = Instant::now();
+    match DnnfEngine::compile(net, &DnnfOptions::default()) {
+        Ok(engine) => {
+            let probs = engine.probabilities(vt);
+            Measurement {
+                seconds: t0.elapsed().as_secs_f64(),
+                estimates: Some(probs),
+                status: "ok".into(),
+                stats: None,
+                dnnf_stats: Some(engine.stats().clone()),
+            }
+        }
+        Err(e) => error_measurement(e),
+    }
+}
+
+/// Prints the CSV header used by all figure binaries. The trailing
+/// columns carry knowledge-compilation statistics and stay empty for
+/// engines that do not produce them: five OBDD manager columns, then
+/// `cmp_branches` (Shannon branches for the BDD engines, expansion
+/// steps for the d-DNNF engine — the directly comparable pair) and the
+/// d-DNNF node/edge counts.
 pub fn print_header() {
     println!(
-        "figure,series,x,seconds,status,detail,live_nodes,peak_nodes,gc_runs,reorders,load_factor"
+        "figure,series,x,seconds,status,detail,live_nodes,peak_nodes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges"
     );
 }
 
-/// Prints one CSV measurement row (with manager-stat columns when the
-/// measurement carries them).
+/// Prints one CSV measurement row (with the stat columns the
+/// measurement carries).
 pub fn print_row(figure: &str, series: &str, x: &str, m: &Measurement, detail: &str) {
     let secs = if m.seconds.is_nan() {
         "".to_string()
     } else {
         format!("{:.6}", m.seconds)
     };
-    let stats = match &m.stats {
-        Some(s) => format!(
-            "{},{},{},{},{:.3}",
+    let stats = match (&m.stats, &m.dnnf_stats) {
+        (Some(s), _) => format!(
+            "{},{},{},{},{:.3},{},,",
             s.manager.live_nodes,
             s.manager.peak_nodes,
             s.manager.gc_runs,
             s.manager.reorders,
-            s.manager.load_factor
+            s.manager.load_factor,
+            s.cmp_branches
         ),
-        None => ",,,,".into(),
+        (None, Some(d)) => format!(",,,,,{},{},{}", d.expansion_steps, d.nodes, d.edges),
+        (None, None) => ",,,,,,,".into(),
     };
     println!("{figure},{series},{x},{secs},{},{detail},{stats}", m.status);
 }
@@ -641,13 +686,23 @@ mod tests {
             let bdd = run_lineage_engine(&prep, Engine::BddExact, 0.0)
                 .estimates
                 .unwrap();
+            let dnnf = run_lineage_engine(&prep, Engine::DnnfExact, 0.0)
+                .estimates
+                .unwrap();
             assert_eq!(exact.len(), bdd.len());
+            assert_eq!(exact.len(), dnnf.len());
             for i in 0..exact.len() {
                 assert!(
                     (exact[i] - bdd[i]).abs() < 1e-9,
                     "{scheme:?} target {i}: exact {} vs bdd {}",
                     exact[i],
                     bdd[i]
+                );
+                assert!(
+                    (exact[i] - dnnf[i]).abs() < 1e-9,
+                    "{scheme:?} target {i}: exact {} vs dnnf {}",
+                    exact[i],
+                    dnnf[i]
                 );
             }
             let hybrid = run_lineage_engine(&prep, Engine::Hybrid, 0.1)
@@ -657,6 +712,68 @@ mod tests {
                 assert!((hybrid[i] - exact[i]).abs() <= 0.1 + 1e-9);
             }
         }
+    }
+
+    /// The headline of this backend: on the k-medoids
+    /// aggregate-comparison workload the d-DNNF engine reproduces the
+    /// decision-tree exact probabilities with orders of magnitude fewer
+    /// expansion steps than the Shannon path's branch count.
+    #[test]
+    fn dnnf_matches_tree_exact_on_kmedoids_and_collapses_branches() {
+        let prep = tiny_prep();
+        let exact = run_engine(&prep, Engine::Exact, 0.0).estimates.unwrap();
+        let dnnf = run_engine(&prep, Engine::DnnfExact, 0.0);
+        assert_eq!(dnnf.status, "ok");
+        let dv = dnnf.estimates.unwrap();
+        assert_eq!(dv.len(), exact.len());
+        for i in 0..exact.len() {
+            assert!(
+                (dv[i] - exact[i]).abs() < 1e-9,
+                "target {i}: dnnf {} vs exact {}",
+                dv[i],
+                exact[i]
+            );
+        }
+        let bdd = run_engine(&prep, Engine::BddExact, 0.0);
+        let steps = dnnf.dnnf_stats.unwrap().expansion_steps;
+        let branches = bdd.stats.unwrap().cmp_branches;
+        assert!(
+            steps * 10 <= branches,
+            "residual-state memoisation must collapse the branch tree: \
+             {steps} dnnf steps vs {branches} Shannon branches"
+        );
+    }
+
+    /// The raised d-DNNF cap: the aggregate-comparison pipeline compiles
+    /// past the old v = 12 Shannon cap, and the caps gate as documented.
+    #[test]
+    fn dnnf_cap_is_raised_past_the_shannon_wall() {
+        let cap = DNNF_KMEDOIDS_VAR_CAP;
+        assert!(cap >= 20, "the d-DNNF cap must stay past the ISSUE bound");
+        let prep = prepare(
+            16,
+            2,
+            2,
+            Scheme::Positive { l: 8, v: 14 },
+            &LineageOpts::default(),
+            7,
+        );
+        let bdd = run_engine(&prep, Engine::BddExact, 0.0);
+        assert!(
+            bdd.status.starts_with("timeout"),
+            "v=14 must exceed the Shannon cap, got {}",
+            bdd.status
+        );
+        let dnnf = run_engine(&prep, Engine::DnnfExact, 0.0);
+        assert_eq!(dnnf.status, "ok");
+        let stats = dnnf.dnnf_stats.unwrap();
+        // The recorded Shannon baseline at v = 14 is 874 k branches; the
+        // DP must be at least 50× below it (measured: ~1.2 k).
+        assert!(
+            stats.expansion_steps <= 874_000 / 50,
+            "expansion steps regressed: {}",
+            stats.expansion_steps
+        );
     }
 
     #[test]

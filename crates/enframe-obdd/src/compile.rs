@@ -10,13 +10,16 @@
 //!
 //! Comparison atoms (`Cmp`) close over *numeric* c-value structure, which
 //! has no direct BDD encoding. They are compiled by **Shannon expansion**
-//! over the atom's support variables in global order, with a three-valued
-//! partial evaluator pruning every branch as soon as the comparison's
-//! outcome is forced (e.g. once one side is known undefined the atom is
-//! true, §3.2). Worst case this is exponential in the atom's support —
-//! the same cost the decision-tree engine pays for the *whole network* —
-//! but it is local to each atom, shared across targets, and the partial
-//! evaluator cuts mutex- and guard-heavy structure early.
+//! over the atom's support variables in global order, with the
+//! three-valued partial evaluator ([`crate::peval`]) pruning every branch
+//! as soon as the comparison's outcome is forced (e.g. once one side is
+//! known undefined the atom is true, §3.2). Worst case this is
+//! exponential in the atom's support — the same cost the decision-tree
+//! engine pays for the *whole network* — but it is local to each atom,
+//! shared across targets, and the partial evaluator cuts mutex- and
+//! guard-heavy structure early. The d-DNNF path ([`crate::dnnf`]) removes
+//! this exponent for aggregate-heavy workloads by memoising the expansion
+//! on residual states instead of assignments.
 //!
 //! The compiler cooperates with the manager's automatic maintenance:
 //! every per-network-node BDD it memoises is [`Manager::protect`]ed as a
@@ -30,8 +33,9 @@
 //! fixed level order.
 
 use crate::manager::{Bdd, Manager};
+use crate::peval::{loop_in_unsupported, Evaluator, Partial, VisitStamp};
 use crate::ObddError;
-use enframe_core::{Value, Var};
+use enframe_core::Var;
 use enframe_network::{Network, NodeId, NodeKind};
 
 /// A maintenance safe point with `acc` as the only unprotected live
@@ -46,17 +50,6 @@ fn checkpoint(man: &mut Manager, acc: Bdd) {
     }
 }
 
-/// Three-valued partial evaluation result for one network node.
-#[derive(Debug, Clone, PartialEq)]
-enum Partial {
-    /// Boolean node with a forced truth value.
-    B(bool),
-    /// Numeric node with a forced value.
-    V(Value),
-    /// Not yet determined by the partial assignment.
-    Unknown,
-}
-
 /// Compiles network nodes into BDDs over a fixed variable-label
 /// assignment (labels are stable across reordering; the manager maps
 /// them to current levels).
@@ -66,10 +59,19 @@ pub(crate) struct Compiler<'n> {
     level_of: Vec<Option<u32>>,
     /// Compiled BDD per network node (Boolean cone only).
     cache: Vec<Option<Bdd>>,
-    /// Scratch: current partial assignment, indexed by variable.
-    assignment: Vec<Option<bool>>,
-    /// Scratch: partial values per network node for one evaluation pass.
-    scratch: Vec<Partial>,
+    /// Shared three-valued evaluator (assignment + per-node scratch).
+    eval: Evaluator<'n>,
+    /// Scratch: visited stamps for cone/subtree traversals, reused
+    /// across `compile()` calls.
+    seen: VisitStamp,
+    /// Scratch: DFS stack, reused across traversals.
+    stack: Vec<NodeId>,
+    /// Scratch: the Boolean cone of the current target.
+    cone: Vec<NodeId>,
+    /// Scratch: the numeric subtree of the current `Cmp` atom.
+    subtree: Vec<NodeId>,
+    /// Scratch: the current atom's support variables.
+    support: Vec<Var>,
     /// Count of Shannon-expansion branches taken for `Cmp` atoms.
     pub(crate) cmp_branches: u64,
 }
@@ -80,8 +82,12 @@ impl<'n> Compiler<'n> {
             net,
             level_of,
             cache: vec![None; net.len()],
-            assignment: vec![None; net.n_vars as usize],
-            scratch: vec![Partial::Unknown; net.len()],
+            eval: Evaluator::new(net),
+            seen: VisitStamp::new(net.len()),
+            stack: Vec::new(),
+            cone: Vec::new(),
+            subtree: Vec::new(),
+            support: Vec::new(),
             cmp_branches: 0,
         }
     }
@@ -91,27 +97,28 @@ impl<'n> Compiler<'n> {
         // The Boolean cone of `root`: nodes whose BDDs are combined
         // compositionally. Recursion stops at `Cmp` atoms — their numeric
         // subtrees are handled by Shannon expansion instead.
-        let mut cone: Vec<NodeId> = Vec::new();
-        let mut stack = vec![root];
-        let mut seen = vec![false; self.net.len()];
-        while let Some(id) = stack.pop() {
-            if seen[id.index()] || self.cache[id.index()].is_some() {
+        self.seen.reset();
+        self.cone.clear();
+        self.stack.clear();
+        self.stack.push(root);
+        while let Some(id) = self.stack.pop() {
+            if self.seen.visit(id) || self.cache[id.index()].is_some() {
                 continue;
             }
-            seen[id.index()] = true;
-            cone.push(id);
+            self.cone.push(id);
             let node = self.net.node(id);
             match node.kind {
                 NodeKind::Not | NodeKind::And | NodeKind::Or => {
-                    stack.extend(node.children.iter().copied());
+                    self.stack.extend(node.children.iter().copied());
                 }
                 _ => {}
             }
         }
         // Children precede parents in the network's node order, so
         // ascending index order is a valid evaluation order for the cone.
-        cone.sort_unstable();
-        for id in cone {
+        self.cone.sort_unstable();
+        for i in 0..self.cone.len() {
+            let id = self.cone[i];
             let bdd = self.compile_one(man, id)?;
             // Memoised BDDs are GC roots until `finish`: later cone
             // nodes (and later targets) combine them compositionally.
@@ -168,11 +175,7 @@ impl<'n> Compiler<'n> {
                 acc
             }
             NodeKind::Cmp(_) => self.expand_cmp(man, id)?,
-            NodeKind::LoopIn { .. } => {
-                return Err(ObddError::Unsupported(
-                    "folded networks (LoopIn nodes) have no OBDD encoding yet".into(),
-                ))
-            }
+            NodeKind::LoopIn { .. } => return Err(loop_in_unsupported()),
             other => {
                 return Err(ObddError::Unsupported(format!(
                     "numeric node {} cannot be a Boolean compilation root",
@@ -201,30 +204,38 @@ impl<'n> Compiler<'n> {
     /// level order, pruning branches the partial evaluator resolves.
     fn expand_cmp(&mut self, man: &mut Manager, id: NodeId) -> Result<Bdd, ObddError> {
         // The atom's reachable subtree, ascending (topological) order.
-        let mut seen = vec![false; self.net.len()];
-        let mut stack = vec![id];
-        let mut subtree: Vec<NodeId> = Vec::new();
-        while let Some(n) = stack.pop() {
-            if seen[n.index()] {
+        self.seen.reset();
+        self.subtree.clear();
+        self.stack.clear();
+        self.stack.push(id);
+        while let Some(n) = self.stack.pop() {
+            if self.seen.visit(n) {
                 continue;
             }
-            seen[n.index()] = true;
-            subtree.push(n);
-            stack.extend(self.net.node(n).children.iter().copied());
+            self.subtree.push(n);
+            self.stack.extend(self.net.node(n).children.iter().copied());
         }
-        subtree.sort_unstable();
+        self.subtree.sort_unstable();
         // Support variables, root-most level first.
-        let mut support: Vec<Var> = Vec::new();
-        for &n in &subtree {
+        self.support.clear();
+        for &n in &self.subtree {
             if let NodeKind::Var(v) = self.net.node(n).kind {
-                support.push(v);
+                self.support.push(v);
             }
         }
-        for &v in &support {
-            let _ = self.level(v)?; // fail early on unlevelled variables
+        for i in 0..self.support.len() {
+            let _ = self.level(self.support[i])?; // fail early on unlevelled variables
         }
-        support.sort_by_key(|&v| self.current_level(man, v));
-        self.expand_rec(man, id, &subtree, &support, 0)
+        let support = std::mem::take(&mut self.support);
+        let mut by_level = support;
+        by_level.sort_by_key(|&v| self.current_level(man, v));
+        let subtree = std::mem::take(&mut self.subtree);
+        let out = self.expand_rec(man, id, &subtree, &by_level, 0);
+        // Hand the buffers back for the next atom (their contents are
+        // dead; only the allocations are kept).
+        self.subtree = subtree;
+        self.support = by_level;
+        out
     }
 
     fn expand_rec(
@@ -236,8 +247,9 @@ impl<'n> Compiler<'n> {
         next: usize,
     ) -> Result<Bdd, ObddError> {
         self.cmp_branches += 1;
-        if let Partial::B(b) = self.partial_eval(id, subtree)? {
-            return Ok(if b { Bdd::TRUE } else { Bdd::FALSE });
+        self.eval.eval_subtree(subtree)?;
+        if let Partial::B(b) = self.eval.value(id) {
+            return Ok(if *b { Bdd::TRUE } else { Bdd::FALSE });
         }
         let v = *support.get(next).ok_or_else(|| {
             ObddError::Unsupported(format!(
@@ -245,159 +257,16 @@ impl<'n> Compiler<'n> {
                 id.0
             ))
         })?;
-        self.assignment[v.index()] = Some(true);
+        self.eval.assign(v, Some(true));
         let hi = self.expand_rec(man, id, subtree, support, next + 1);
-        self.assignment[v.index()] = Some(false);
+        self.eval.assign(v, Some(false));
         let lo = hi.and_then(|hi| {
             self.expand_rec(man, id, subtree, support, next + 1)
                 .map(|lo| (hi, lo))
         });
-        self.assignment[v.index()] = None;
+        self.eval.assign(v, None);
         let (hi, lo) = lo?;
         let level = self.level(v)?;
         Ok(man.node(level, hi, lo))
-    }
-
-    /// Three-valued evaluation of `root` under the current partial
-    /// assignment, visiting its subtree bottom-up.
-    fn partial_eval(&mut self, root: NodeId, subtree: &[NodeId]) -> Result<Partial, ObddError> {
-        for &id in subtree {
-            let node = self.net.node(id);
-            let val = match &node.kind {
-                NodeKind::Var(v) => match self.assignment[v.index()] {
-                    Some(b) => Partial::B(b),
-                    None => Partial::Unknown,
-                },
-                NodeKind::ConstBool(b) => Partial::B(*b),
-                NodeKind::Not => match self.scratch[node.children[0].index()] {
-                    Partial::B(b) => Partial::B(!b),
-                    _ => Partial::Unknown,
-                },
-                NodeKind::And => {
-                    let mut out = Partial::B(true);
-                    for &c in &node.children {
-                        match self.scratch[c.index()] {
-                            Partial::B(false) => {
-                                out = Partial::B(false);
-                                break;
-                            }
-                            Partial::B(true) => {}
-                            _ => out = Partial::Unknown,
-                        }
-                    }
-                    out
-                }
-                NodeKind::Or => {
-                    let mut out = Partial::B(false);
-                    for &c in &node.children {
-                        match self.scratch[c.index()] {
-                            Partial::B(true) => {
-                                out = Partial::B(true);
-                                break;
-                            }
-                            Partial::B(false) => {}
-                            _ => out = Partial::Unknown,
-                        }
-                    }
-                    out
-                }
-                NodeKind::Cmp(op) => {
-                    let a = &self.scratch[node.children[0].index()];
-                    let b = &self.scratch[node.children[1].index()];
-                    // An undefined side makes any comparison true (§3.2),
-                    // even when the other side is still unknown.
-                    match (a, b) {
-                        (Partial::V(Value::Undef), _) | (_, Partial::V(Value::Undef)) => {
-                            Partial::B(true)
-                        }
-                        (Partial::V(x), Partial::V(y)) => Partial::B(x.compare(*op, y)?),
-                        _ => Partial::Unknown,
-                    }
-                }
-                NodeKind::ConstVal => Partial::V(node.value.clone().expect("ConstVal payload")),
-                NodeKind::Cond => match self.scratch[node.children[0].index()] {
-                    Partial::B(true) => Partial::V(node.value.clone().expect("Cond payload")),
-                    Partial::B(false) => Partial::V(Value::Undef),
-                    _ => Partial::Unknown,
-                },
-                NodeKind::Guard => {
-                    let guard = &self.scratch[node.children[0].index()];
-                    let inner = &self.scratch[node.children[1].index()];
-                    match (guard, inner) {
-                        // Both outcomes are u once the payload is u.
-                        (_, Partial::V(Value::Undef)) | (Partial::B(false), _) => {
-                            Partial::V(Value::Undef)
-                        }
-                        (Partial::B(true), Partial::V(v)) => Partial::V(v.clone()),
-                        _ => Partial::Unknown,
-                    }
-                }
-                NodeKind::Sum => {
-                    let mut acc = Some(Value::Undef);
-                    for &c in &node.children {
-                        match (&self.scratch[c.index()], acc.take()) {
-                            (Partial::V(v), Some(a)) => acc = Some(a.add(v)?),
-                            _ => break,
-                        }
-                    }
-                    match acc {
-                        Some(v) => Partial::V(v),
-                        None => Partial::Unknown,
-                    }
-                }
-                NodeKind::Prod => {
-                    // An undefined factor absorbs the whole product (§3.2),
-                    // so one known-u child resolves it early.
-                    if node
-                        .children
-                        .iter()
-                        .any(|&c| self.scratch[c.index()] == Partial::V(Value::Undef))
-                    {
-                        Partial::V(Value::Undef)
-                    } else {
-                        let mut acc = Some(Value::Num(1.0));
-                        for &c in &node.children {
-                            match (&self.scratch[c.index()], acc.take()) {
-                                (Partial::V(v), Some(a)) => acc = Some(a.mul(v)?),
-                                _ => break,
-                            }
-                        }
-                        match acc {
-                            Some(v) => Partial::V(v),
-                            None => Partial::Unknown,
-                        }
-                    }
-                }
-                NodeKind::Inv => match &self.scratch[node.children[0].index()] {
-                    Partial::V(v) => Partial::V(v.inv()?),
-                    _ => Partial::Unknown,
-                },
-                NodeKind::Pow(r) => match &self.scratch[node.children[0].index()] {
-                    Partial::V(v) => Partial::V(v.pow(*r)?),
-                    _ => Partial::Unknown,
-                },
-                NodeKind::Dist => {
-                    let a = &self.scratch[node.children[0].index()];
-                    let b = &self.scratch[node.children[1].index()];
-                    match (a, b) {
-                        (Partial::V(Value::Undef), _) | (_, Partial::V(Value::Undef)) => {
-                            Partial::V(Value::Undef)
-                        }
-                        (Partial::V(x), Partial::V(y)) => Partial::V(x.dist(y)?),
-                        _ => Partial::Unknown,
-                    }
-                }
-                NodeKind::LoopIn { .. } => {
-                    return Err(ObddError::Unsupported(
-                        "folded networks (LoopIn nodes) have no OBDD encoding yet".into(),
-                    ))
-                }
-            };
-            self.scratch[id.index()] = val;
-        }
-        Ok(std::mem::replace(
-            &mut self.scratch[root.index()],
-            Partial::Unknown,
-        ))
     }
 }

@@ -1,0 +1,986 @@
+//! # d-DNNF compilation — breaking the Shannon-expansion wall
+//!
+//! The OBDD route ([`crate::ObddEngine`]) compiles comparison atoms by
+//! Shannon expansion over *full assignments* of the atom's support: every
+//! partial assignment is its own branch, so aggregate-heavy workloads
+//! (the k-medoids pipeline, where each atom compares sums over all
+//! points) pay `~2^v` branches per atom even though the resulting
+//! diagrams stay tiny. PR 3 measured the wall precisely: 111 k branches
+//! at v = 12 vs 874 k at v = 14, with the BDD manager peak under 500
+//! nodes throughout — the cost is the *branch count*, not the diagram.
+//!
+//! This module removes that exponent by compiling targets into
+//! **deterministic decomposable negation normal form** (d-DNNF) with
+//! expansion memoised on **residual states** instead of assignments:
+//!
+//! * **Hash-consed d-DNNF nodes** — literals, decomposable `AND`
+//!   (children over pairwise disjoint variable sets) and deterministic
+//!   `OR` (children pairwise logically inconsistent, here always the two
+//!   branches of a decision on one variable). Both invariants hold by
+//!   construction, which is what makes weighted model counting a single
+//!   linear pass ([`wmc`]).
+//! * **Residual-state memoisation** — a branch is described not by *how*
+//!   it was reached (the assignment prefix) but by *what is left*: the
+//!   three-valued frontier of the undetermined cone, with every
+//!   undetermined `Sum`/`Prod` summarised by its **accumulated partial
+//!   value** over the already-forced children. Two prefixes that force
+//!   the same lineage events and accumulate the same partial sums are the
+//!   same state — the `2^v` branch tree collapses onto the DP over
+//!   distinct `(next support level, partial sum)` states. On the
+//!   k-medoids comparison workload the sums are functions of a handful of
+//!   shared lineage events, so the state space is polynomial where the
+//!   assignment tree is exponential.
+//! * **Decomposable-`AND` factoring** — conjunctions whose conjuncts
+//!   touch disjoint residual variable sets split into independent
+//!   sub-compilations joined by a decomposable `AND`, instead of being
+//!   expanded through one interleaved decision tree.
+//!
+//! ```
+//! use enframe_core::{Program, VarTable};
+//! use enframe_network::Network;
+//! use enframe_obdd::dnnf::{DnnfEngine, DnnfOptions};
+//!
+//! let mut p = Program::new();
+//! let x = p.fresh_var();
+//! let y = p.fresh_var();
+//! let e = p.declare_event("E", Program::or([Program::var(x), Program::var(y)]));
+//! p.add_target(e);
+//! let net = Network::build(&p.ground().unwrap()).unwrap();
+//! let engine = DnnfEngine::compile(&net, &DnnfOptions::default()).unwrap();
+//! let vt = VarTable::uniform(2, 0.5);
+//! assert!((engine.probabilities(&vt)[0] - 0.75).abs() < 1e-12);
+//! ```
+
+pub mod wmc;
+
+use crate::peval::{loop_in_unsupported, Evaluator, Partial, VisitStamp};
+use crate::ObddError;
+use enframe_core::fxhash::FxHashMap;
+use enframe_core::{Value, Var, VarTable};
+use enframe_network::{Network, NodeId, NodeKind};
+use enframe_prob::order::{static_order, VarOrder};
+
+/// A handle to a d-DNNF node. Equality is node identity; hash-consing
+/// makes node identity function identity *per construction site* (the
+/// compiler never builds two structurally equal nodes with different
+/// references).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Dnnf(u32);
+
+impl Dnnf {
+    /// The constant-true sentence.
+    pub const TRUE: Dnnf = Dnnf(0);
+    /// The constant-false sentence.
+    pub const FALSE: Dnnf = Dnnf(1);
+
+    /// The dense node index (constants are 0 and 1).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is one of the two constants.
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+}
+
+/// One stored d-DNNF node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DnnfNode {
+    /// Constant ⊤ (index 0) or ⊥ (index 1).
+    Const(bool),
+    /// A literal over an input variable.
+    Lit {
+        /// The variable.
+        var: Var,
+        /// Polarity: `true` for `x`, `false` for `¬x`.
+        positive: bool,
+    },
+    /// Decomposable conjunction: children mention pairwise disjoint
+    /// variable sets.
+    And(Box<[Dnnf]>),
+    /// Deterministic disjunction: children are pairwise logically
+    /// inconsistent (every `Or` built here is a decision on one
+    /// variable, so any two children disagree on that variable).
+    Or(Box<[Dnnf]>),
+}
+
+/// The hash-consed d-DNNF node store.
+///
+/// Nodes are created bottom-up, so every child index is smaller than its
+/// parent's — the invariant the single-pass model counter relies on.
+#[derive(Debug, Default)]
+pub struct DnnfManager {
+    nodes: Vec<DnnfNode>,
+    unique: FxHashMap<DnnfNode, Dnnf>,
+}
+
+impl DnnfManager {
+    /// An empty manager holding only the two constants.
+    pub fn new() -> Self {
+        DnnfManager {
+            nodes: vec![DnnfNode::Const(true), DnnfNode::Const(false)],
+            unique: FxHashMap::default(),
+        }
+    }
+
+    /// The stored node behind a handle.
+    pub fn node(&self, f: Dnnf) -> &DnnfNode {
+        &self.nodes[f.index()]
+    }
+
+    /// Total stored nodes, constants included.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the manager holds only the two constants.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 2
+    }
+
+    /// All stored nodes in creation (topological) order.
+    pub fn nodes(&self) -> &[DnnfNode] {
+        &self.nodes
+    }
+
+    /// Total child edges over all `And`/`Or` nodes.
+    pub fn edges(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                DnnfNode::And(cs) | DnnfNode::Or(cs) => cs.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The literal `x` (positive) or `¬x`.
+    pub fn lit(&mut self, var: Var, positive: bool) -> Dnnf {
+        self.intern(DnnfNode::Lit { var, positive })
+    }
+
+    /// Decomposable conjunction of `children` (the caller guarantees
+    /// pairwise disjoint variable sets). Flattens nested conjunctions,
+    /// drops ⊤, and short-circuits on ⊥.
+    pub fn and(&mut self, children: impl IntoIterator<Item = Dnnf>) -> Dnnf {
+        let mut flat: Vec<Dnnf> = Vec::new();
+        for c in children {
+            if c == Dnnf::FALSE {
+                return Dnnf::FALSE;
+            }
+            if c == Dnnf::TRUE {
+                continue;
+            }
+            match &self.nodes[c.index()] {
+                DnnfNode::And(cs) => flat.extend(cs.iter().copied()),
+                _ => flat.push(c),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        match flat.len() {
+            0 => Dnnf::TRUE,
+            1 => flat[0],
+            _ => self.intern(DnnfNode::And(flat.into_boxed_slice())),
+        }
+    }
+
+    /// The decision sentence `(x ∧ hi) ∨ (¬x ∧ lo)` — the only way this
+    /// manager builds `Or` nodes, so every disjunction is deterministic
+    /// (the branches disagree on `x`) and decomposable (`x` is assigned
+    /// inside neither branch).
+    pub fn decision(&mut self, var: Var, hi: Dnnf, lo: Dnnf) -> Dnnf {
+        if hi == lo {
+            return hi;
+        }
+        if hi == Dnnf::TRUE && lo == Dnnf::FALSE {
+            return self.lit(var, true);
+        }
+        if hi == Dnnf::FALSE && lo == Dnnf::TRUE {
+            return self.lit(var, false);
+        }
+        let pos = self.lit(var, true);
+        let neg = self.lit(var, false);
+        let t = self.and([pos, hi]);
+        let e = self.and([neg, lo]);
+        debug_assert!(t != e, "decision branches must differ");
+        if t == Dnnf::FALSE {
+            return e;
+        }
+        if e == Dnnf::FALSE {
+            return t;
+        }
+        let mut cs = [t, e];
+        cs.sort_unstable();
+        self.intern(DnnfNode::Or(Box::new(cs)))
+    }
+
+    /// The number of nodes reachable from `f` (constants excluded).
+    pub fn size(&self, f: Dnnf) -> usize {
+        let mut seen = enframe_core::fxhash::FxHashSet::default();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            if let DnnfNode::And(cs) | DnnfNode::Or(cs) = &self.nodes[n.index()] {
+                stack.extend(cs.iter().copied());
+            }
+        }
+        seen.len()
+    }
+
+    /// Evaluates `f` under a complete assignment.
+    pub fn eval(&self, f: Dnnf, assignment: &impl Fn(Var) -> bool) -> bool {
+        match &self.nodes[f.index()] {
+            DnnfNode::Const(b) => *b,
+            DnnfNode::Lit { var, positive } => assignment(*var) == *positive,
+            DnnfNode::And(cs) => cs.iter().all(|&c| self.eval(c, assignment)),
+            DnnfNode::Or(cs) => cs.iter().any(|&c| self.eval(c, assignment)),
+        }
+    }
+
+    fn intern(&mut self, node: DnnfNode) -> Dnnf {
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = Dnnf(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.unique.insert(node, r);
+        r
+    }
+}
+
+/// Options for d-DNNF compilation.
+#[derive(Debug, Clone, Default)]
+pub struct DnnfOptions {
+    /// Decision-variable order heuristic (shared with the other
+    /// engines). d-DNNF has no global ordering constraint — the order
+    /// only picks which undetermined variable each decision branches on.
+    pub order: VarOrder,
+}
+
+/// Compilation statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DnnfStats {
+    /// Stored d-DNNF nodes after compiling all targets (constants
+    /// excluded).
+    pub nodes: usize,
+    /// Total child edges over all `And`/`Or` nodes.
+    pub edges: usize,
+    /// Nodes reachable from the largest single target.
+    pub largest_target: usize,
+    /// Expansion steps: residual states actually expanded (memo misses).
+    /// The direct analogue of the Shannon path's `cmp_branches` — the
+    /// headline number the DP collapses.
+    pub expansion_steps: u64,
+    /// Residual states answered from the memo instead of re-expanded.
+    pub memo_hits: u64,
+}
+
+/// A compiled network: one d-DNNF sentence per target over a shared
+/// hash-consed store. Compile once; every probability query afterwards
+/// is one linear pass over the union DAG ([`wmc`]).
+#[derive(Debug)]
+pub struct DnnfEngine {
+    man: DnnfManager,
+    targets: Vec<Dnnf>,
+    names: Vec<String>,
+    stats: DnnfStats,
+}
+
+impl DnnfEngine {
+    /// Compiles every registered target of `net` into d-DNNF.
+    pub fn compile(net: &Network, opts: &DnnfOptions) -> Result<Self, ObddError> {
+        let mut man = DnnfManager::new();
+        let mut compiler = Compiler::new(net, opts);
+        compiler.prime()?;
+        let mut targets = Vec::with_capacity(net.targets.len());
+        for &t in &net.targets {
+            targets.push(compiler.compile(&mut man, t)?);
+        }
+        let stats = DnnfStats {
+            nodes: man.len() - 2,
+            edges: man.edges(),
+            largest_target: targets.iter().map(|&t| man.size(t)).max().unwrap_or(0),
+            expansion_steps: compiler.expansion_steps,
+            memo_hits: compiler.memo_hits,
+        };
+        Ok(DnnfEngine {
+            man,
+            targets,
+            names: net.target_names.clone(),
+            stats,
+        })
+    }
+
+    /// Compilation statistics.
+    pub fn stats(&self) -> &DnnfStats {
+        &self.stats
+    }
+
+    /// The shared node store.
+    pub fn manager(&self) -> &DnnfManager {
+        &self.man
+    }
+
+    /// The compiled sentence of target `i`.
+    pub fn target(&self, i: usize) -> Dnnf {
+        self.targets[i]
+    }
+
+    /// Target names, parallel to the probability vectors.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of compiled targets.
+    pub fn n_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Exact probability of every target: one single-pass weighted model
+    /// count over the union DAG (products across `And` children, sums
+    /// across `Or` children).
+    ///
+    /// # Panics
+    /// Panics if `vt` does not cover the compiled variables.
+    pub fn probabilities(&self, vt: &VarTable) -> Vec<f64> {
+        let probs = wmc::node_probabilities(&self.man, vt);
+        self.targets.iter().map(|&t| probs[t.index()]).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The compiler: residual-state memoised expansion.
+// ---------------------------------------------------------------------
+
+/// Token tags of the residual key (high 4 bits of each `u64`).
+mod tok {
+    /// A block item: `(node << 1 | polarity)`.
+    pub const ITEM: u64 = 1 << 60;
+    /// Entering an undetermined node (operand: network node id).
+    pub const OPEN: u64 = 2 << 60;
+    /// Leaving an undetermined node.
+    pub const CLOSE: u64 = 3 << 60;
+    /// Repeat visit of a shared undetermined node (operand: node id).
+    pub const REF: u64 = 4 << 60;
+    /// A forced Boolean (operand: 0/1).
+    pub const BOOL: u64 = 5 << 60;
+    /// A forced scalar; the next token is its raw bit pattern.
+    pub const NUM: u64 = 6 << 60;
+    /// The forced undefined value `u`.
+    pub const UNDEF: u64 = 7 << 60;
+    /// A forced point (operand: dimension); followed by one raw-bits
+    /// token per coordinate.
+    pub const POINT: u64 = 8 << 60;
+}
+
+fn push_value(key: &mut Vec<u64>, v: &Value) {
+    match v {
+        Value::Undef => key.push(tok::UNDEF),
+        Value::Num(x) => {
+            key.push(tok::NUM);
+            key.push(x.to_bits());
+        }
+        Value::Point(p) => {
+            key.push(tok::POINT | p.len() as u64);
+            key.extend(p.iter().map(|x| x.to_bits()));
+        }
+    }
+}
+
+/// A conjunction of network nodes with polarities — the unit of
+/// compilation. `false` polarity means the item must be *violated*.
+type Item = (NodeId, bool);
+
+struct Compiler<'n> {
+    net: &'n Network,
+    /// Shared three-valued evaluator (assignment + per-node scratch).
+    eval: Evaluator<'n>,
+    /// Decision rank per variable (lower ranks decided first), from the
+    /// configured [`VarOrder`] heuristic.
+    rank_of: Vec<u32>,
+    /// Static variable-support bitset per network node (`words` words
+    /// each): the cheap sound over-approximation of residual support
+    /// used for component factoring.
+    support_bits: Vec<u64>,
+    /// Words per support bitset.
+    words: usize,
+    /// The DP memo: residual key → compiled sentence. Keys capture the
+    /// full residual state, so entries are valid under any assignment
+    /// prefix that reaches them — including prefixes from *other
+    /// targets*.
+    memo: FxHashMap<Box<[u64]>, Dnnf>,
+    /// Visited stamps for subtree and key traversals.
+    seen: VisitStamp,
+    expansion_steps: u64,
+    memo_hits: u64,
+}
+
+impl<'n> Compiler<'n> {
+    fn new(net: &'n Network, opts: &DnnfOptions) -> Self {
+        let order = static_order(net, opts.order);
+        let mut rank_of = vec![u32::MAX; net.n_vars as usize];
+        for (i, v) in order.iter().enumerate() {
+            rank_of[v.index()] = i as u32;
+        }
+        // Static supports, bottom-up (children precede parents).
+        let words = (net.n_vars as usize).div_ceil(64).max(1);
+        let mut support_bits = vec![0u64; net.len() * words];
+        for i in 0..net.len() {
+            let node = net.node(NodeId(i as u32));
+            if let NodeKind::Var(v) = node.kind {
+                support_bits[i * words + v.index() / 64] |= 1 << (v.index() % 64);
+            }
+            for &c in &node.children {
+                for w in 0..words {
+                    let bit = support_bits[c.index() * words + w];
+                    support_bits[i * words + w] |= bit;
+                }
+            }
+        }
+        Compiler {
+            net,
+            eval: Evaluator::new(net),
+            rank_of,
+            support_bits,
+            words,
+            memo: FxHashMap::default(),
+            seen: VisitStamp::new(net.len()),
+            expansion_steps: 0,
+            memo_hits: 0,
+        }
+    }
+
+    /// Evaluates the whole network once under the empty assignment;
+    /// every later re-evaluation is an upward delta from one variable.
+    fn prime(&mut self) -> Result<(), ObddError> {
+        self.eval.prime()
+    }
+
+    fn compile(&mut self, man: &mut DnnfManager, root: NodeId) -> Result<Dnnf, ObddError> {
+        if !self.net.node(root).is_bool() {
+            return Err(ObddError::Unsupported(format!(
+                "numeric node {} cannot be a Boolean compilation root",
+                self.net.node(root).kind.label()
+            )));
+        }
+        // Restrict delta propagation to this target's cone: assignments
+        // made while expanding it cannot affect any value the expansion
+        // reads outside the cone, and the assignment is empty again by
+        // the time the next target restricts.
+        self.seen.reset();
+        let mut cone: Vec<NodeId> = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if self.seen.visit(n) {
+                continue;
+            }
+            cone.push(n);
+            stack.extend(self.net.node(n).children.iter().copied());
+        }
+        self.eval.restrict_to(&cone);
+        self.compile_block(man, vec![(root, true)])
+    }
+
+    /// Compiles the conjunction of `items` under the evaluator's current
+    /// assignment (kept current incrementally — see [`Evaluator::assign_monotone`]).
+    fn compile_block(
+        &mut self,
+        man: &mut DnnfManager,
+        items: Vec<Item>,
+    ) -> Result<Dnnf, ObddError> {
+        // Normalise: decided items drop out (or refute the block),
+        // conjunctive structure flattens into more items.
+        let mut norm: Vec<Item> = Vec::new();
+        let mut stack = items;
+        while let Some((id, pol)) = stack.pop() {
+            match self.eval.value(id) {
+                Partial::B(b) => {
+                    if *b != pol {
+                        return Ok(Dnnf::FALSE);
+                    }
+                }
+                Partial::V(_) => {
+                    return Err(ObddError::Unsupported(format!(
+                        "numeric node {} inside Boolean structure",
+                        self.net.node(id).kind.label()
+                    )))
+                }
+                Partial::Unknown => match &self.net.node(id).kind {
+                    NodeKind::Not => stack.push((self.net.node(id).children[0], !pol)),
+                    NodeKind::And if pol => {
+                        stack.extend(self.net.node(id).children.iter().map(|&c| (c, true)))
+                    }
+                    NodeKind::Or if !pol => {
+                        stack.extend(self.net.node(id).children.iter().map(|&c| (c, false)))
+                    }
+                    NodeKind::Var(_) | NodeKind::And | NodeKind::Or | NodeKind::Cmp(_) => {
+                        norm.push((id, pol))
+                    }
+                    NodeKind::LoopIn { .. } => return Err(loop_in_unsupported()),
+                    other => {
+                        return Err(ObddError::Unsupported(format!(
+                            "numeric node {} inside Boolean structure",
+                            other.label()
+                        )))
+                    }
+                },
+            }
+        }
+        norm.sort_unstable();
+        norm.dedup();
+        if norm.is_empty() {
+            return Ok(Dnnf::TRUE);
+        }
+        // A contradictory pair (n, true) and (n, false).
+        if norm.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Ok(Dnnf::FALSE);
+        }
+
+        // The residual key: the items, then the three-valued frontier of
+        // their undetermined cones. One shared walk per block — repeat
+        // visits of shared sub-DAGs (within and across items) emit a
+        // `REF` token instead of re-walking, so the walk is linear in
+        // the undetermined cone's edges.
+        let mut key: Vec<u64> = Vec::with_capacity(norm.len() * 8);
+        for &(n, pol) in &norm {
+            key.push(tok::ITEM | (n.0 as u64) << 1 | pol as u64);
+        }
+        let mut support: Vec<Var> = Vec::new();
+        self.seen.reset();
+        for &(n, _) in &norm {
+            self.residual_key(n, &mut key, &mut support);
+        }
+
+        if let Some(&hit) = self.memo.get(key.as_slice()) {
+            self.memo_hits += 1;
+            return Ok(hit);
+        }
+        self.expansion_steps += 1;
+
+        // Decomposable-AND factoring: group items whose *unassigned
+        // static* supports intersect — a sound over-approximation of
+        // residual-support sharing (it can merge groups a finer analysis
+        // would split, never split ones it must merge), cheap enough to
+        // test at every block via the precomputed per-node bitsets.
+        let groups = self.components(&norm);
+        let result = if groups.iter().max().copied().unwrap_or(0) > 0 {
+            let n_groups = groups.iter().max().unwrap() + 1;
+            let mut parts = Vec::with_capacity(n_groups);
+            for g in 0..n_groups {
+                let sub: Vec<Item> = norm
+                    .iter()
+                    .zip(&groups)
+                    .filter(|&(_, &gi)| gi == g)
+                    .map(|(&it, _)| it)
+                    .collect();
+                parts.push(self.compile_block(man, sub)?);
+            }
+            man.and(parts)
+        } else if let [(id, pol)] = norm[..] {
+            if let NodeKind::Var(v) = self.net.node(id).kind {
+                man.lit(v, pol)
+            } else {
+                self.decide(man, &norm, &support)?
+            }
+        } else {
+            self.decide(man, &norm, &support)?
+        };
+
+        self.memo.insert(key.into_boxed_slice(), result);
+        Ok(result)
+    }
+
+    /// Partitions items into connected components of shared unassigned
+    /// static support: `result[i]` is the component index of item `i`,
+    /// with components numbered contiguously from 0.
+    fn components(&self, items: &[Item]) -> Vec<usize> {
+        let words = self.words;
+        // Masked (unassigned) support per item: static support with the
+        // evaluator's assignment bitset cleared, wordwise.
+        let assigned = self.eval.assigned_bits();
+        let mut masks = vec![0u64; items.len() * words];
+        for (i, &(n, _)) in items.iter().enumerate() {
+            for w in 0..words {
+                masks[i * words + w] = self.support_bits[n.index() * words + w] & !assigned[w];
+            }
+        }
+        let mut parent: Vec<usize> = (0..items.len()).collect();
+        for i in 0..items.len() {
+            for j in 0..i {
+                let intersects =
+                    (0..words).any(|w| masks[i * words + w] & masks[j * words + w] != 0);
+                if intersects {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[a] = b;
+                }
+            }
+        }
+        let mut label: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut out = Vec::with_capacity(items.len());
+        for i in 0..items.len() {
+            let r = find(&mut parent, i);
+            let next = label.len();
+            out.push(*label.entry(r).or_insert(next));
+        }
+        out
+    }
+
+    /// Expands one decision on the best-ranked undetermined variable and
+    /// recurses into both branches.
+    fn decide(
+        &mut self,
+        man: &mut DnnfManager,
+        norm: &[Item],
+        support: &[Var],
+    ) -> Result<Dnnf, ObddError> {
+        let &v = support
+            .iter()
+            .min_by_key(|v| self.rank_of[v.index()])
+            .ok_or_else(|| {
+                ObddError::Unsupported("undetermined block with empty residual support".into())
+            })?;
+        let mark = self.eval.assign_monotone(v, true)?;
+        let hi = self.compile_block(man, norm.to_vec());
+        self.eval.undo_to(mark, v);
+        let lo = hi.and_then(|hi| {
+            let mark = self.eval.assign_monotone(v, false)?;
+            let lo = self.compile_block(man, norm.to_vec());
+            self.eval.undo_to(mark, v);
+            lo.map(|lo| (hi, lo))
+        });
+        let (hi, lo) = lo?;
+        Ok(man.decision(v, hi, lo))
+    }
+
+    /// Emits the residual state of `root`'s undetermined cone into `key`
+    /// and collects its undetermined support into `support`.
+    ///
+    /// The walk descends only *undetermined* nodes. Determined children
+    /// contribute their forced value — except under `And`/`Or`, where an
+    /// undetermined parent forces them (all-true / all-false) and they
+    /// carry no information, and under `Sum`/`Prod`, where they fold into
+    /// one **accumulated partial value** (the partial-sum DP: branches
+    /// that force the same children to the same accumulated value share
+    /// their continuation regardless of the assignment that got there).
+    /// Shared nodes repeat as [`tok::REF`] — within one key the repeat
+    /// has the same residual by construction.
+    fn residual_key(&mut self, root: NodeId, key: &mut Vec<u64>, support: &mut Vec<Var>) {
+        match self.eval.value(root) {
+            Partial::B(b) => {
+                key.push(tok::BOOL | *b as u64);
+                return;
+            }
+            Partial::V(v) => {
+                // Clone: `push_value` only reads, but the borrow checker
+                // cannot see through `self.eval` while `self` recurses.
+                let v = v.clone();
+                push_value(key, &v);
+                return;
+            }
+            Partial::Unknown => {}
+        }
+        if self.seen.visit(root) {
+            key.push(tok::REF | root.0 as u64);
+            return;
+        }
+        key.push(tok::OPEN | root.0 as u64);
+        let node = self.net.node(root);
+        match &node.kind {
+            NodeKind::Var(v) => support.push(*v),
+            NodeKind::And | NodeKind::Or => {
+                // Determined children are forced (true under an
+                // undetermined And, false under an undetermined Or):
+                // only the undetermined ones carry state.
+                for i in 0..node.children.len() {
+                    let c = self.net.node(root).children[i];
+                    if matches!(self.eval.value(c), Partial::Unknown) {
+                        self.residual_key(c, key, support);
+                    }
+                }
+            }
+            NodeKind::Sum | NodeKind::Prod => {
+                // Fold the forced children into one accumulated partial
+                // value, in child order (undefined summands are the
+                // additive identity; an undefined factor would have
+                // determined the product already).
+                let is_sum = matches!(node.kind, NodeKind::Sum);
+                let mut acc = if is_sum {
+                    Value::Undef
+                } else {
+                    Value::Num(1.0)
+                };
+                for i in 0..self.net.node(root).children.len() {
+                    let c = self.net.node(root).children[i];
+                    if let Partial::V(v) = self.eval.value(c) {
+                        let v = v.clone();
+                        acc = if is_sum {
+                            acc.add(&v).expect("partial eval already typed this sum")
+                        } else {
+                            acc.mul(&v)
+                                .expect("partial eval already typed this product")
+                        };
+                    }
+                }
+                push_value(key, &acc);
+                for i in 0..self.net.node(root).children.len() {
+                    let c = self.net.node(root).children[i];
+                    if matches!(self.eval.value(c), Partial::Unknown) {
+                        self.residual_key(c, key, support);
+                    }
+                }
+            }
+            _ => {
+                // Every other connective: recurse into all children
+                // (determined ones emit their forced value — e.g. the
+                // decided side of a half-determined comparison).
+                for i in 0..self.net.node(root).children.len() {
+                    let c = self.net.node(root).children[i];
+                    self.residual_key(c, key, support);
+                }
+            }
+        }
+        key.push(tok::CLOSE);
+    }
+}
+
+/// Path-halving find for the tiny per-block union-find.
+fn find(parent: &mut [usize], mut i: usize) -> usize {
+    while parent[i] != i {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enframe_core::{space, Program};
+
+    fn engine_for(p: &Program) -> (DnnfEngine, Vec<f64>, VarTable) {
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let vt = VarTable::new((0..g.n_vars).map(|i| 0.3 + 0.05 * i as f64).collect());
+        let want = space::target_probabilities(&g, &vt);
+        let engine = DnnfEngine::compile(&net, &DnnfOptions::default()).unwrap();
+        (engine, want, vt)
+    }
+
+    #[test]
+    fn propositional_probabilities_match_enumeration() {
+        let mut p = Program::new();
+        let x = p.fresh_var();
+        let y = p.fresh_var();
+        let z = p.fresh_var();
+        let e1 = p.declare_event(
+            "E1",
+            Program::or([
+                Program::and([Program::var(x), Program::nvar(y)]),
+                Program::var(z),
+            ]),
+        );
+        let e2 = p.declare_event("E2", Program::not(Program::eref(e1.clone())));
+        p.add_target(e1);
+        p.add_target(e2);
+        let (engine, want, vt) = engine_for(&p);
+        let got = engine.probabilities(&vt);
+        for i in 0..want.len() {
+            assert!((got[i] - want[i]).abs() < 1e-12, "target {i}");
+        }
+        assert!((got[0] + got[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_conjunction_factors_into_decomposable_and() {
+        // (x0 ∨ x1) ∧ (x2 ∨ x3) ∧ x4: three variable-disjoint conjuncts
+        // must become one AND node over independently compiled parts —
+        // no decision interleaving across them.
+        let mut p = Program::new();
+        let vars: Vec<Var> = (0..5).map(|_| p.fresh_var()).collect();
+        let e = p.declare_event(
+            "E",
+            Program::and([
+                Program::or([Program::var(vars[0]), Program::var(vars[1])]),
+                Program::or([Program::var(vars[2]), Program::var(vars[3])]),
+                Program::var(vars[4]),
+            ]),
+        );
+        p.add_target(e);
+        let (engine, want, vt) = engine_for(&p);
+        let got = engine.probabilities(&vt);
+        assert!((got[0] - want[0]).abs() < 1e-12);
+        let root = engine.target(0);
+        let DnnfNode::And(parts) = engine.manager().node(root) else {
+            panic!("root must be a decomposable AND, got {root:?}");
+        };
+        assert_eq!(parts.len(), 3);
+        // Factored compilation: each disjunct costs at most its own
+        // decision tree (2 states) plus the literal conjunct — far fewer
+        // states than the 2^5 interleaved expansion.
+        assert!(
+            engine.stats().expansion_steps <= 8,
+            "expected factored expansion, took {} steps",
+            engine.stats().expansion_steps
+        );
+    }
+
+    #[test]
+    fn mutex_chain_is_linear_in_states() {
+        // Φⱼ = ¬x₀ ∧ … ∧ xⱼ over k variables: every target is read-once,
+        // so expansion states stay O(k) per target.
+        let k = 24;
+        let mut p = Program::new();
+        let vars: Vec<Var> = (0..k).map(|_| p.fresh_var()).collect();
+        for j in 0..k {
+            let mut conj: Vec<_> = vars[..j].iter().map(|&x| Program::nvar(x)).collect();
+            conj.push(Program::var(vars[j]));
+            let e = p.declare_event(&format!("Phi{j}"), Program::and(conj));
+            p.add_target(e);
+        }
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let engine = DnnfEngine::compile(&net, &DnnfOptions::default()).unwrap();
+        let vt = VarTable::new((0..k).map(|i| 0.3 + 0.01 * i as f64).collect());
+        let got = engine.probabilities(&vt);
+        for j in 0..k {
+            let mut want = vt.prob(Var(j as u32));
+            for i in 0..j {
+                want *= 1.0 - vt.prob(Var(i as u32));
+            }
+            assert!((got[j] - want).abs() < 1e-12, "target {j}");
+        }
+        let steps = engine.stats().expansion_steps;
+        assert!(
+            steps as usize <= 4 * k * k,
+            "mutex chains must stay polynomial: {steps} states for k={k}"
+        );
+    }
+
+    #[test]
+    fn comparison_atom_collapses_onto_partial_sums() {
+        use enframe_core::program::{SymCVal, SymEvent, ValSrc};
+        use enframe_core::{CmpOp, Value};
+        use std::rc::Rc;
+        // E = [Σᵢ xᵢ⊗1 ≥ t]: a cardinality constraint. The Shannon tree
+        // has 2^n undecided prefixes; the partial-sum DP has O(n·t)
+        // states — the textbook collapse this module exists for.
+        let n = 12;
+        let t = 6.0;
+        let mut p = Program::new();
+        let vars: Vec<_> = (0..n).map(|_| p.fresh_var()).collect();
+        let sum = Rc::new(SymCVal::Sum(
+            vars.iter()
+                .map(|&v| {
+                    Rc::new(SymCVal::Cond(
+                        Program::var(v),
+                        ValSrc::Const(Value::Num(1.0)),
+                    ))
+                })
+                .collect(),
+        ));
+        let e = p.declare_event(
+            "E",
+            Rc::new(SymEvent::Atom(
+                CmpOp::Ge,
+                sum,
+                Rc::new(SymCVal::Lit(ValSrc::Const(Value::Num(t)))),
+            )),
+        );
+        p.add_target(e);
+        let (engine, want, vt) = engine_for(&p);
+        let got = engine.probabilities(&vt);
+        assert!((got[0] - want[0]).abs() < 1e-12);
+        let steps = engine.stats().expansion_steps;
+        assert!(
+            steps <= (n as u64 + 1) * (t as u64 + 2),
+            "cardinality atom must be a polynomial DP: {steps} states for n={n}, t={t}"
+        );
+    }
+
+    #[test]
+    fn shared_events_are_compiled_once_across_targets() {
+        // Two targets over the same sub-event: the residual-state memo is
+        // global, so the second target's expansion reuses the first's
+        // states wholesale.
+        let mut p = Program::new();
+        let x = p.fresh_var();
+        let y = p.fresh_var();
+        let z = p.fresh_var();
+        let shared = p.declare_event(
+            "S",
+            Program::or([
+                Program::var(x),
+                Program::and([Program::var(y), Program::var(z)]),
+            ]),
+        );
+        let e1 = p.declare_event("E1", Program::eref(shared.clone()));
+        let e2 = p.declare_event("E2", Program::not(Program::eref(shared)));
+        p.add_target(e1);
+        p.add_target(e2);
+        let (engine, want, vt) = engine_for(&p);
+        let got = engine.probabilities(&vt);
+        for i in 0..want.len() {
+            assert!((got[i] - want[i]).abs() < 1e-12, "target {i}");
+        }
+        assert!((got[0] + got[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_order_heuristic_gives_the_same_probabilities() {
+        let mut p = Program::new();
+        let vars: Vec<Var> = (0..6).map(|_| p.fresh_var()).collect();
+        let e = p.declare_event(
+            "E",
+            Program::or(
+                vars.chunks(2)
+                    .map(|w| Program::and([Program::var(w[0]), Program::nvar(w[1])])),
+            ),
+        );
+        p.add_target(e);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let vt = VarTable::uniform(6, 0.4);
+        let want = space::target_probabilities(&g, &vt);
+        for order in [
+            VarOrder::Sequential,
+            VarOrder::StaticOccurrence,
+            VarOrder::Dynamic,
+        ] {
+            let engine = DnnfEngine::compile(&net, &DnnfOptions { order }).unwrap();
+            let got = engine.probabilities(&vt);
+            assert!((got[0] - want[0]).abs() < 1e-12, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn manager_invariants() {
+        let mut man = DnnfManager::new();
+        let a = man.lit(Var(0), true);
+        let b = man.lit(Var(0), true);
+        assert_eq!(a, b, "literals hash-cons");
+        let c = man.lit(Var(1), true);
+        let ab = man.and([a, c]);
+        let ba = man.and([c, a]);
+        assert_eq!(ab, ba, "AND is canonical up to child order");
+        assert_eq!(man.and([a, Dnnf::TRUE]), a);
+        assert_eq!(man.and([a, Dnnf::FALSE]), Dnnf::FALSE);
+        assert_eq!(
+            man.decision(Var(2), ab, ab),
+            ab,
+            "redundant decisions vanish"
+        );
+        assert_eq!(
+            man.decision(Var(2), Dnnf::TRUE, Dnnf::FALSE),
+            man.lit(Var(2), true)
+        );
+        let d = man.decision(Var(2), ab, Dnnf::FALSE);
+        // (x2 ∧ x0 ∧ x1): the false branch drops out of the OR.
+        assert!(matches!(man.node(d), DnnfNode::And(cs) if cs.len() == 3));
+        assert!(man.eval(d, &|_| true));
+        assert!(!man.eval(d, &|v| v != Var(2)));
+    }
+}

@@ -1,0 +1,101 @@
+//! Single-pass weighted model counting over d-DNNF.
+//!
+//! This is the payoff of the two structural invariants the compiler
+//! maintains: children of an `And` mention **disjoint** variable sets,
+//! so their probabilities multiply; children of an `Or` are **logically
+//! inconsistent**, so their probabilities add; and variables a child
+//! never mentions marginalise out automatically because `p + (1−p) = 1`
+//! (no smoothing pass is needed for probability computation). Nodes are
+//! stored in creation order with children preceding parents, so the
+//! whole union DAG is counted in **one forward sweep** — no recursion,
+//! no cache invalidation protocol, just an array of per-node
+//! probabilities.
+
+use super::{DnnfManager, DnnfNode};
+use enframe_core::VarTable;
+
+/// The probability of every stored node under `vt`, indexed by node
+/// index — one linear pass over the manager. `probs[f.index()]` is the
+/// probability of sentence `f`.
+///
+/// # Panics
+/// Panics if a stored literal's variable is not covered by `vt`.
+pub fn node_probabilities(man: &DnnfManager, vt: &VarTable) -> Vec<f64> {
+    let nodes = man.nodes();
+    let mut probs = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let p = match node {
+            DnnfNode::Const(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            DnnfNode::Lit { var, positive } => {
+                assert!(
+                    var.index() < vt.len(),
+                    "variable table covers {} variables but the d-DNNF mentions x{}",
+                    vt.len(),
+                    var.0
+                );
+                if *positive {
+                    vt.prob(*var)
+                } else {
+                    1.0 - vt.prob(*var)
+                }
+            }
+            // Children are created before parents, so their entries are
+            // already in `probs`.
+            DnnfNode::And(cs) => cs.iter().map(|c| probs[c.index()]).product(),
+            DnnfNode::Or(cs) => cs.iter().map(|c| probs[c.index()]).sum(),
+        };
+        probs.push(p);
+    }
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnnf::Dnnf;
+    use enframe_core::Var;
+
+    #[test]
+    fn constants_and_literals() {
+        let mut man = DnnfManager::new();
+        let x = man.lit(Var(0), true);
+        let nx = man.lit(Var(0), false);
+        let vt = VarTable::new(vec![0.3]);
+        let probs = node_probabilities(&man, &vt);
+        assert_eq!(probs[Dnnf::TRUE.index()], 1.0);
+        assert_eq!(probs[Dnnf::FALSE.index()], 0.0);
+        assert!((probs[x.index()] - 0.3).abs() < 1e-12);
+        assert!((probs[nx.index()] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposable_and_multiplies_and_decision_or_adds() {
+        let mut man = DnnfManager::new();
+        let x = man.lit(Var(0), true);
+        let y = man.lit(Var(1), true);
+        let xy = man.and([x, y]);
+        // (x0 ∧ x1) via decision on x2: x2 ? (x0 ∧ x1) : x0.
+        let d = man.decision(Var(2), xy, x);
+        let vt = VarTable::new(vec![0.5, 0.4, 0.25]);
+        let probs = node_probabilities(&man, &vt);
+        assert!((probs[xy.index()] - 0.2).abs() < 1e-12);
+        let want = 0.25 * 0.2 + 0.75 * 0.5;
+        assert!((probs[d.index()] - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmentioned_variables_marginalise_out() {
+        // A literal over x0 in a 3-variable table: x1, x2 marginalise.
+        let mut man = DnnfManager::new();
+        let x = man.lit(Var(0), true);
+        let vt = VarTable::new(vec![0.6, 0.1, 0.9]);
+        let probs = node_probabilities(&man, &vt);
+        assert!((probs[x.index()] - 0.6).abs() < 1e-12);
+    }
+}

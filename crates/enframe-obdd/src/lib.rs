@@ -26,6 +26,12 @@
 //!   probabilities by weighted model counting ([`Wmc`]), and answers
 //!   [`ObddEngine::condition`] queries: posteriors `P(target | evidence)`
 //!   for arbitrary evidence events.
+//! * [`dnnf`] — the second compilation route: targets compiled to
+//!   **d-DNNF** with expansion memoised on residual states (a
+//!   partial-sum DP over comparison atoms) and decomposable-AND
+//!   factoring, breaking the Shannon-expansion exponent on
+//!   aggregate-comparison workloads where every atom's support spans
+//!   nearly all variables ([`dnnf::DnnfEngine`]).
 //!
 //! Mutex var-groups — the paper's encoding of a multi-valued "which of
 //! these points exists" choice as a Boolean chain `¬x₁ ∧ … ∧ xⱼ` — are
@@ -56,7 +62,9 @@
 //! ```
 
 mod compile;
+pub mod dnnf;
 pub mod manager;
+mod peval;
 mod reorder;
 pub mod wmc;
 

@@ -19,7 +19,7 @@
 //! | [`translate`] | user programs → event programs (§3.5), probabilistic environments, target helpers |
 //! | [`network`] | hash-consed event networks (§4.1), DOT export |
 //! | [`prob`] | probability computation: exact, eager/lazy/hybrid ε-approximation, distributed (§4) |
-//! | [`obdd`] | OBDD knowledge compilation: exact and conditioned probabilities, linear-time queries over compiled lineage |
+//! | [`obdd`] | knowledge compilation: OBDDs (exact and conditioned probabilities, linear-time queries over compiled lineage) and d-DNNF (`obdd::dnnf` — residual-state-memoised compilation for aggregate-comparison workloads) |
 //! | [`worlds`] | the naïve possible-worlds baseline (§5) |
 //! | [`cluster`] | deterministic k-means / k-medoids / MCL with ENFrame tie-breaking |
 //! | [`sprout`] | pc-tables and positive relational algebra with aggregates (the `loadData()` query path) |

@@ -1,9 +1,11 @@
-//! The OBDD knowledge-compilation backend against the golden standard:
+//! The knowledge-compilation backends against the golden standard:
 //!
-//! 1. BDD weighted model counting equals the naïve `enframe-worlds`
-//!    enumeration **and** the decision-tree exact engine on random
-//!    k-medoids workloads with ≤ 10 variables, across all three
-//!    correlation schemes (property test).
+//! 1. BDD **and d-DNNF** weighted model counting equal the naïve
+//!    `enframe-worlds` enumeration **and** the decision-tree exact
+//!    engine on random k-medoids workloads with ≤ 10 variables, across
+//!    all three correlation schemes (property test) — and the d-DNNF
+//!    engine keeps matching tree-exact on aggregate-comparison targets
+//!    *past* the old v = 12 Shannon cap, where the BDD path times out.
 //! 2. Conditioning posteriors equal possible-worlds filtering and
 //!    hand-computed values on small instances.
 //! 3. Scalability: a mutex-correlated fig6-style sweep at v ≥ 20 —
@@ -26,9 +28,11 @@ use enframe::worlds::extract;
 use enframe_bench::{prepare_lineage, run_lineage_engine, Engine};
 use std::time::Instant;
 
-/// BDD-exact == tree-exact == naïve enumeration on one k-medoids
-/// workload (the full pipeline: aggregates, comparisons, guards).
+/// DnnfExact == BddExact == tree-exact == naïve enumeration on one
+/// k-medoids workload (the full pipeline: aggregates, comparisons,
+/// guards).
 fn check_kmedoids_scheme(scheme: Scheme, n: usize, seed: u64) {
+    use enframe::obdd::dnnf::{DnnfEngine, DnnfOptions};
     let k = 2;
     let w = kmedoids_workload(n, k, 2, scheme, &LineageOpts::default(), seed);
     assert!(w.vt.len() <= 10, "test workloads stay enumerable");
@@ -42,10 +46,14 @@ fn check_kmedoids_scheme(scheme: Scheme, n: usize, seed: u64) {
         .probabilities;
     let exact = compile(&net, &w.vt, Options::exact());
     let engine = ObddEngine::compile(&net, &ObddOptions::with_groups(w.var_groups.clone()))
-        .expect("k-medoids networks compile");
+        .expect("k-medoids networks compile to OBDD");
     let bdd = engine.probabilities(&w.vt);
+    let dnnf_engine = DnnfEngine::compile(&net, &DnnfOptions::default())
+        .expect("k-medoids networks compile to d-DNNF");
+    let dnnf = dnnf_engine.probabilities(&w.vt);
 
     assert_eq!(naive.len(), bdd.len());
+    assert_eq!(naive.len(), dnnf.len());
     for i in 0..naive.len() {
         assert!(
             (bdd[i] - naive[i]).abs() < 1e-9,
@@ -58,6 +66,12 @@ fn check_kmedoids_scheme(scheme: Scheme, n: usize, seed: u64) {
             "{scheme:?} target {i}: bdd {} vs tree-exact {}",
             bdd[i],
             exact.lower[i]
+        );
+        assert!(
+            (dnnf[i] - bdd[i]).abs() < 1e-9,
+            "{scheme:?} target {i}: dnnf {} vs bdd {}",
+            dnnf[i],
+            bdd[i]
         );
     }
 }
@@ -89,6 +103,42 @@ mod prop {
         fn bdd_matches_golden_standard_conditional(seed in 0u64..1000) {
             // 12 points → 3 groups → 1 + 2·2 = 5 variables.
             check_kmedoids_scheme(Scheme::Conditional, 12, seed);
+        }
+
+        /// Aggregate-comparison targets **past the old v = 12 Shannon
+        /// cap**: the d-DNNF engine must keep matching the decision-tree
+        /// exact engine where the BDD path's per-atom expansion is
+        /// capped out (874 k branches / ~15 s at v = 14) and the naïve
+        /// baseline's 2^v world sweep is out of test budget.
+        #[test]
+        fn dnnf_matches_tree_exact_past_the_shannon_cap(
+            seed in 0u64..1000,
+            v in 13usize..=14,
+        ) {
+            use enframe::obdd::dnnf::{DnnfEngine, DnnfOptions};
+            use enframe_bench::BDD_KMEDOIDS_VAR_CAP;
+            prop_assert!(v > BDD_KMEDOIDS_VAR_CAP);
+            let w = kmedoids_workload(
+                16, 2, 2, Scheme::Positive { l: 8, v }, &LineageOpts::default(), seed,
+            );
+            let ast = parse(programs::K_MEDOIDS).unwrap();
+            let mut tr = translate(&ast, &w.env).unwrap();
+            targets::add_all_bool_targets(&mut tr, "Centre");
+            let net = Network::build(&tr.ground().unwrap()).unwrap();
+            let exact = compile(&net, &w.vt, Options::exact());
+            let engine = DnnfEngine::compile(&net, &DnnfOptions::default()).unwrap();
+            let dnnf = engine.probabilities(&w.vt);
+            for i in 0..dnnf.len() {
+                prop_assert!(
+                    (dnnf[i] - exact.lower[i]).abs() < 1e-9,
+                    "v={v} target {i}: dnnf {} vs tree-exact {}",
+                    dnnf[i],
+                    exact.lower[i]
+                );
+            }
+            // The point of the new engine: a polynomial expansion count
+            // where Shannon expansion recorded ~874 k branches at v = 14.
+            prop_assert!(engine.stats().expansion_steps <= 874_000 / 50);
         }
     }
 }
