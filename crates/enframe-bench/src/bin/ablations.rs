@@ -155,6 +155,7 @@ fn main() {
             status: "ok".into(),
             stats: None,
             dnnf_stats: None,
+            workers: 1,
         };
         print_row(
             "ablation_dimensions",
@@ -183,6 +184,7 @@ fn main() {
             status: "ok".into(),
             stats: None,
             dnnf_stats: None,
+            workers: 1,
         };
         print_row(
             "ablation_targets",
@@ -204,6 +206,7 @@ fn main() {
             status: "ok".into(),
             stats: None,
             dnnf_stats: None,
+            workers: 1,
         };
         print_row("ablation_targets", "co_occurrence", "targets=1", &m, "");
     }
@@ -226,6 +229,7 @@ fn main() {
             status: "ok".into(),
             stats: None,
             dnnf_stats: None,
+            workers: 1,
         };
         print_row(
             "ablation_network_size",
@@ -283,6 +287,7 @@ fn main() {
                 status: format!("branches={}", res.stats.branches),
                 stats: None,
                 dnnf_stats: None,
+                workers: 1,
             };
             print_row("ablation_var_order", label, "v=16", &m, "");
         }

@@ -44,6 +44,7 @@ fn main() {
                         status: "timeout".into(),
                         stats: None,
                         dnnf_stats: None,
+                        workers: 1,
                     },
                     "",
                 );

@@ -76,6 +76,22 @@ fn main() {
         );
         sweep_row(&prep, "positive", v, eps);
     }
+
+    // Workers axis: the d-DNNF parallel target fan-out on a dedicated
+    // overlapping-co-window workload ([`prepare_workers_sweep`]) whose
+    // expensive targets are many and memo-independent, so the fan-out
+    // has real work to distribute. Same series label (`dnnf`) and `x`
+    // for every row — the `workers` column is the axis — and the
+    // estimates are bitwise-identical across rows by construction. CI
+    // asserts ≥ 1.5× at workers = 4 over workers = 1 from these rows.
+    let (wn, wwin) = if full { (128, 8) } else { (96, 9) };
+    let prep = prepare_workers_sweep(wn, wwin, 0xBDD);
+    let x = format!("scheme=positive;v={wn}");
+    let detail = format!("targets={};eps={eps}", prep.net.targets.len());
+    for w in [1usize, 2, 4] {
+        let m = run_lineage_engine(&prep, Engine::DnnfPar { workers: w }, eps);
+        print_row("fig_bdd", "dnnf", &x, &m, &detail);
+    }
 }
 
 fn sweep_row(prep: &LineagePrepared, scheme: &str, v: usize, eps: f64) {

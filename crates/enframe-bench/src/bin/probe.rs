@@ -25,14 +25,23 @@ struct JsonRow {
     series: String,
     x: String,
     seconds: f64,
+    /// Worker threads the measurement ran with (1 = sequential).
+    workers: usize,
     /// OBDD manager statistics (BDD series only).
     stats: Option<ObddStats>,
     /// d-DNNF compilation statistics (`dnnf` series only).
     dnnf: Option<DnnfStats>,
 }
 
+/// Per-series statistics attached to a row (at most one kind applies).
+enum Extra {
+    None,
+    Obdd(Option<ObddStats>),
+    Dnnf(Option<DnnfStats>),
+}
+
 fn push_row(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &str, seconds: f64) {
-    push_full_row(rows, figure, series, x, seconds, None, None);
+    push_full_row(rows, figure, series, x, seconds, 1, Extra::None);
 }
 
 fn push_row_stats(
@@ -43,7 +52,7 @@ fn push_row_stats(
     seconds: f64,
     stats: Option<ObddStats>,
 ) {
-    push_full_row(rows, figure, series, x, seconds, stats, None);
+    push_full_row(rows, figure, series, x, seconds, 1, Extra::Obdd(stats));
 }
 
 fn push_row_dnnf(
@@ -54,7 +63,20 @@ fn push_row_dnnf(
     seconds: f64,
     dnnf: Option<DnnfStats>,
 ) {
-    push_full_row(rows, figure, series, x, seconds, None, dnnf);
+    push_full_row(rows, figure, series, x, seconds, 1, Extra::Dnnf(dnnf));
+}
+
+/// [`push_row_dnnf`] for a parallel run: carries the worker count.
+fn push_row_dnnf_w(
+    rows: &mut Vec<JsonRow>,
+    figure: &'static str,
+    series: &str,
+    x: &str,
+    seconds: f64,
+    workers: usize,
+    dnnf: Option<DnnfStats>,
+) {
+    push_full_row(rows, figure, series, x, seconds, workers, Extra::Dnnf(dnnf));
 }
 
 /// Appends one finite measurement (rows with NaN seconds — timeouts and
@@ -65,15 +87,21 @@ fn push_full_row(
     series: &str,
     x: &str,
     seconds: f64,
-    stats: Option<ObddStats>,
-    dnnf: Option<DnnfStats>,
+    workers: usize,
+    extra: Extra,
 ) {
+    let (stats, dnnf) = match extra {
+        Extra::None => (None, None),
+        Extra::Obdd(s) => (s, None),
+        Extra::Dnnf(d) => (None, d),
+    };
     if seconds.is_finite() {
         rows.push(JsonRow {
             figure,
             series: series.to_string(),
             x: x.to_string(),
             seconds,
+            workers,
             stats,
             dnnf,
         });
@@ -91,11 +119,12 @@ fn write_json(rows: &[JsonRow]) {
         // sub-millisecond bdd-exact series this file exists to track.
         let _ = write!(
             out,
-            "  {{\"figure\": \"{}\", \"series\": \"{}\", \"x\": \"{}\", \"seconds\": {:.6e}",
+            "  {{\"figure\": \"{}\", \"series\": \"{}\", \"x\": \"{}\", \"seconds\": {:.6e}, \"workers\": {}",
             escape(r.figure),
             escape(&r.series),
             escape(&r.x),
-            r.seconds
+            r.seconds,
+            r.workers
         );
         if let Some(st) = &r.stats {
             let m = &st.manager;
@@ -279,6 +308,27 @@ fn main() {
             dnnf.seconds,
             dnnf.dnnf_stats.clone(),
         );
+        // The workers axis at the headline configuration: the parallel
+        // target fan-out yields bitwise-identical probabilities, so the
+        // only things that move are seconds (down, on multi-core hosts)
+        // and the scheduling-dependent step/hit diagnostics. The `w=…`
+        // suffix keeps these rows distinct from the sequential headline
+        // row CI's step bound reads.
+        if v == 14 {
+            for w in [2usize, 4] {
+                let par = run_engine(&prep, Engine::DnnfPar { workers: w }, 0.0);
+                println!("kmedoids-dnnf v={v} workers={w} dnnf={:.4}s", par.seconds);
+                push_row_dnnf_w(
+                    &mut rows,
+                    "probe",
+                    "dnnf",
+                    &format!("n=16;v={v};w={w}"),
+                    par.seconds,
+                    par.workers,
+                    par.dnnf_stats.clone(),
+                );
+            }
+        }
     }
     write_json(&rows);
 }

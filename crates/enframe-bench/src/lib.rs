@@ -136,6 +136,22 @@ pub enum Engine {
     /// Shannon-expansion wall on aggregate-comparison workloads — see
     /// [`DNNF_KMEDOIDS_VAR_CAP`] vs [`BDD_KMEDOIDS_VAR_CAP`].
     DnnfExact,
+    /// [`Engine::DnnfExact`] with a parallel target fan-out and
+    /// data-parallel WMC (`DnnfOptions::workers`). Same series label —
+    /// the `workers` CSV column is the axis — and **bitwise-equal**
+    /// probabilities to the sequential run by construction.
+    DnnfPar {
+        /// Worker threads (`0` = auto via `ENFRAME_WORKERS`).
+        workers: usize,
+    },
+    /// [`Engine::BddExact`] with a parallel target fan-out over
+    /// per-worker managers (`ObddOptions::workers`). Same series label;
+    /// probabilities agree with the sequential run to FP roundoff (the
+    /// merged manager may settle on a different variable order).
+    BddPar {
+        /// Worker threads (`0` = auto via `ENFRAME_WORKERS`).
+        workers: usize,
+    },
 }
 
 impl Engine {
@@ -152,7 +168,21 @@ impl Engine {
             Engine::HybridFolded => "hybrid-folded".into(),
             Engine::BddExact => "bdd-exact".into(),
             Engine::BddStatic => "bdd-static".into(),
-            Engine::DnnfExact => "dnnf".into(),
+            Engine::DnnfExact | Engine::DnnfPar { .. } => "dnnf".into(),
+            Engine::BddPar { .. } => "bdd-exact".into(),
+        }
+    }
+
+    /// The worker count this engine runs with, after `0 = auto`
+    /// resolution — what the `workers` CSV column reports. Sequential
+    /// engines report 1.
+    pub fn workers(&self) -> usize {
+        match self {
+            Engine::HybridD { workers, .. } => enframe_core::workers::resolve(*workers, 4),
+            Engine::DnnfPar { workers } | Engine::BddPar { workers } => {
+                enframe_core::workers::resolve(*workers, 1)
+            }
+            _ => 1,
         }
     }
 }
@@ -173,6 +203,9 @@ pub struct Measurement {
     /// d-DNNF compilation statistics ([`Engine::DnnfExact`] only):
     /// expansion steps (the `cmp_branches` analogue), node/edge counts.
     pub dnnf_stats: Option<DnnfStats>,
+    /// Worker threads the engine ran with (after `0 = auto`
+    /// resolution); 1 for the sequential engines.
+    pub workers: usize,
 }
 
 /// Cap on variables for the naïve baseline in harness runs (the paper's
@@ -234,6 +267,7 @@ pub fn timeout_measurement(reason: &str) -> Measurement {
         status: format!("timeout({reason})"),
         stats: None,
         dnnf_stats: None,
+        workers: 1,
     }
 }
 
@@ -245,11 +279,18 @@ fn error_measurement(e: impl std::fmt::Display) -> Measurement {
         status: format!("error({e})"),
         stats: None,
         dnnf_stats: None,
+        workers: 1,
     }
 }
 
 /// Runs one engine over a prepared pipeline.
 pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement {
+    let mut m = run_engine_inner(prep, engine, epsilon);
+    m.workers = engine.workers();
+    m
+}
+
+fn run_engine_inner(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement {
     let vt = &prep.workload.vt;
     match engine {
         Engine::Naive => run_naive(&prep.ast, &prep.workload.env, vt, prep.k, prep.n),
@@ -279,7 +320,7 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
             );
             finish(t0, res)
         }
-        Engine::BddExact | Engine::BddStatic => {
+        Engine::BddExact | Engine::BddStatic | Engine::BddPar { .. } => {
             if vt.len() > BDD_KMEDOIDS_VAR_CAP {
                 return timeout_measurement(&format!("v={}>{BDD_KMEDOIDS_VAR_CAP}", vt.len()));
             }
@@ -288,13 +329,14 @@ pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement 
                 vt,
                 &prep.workload.var_groups,
                 engine == Engine::BddStatic,
+                engine.workers(),
             )
         }
-        Engine::DnnfExact => {
+        Engine::DnnfExact | Engine::DnnfPar { .. } => {
             if vt.len() > DNNF_KMEDOIDS_VAR_CAP {
                 return timeout_measurement(&format!("v={}>{DNNF_KMEDOIDS_VAR_CAP}", vt.len()));
             }
-            run_dnnf_exact(&prep.net, vt)
+            run_dnnf_exact(&prep.net, vt, engine.workers())
         }
         Engine::ExactFolded | Engine::HybridFolded => {
             let Some(folded) = &prep.folded else {
@@ -325,6 +367,7 @@ fn finish(t0: Instant, res: CompileResult) -> Measurement {
         status: "ok".into(),
         stats: None,
         dnnf_stats: None,
+        workers: 1,
     }
 }
 
@@ -341,6 +384,7 @@ fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize
         status: "ok".into(),
         stats: None,
         dnnf_stats: None,
+        workers: 1,
     }
 }
 
@@ -438,10 +482,85 @@ pub fn prepare_lineage(
     }
 }
 
+/// Builds the **workers-axis** lineage pipeline: positive-scheme
+/// lineage over `n_groups` groups (each a disjunction of 4 literals
+/// from the shared pool) whose targets are dominated by overlapping
+/// windowed co-existence disjunctions — one `CoWin[w]` target per
+/// `window`-wide, `window/2`-strided window over the distant-pair
+/// conjunctions `Co[i] = Exists[i] ∧ Exists[i + n/2]`. The shape
+/// matters: [`prepare_lineage`]'s expensive target is the single
+/// `AnyCo` disjunction, and one target cannot fan out, whereas this
+/// pipeline yields a dozen individually expensive windows whose
+/// expansion work is target-private (measured: identical total
+/// expansion steps at every worker count), so the parallel target
+/// fan-out ([`Engine::DnnfPar`]) distributes real work.
+pub fn prepare_workers_sweep(n_groups: usize, window: usize, seed: u64) -> LineagePrepared {
+    let opts = LineageOpts {
+        group_size: 1,
+        ..LineageOpts::default()
+    };
+    let corr = generate_lineage(
+        n_groups,
+        Scheme::Positive { l: 4, v: n_groups },
+        &opts,
+        seed,
+    );
+    let t0 = Instant::now();
+    let mut p = Program::new();
+    p.ensure_vars(corr.var_table.len() as u32);
+    let mut idents = Vec::with_capacity(n_groups);
+    for (g, phi) in corr.lineage.iter().enumerate() {
+        let id = p
+            .declare_closed_event(&format!("Exists{g}"), phi)
+            .expect("lineage events are closed");
+        p.add_target(id.clone());
+        idents.push(id);
+    }
+    let half = n_groups / 2;
+    let mut pairs = Vec::with_capacity(half);
+    for i in 0..half {
+        let id = p.declare_event(
+            &format!("Co{i}"),
+            Program::and([
+                Program::eref(idents[i].clone()),
+                Program::eref(idents[i + half].clone()),
+            ]),
+        );
+        p.add_target(id.clone());
+        pairs.push(id);
+    }
+    let window = window.max(1).min(pairs.len().max(1));
+    for (w, win) in pairs
+        .windows(window)
+        .step_by((window / 2).max(1))
+        .enumerate()
+    {
+        let id = p.declare_event(
+            &format!("CoWin{w}"),
+            Program::or(win.iter().map(|id| Program::eref(id.clone()))),
+        );
+        p.add_target(id);
+    }
+    let gp = p.ground().expect("workers-sweep program grounds");
+    let net = Network::build(&gp).expect("workers-sweep network builds");
+    LineagePrepared {
+        net,
+        vt: corr.var_table,
+        var_groups: corr.var_groups,
+        build_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
 /// Runs one engine over a lineage-query pipeline. Supports the
 /// sequential engines ([`Engine::Exact`], the three approximations, and
 /// [`Engine::BddExact`]); others report a skip.
 pub fn run_lineage_engine(prep: &LineagePrepared, engine: Engine, epsilon: f64) -> Measurement {
+    let mut m = run_lineage_engine_inner(prep, engine, epsilon);
+    m.workers = engine.workers();
+    m
+}
+
+fn run_lineage_engine_inner(prep: &LineagePrepared, engine: Engine, epsilon: f64) -> Measurement {
     let vt = &prep.vt;
     match engine {
         Engine::Exact => {
@@ -457,9 +576,13 @@ pub fn run_lineage_engine(prep: &LineagePrepared, engine: Engine, epsilon: f64) 
             let res = compile(&prep.net, vt, Options::approx(strategy_of(engine), epsilon));
             finish(t0, res)
         }
-        Engine::BddExact => run_bdd_exact(&prep.net, vt, &prep.var_groups, false),
-        Engine::BddStatic => run_bdd_exact(&prep.net, vt, &prep.var_groups, true),
-        Engine::DnnfExact => run_dnnf_exact(&prep.net, vt),
+        Engine::BddExact => run_bdd_exact(&prep.net, vt, &prep.var_groups, false, 1),
+        Engine::BddStatic => run_bdd_exact(&prep.net, vt, &prep.var_groups, true, 1),
+        Engine::BddPar { .. } => {
+            run_bdd_exact(&prep.net, vt, &prep.var_groups, false, engine.workers())
+        }
+        Engine::DnnfExact => run_dnnf_exact(&prep.net, vt, 1),
+        Engine::DnnfPar { .. } => run_dnnf_exact(&prep.net, vt, engine.workers()),
         _ => timeout_measurement("engine not applicable to lineage queries"),
     }
 }
@@ -481,13 +604,15 @@ fn run_bdd_exact(
     vt: &VarTable,
     groups: &[Vec<Var>],
     static_manager: bool,
+    workers: usize,
 ) -> Measurement {
     let t0 = Instant::now();
-    let opts = if static_manager {
+    let base = if static_manager {
         ObddOptions::static_with_groups(groups.to_vec())
     } else {
         ObddOptions::with_groups(groups.to_vec())
     };
+    let opts = ObddOptions { workers, ..base };
     match ObddEngine::compile(net, &opts) {
         Ok(engine) => {
             let probs = engine.probabilities(vt);
@@ -497,6 +622,7 @@ fn run_bdd_exact(
                 status: "ok".into(),
                 stats: Some(engine.stats().clone()),
                 dnnf_stats: None,
+                workers: 1,
             }
         }
         Err(e) => error_measurement(e),
@@ -506,9 +632,13 @@ fn run_bdd_exact(
 /// Compiles a network's targets into d-DNNF and counts them — the
 /// [`Engine::DnnfExact`] measurement shared by [`run_engine`] and
 /// [`run_lineage_engine`].
-fn run_dnnf_exact(net: &Network, vt: &VarTable) -> Measurement {
+fn run_dnnf_exact(net: &Network, vt: &VarTable, workers: usize) -> Measurement {
     let t0 = Instant::now();
-    match DnnfEngine::compile(net, &DnnfOptions::default()) {
+    let opts = DnnfOptions {
+        workers,
+        ..DnnfOptions::default()
+    };
+    match DnnfEngine::compile(net, &opts) {
         Ok(engine) => {
             let probs = engine.probabilities(vt);
             Measurement {
@@ -517,6 +647,7 @@ fn run_dnnf_exact(net: &Network, vt: &VarTable) -> Measurement {
                 status: "ok".into(),
                 stats: None,
                 dnnf_stats: Some(engine.stats().clone()),
+                workers: 1,
             }
         }
         Err(e) => error_measurement(e),
@@ -531,7 +662,7 @@ fn run_dnnf_exact(net: &Network, vt: &VarTable) -> Measurement {
 /// d-DNNF node/edge counts.
 pub fn print_header() {
     println!(
-        "figure,series,x,seconds,status,detail,live_nodes,peak_nodes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges"
+        "figure,series,x,seconds,status,detail,workers,live_nodes,peak_nodes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges"
     );
 }
 
@@ -556,7 +687,10 @@ pub fn print_row(figure: &str, series: &str, x: &str, m: &Measurement, detail: &
         (None, Some(d)) => format!(",,,,,{},{},{}", d.expansion_steps, d.nodes, d.edges),
         (None, None) => ",,,,,,,".into(),
     };
-    println!("{figure},{series},{x},{secs},{},{detail},{stats}", m.status);
+    println!(
+        "{figure},{series},{x},{secs},{},{detail},{},{stats}",
+        m.status, m.workers
+    );
 }
 
 #[cfg(test)]

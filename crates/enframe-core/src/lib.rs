@@ -53,6 +53,7 @@ pub mod space;
 pub mod symbol;
 pub mod value;
 pub mod var;
+pub mod workers;
 
 pub use error::CoreError;
 pub use event::{CVal, CmpOp, Event};

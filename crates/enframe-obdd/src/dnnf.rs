@@ -250,6 +250,43 @@ impl DnnfManager {
         self.unique.insert(node, r);
         r
     }
+
+    /// Imports every node of `other` into this manager, returning the
+    /// handle map (indexed by `other`'s node index). Structurally equal
+    /// nodes hash-cons onto existing ones, so absorbing the per-worker
+    /// managers of a parallel compilation deduplicates shared structure
+    /// across workers. Creation order (children before parents) and the
+    /// canonical sorted child order of `And`/`Or` nodes are preserved —
+    /// children are remapped and re-sorted under this manager's handle
+    /// numbering.
+    pub fn absorb(&mut self, other: &DnnfManager) -> Vec<Dnnf> {
+        let mut map: Vec<Dnnf> = Vec::with_capacity(other.nodes.len());
+        map.push(Dnnf::TRUE);
+        map.push(Dnnf::FALSE);
+        for node in &other.nodes[2..] {
+            let mapped = match node {
+                DnnfNode::Const(b) => {
+                    if *b {
+                        Dnnf::TRUE
+                    } else {
+                        Dnnf::FALSE
+                    }
+                }
+                DnnfNode::Lit { var, positive } => self.lit(*var, *positive),
+                DnnfNode::And(cs) | DnnfNode::Or(cs) => {
+                    let mut cs: Vec<Dnnf> = cs.iter().map(|&c| map[c.index()]).collect();
+                    cs.sort_unstable();
+                    let remapped = match node {
+                        DnnfNode::And(_) => DnnfNode::And(cs.into_boxed_slice()),
+                        _ => DnnfNode::Or(cs.into_boxed_slice()),
+                    };
+                    self.intern(remapped)
+                }
+            };
+            map.push(mapped);
+        }
+        map
+    }
 }
 
 /// Options for d-DNNF compilation.
@@ -259,6 +296,14 @@ pub struct DnnfOptions {
     /// engines). d-DNNF has no global ordering constraint — the order
     /// only picks which undetermined variable each decision branches on.
     pub order: VarOrder,
+    /// Worker threads for target fan-out and parallel WMC. `0` (the
+    /// default) means *auto*: honour the `ENFRAME_WORKERS` environment
+    /// variable, else run sequentially. Any worker count produces
+    /// bitwise-identical probabilities: expansion is a pure function of
+    /// the residual state, so every target compiles to the same sentence
+    /// regardless of which worker compiles it, and weighted model
+    /// counting reduces children in a canonical order.
+    pub workers: usize,
 }
 
 /// Compilation statistics.
@@ -288,11 +333,33 @@ pub struct DnnfEngine {
     targets: Vec<Dnnf>,
     names: Vec<String>,
     stats: DnnfStats,
+    /// Effective worker count, reused by probability queries.
+    workers: usize,
 }
+
+/// Below this store size a parallel WMC query falls back to the
+/// sequential sweep: thread startup costs more than the count.
+const PAR_WMC_MIN_NODES: usize = 256;
 
 impl DnnfEngine {
     /// Compiles every registered target of `net` into d-DNNF.
+    ///
+    /// With `opts.workers` resolved to more than one (explicitly or via
+    /// `ENFRAME_WORKERS`), targets fan out across a worker pool: each
+    /// worker compiles whole targets with its own manager and
+    /// residual-state memo over the shared immutable network, and the
+    /// per-worker stores are merged by [`DnnfManager::absorb`]. The
+    /// compiled sentences — and therefore all probabilities — are
+    /// identical to a sequential compile for every worker count.
     pub fn compile(net: &Network, opts: &DnnfOptions) -> Result<Self, ObddError> {
+        let workers = enframe_core::workers::resolve(opts.workers, 1);
+        if workers <= 1 || net.targets.len() <= 1 {
+            return Self::compile_seq(net, opts, workers);
+        }
+        Self::compile_par(net, opts, workers)
+    }
+
+    fn compile_seq(net: &Network, opts: &DnnfOptions, workers: usize) -> Result<Self, ObddError> {
         let mut man = DnnfManager::new();
         let mut compiler = Compiler::new(net, opts);
         compiler.prime()?;
@@ -312,6 +379,108 @@ impl DnnfEngine {
             targets,
             names: net.target_names.clone(),
             stats,
+            workers,
+        })
+    }
+
+    /// Parallel target fan-out. Target indices are pre-queued in a
+    /// bounded channel whose sender is dropped before the workers start,
+    /// so the pool drains the queue and shuts down on disconnect — the
+    /// semantics the `crossbeam` shim's disconnected-while-nonempty
+    /// behaviour guarantees.
+    fn compile_par(net: &Network, opts: &DnnfOptions, workers: usize) -> Result<Self, ObddError> {
+        struct WorkerOut {
+            man: DnnfManager,
+            compiled: Vec<(usize, Dnnf)>,
+            error: Option<(usize, ObddError)>,
+            steps: u64,
+            hits: u64,
+        }
+        let workers = workers.min(net.targets.len());
+        let (tx, rx) = crossbeam::channel::bounded(net.targets.len());
+        for i in 0..net.targets.len() {
+            tx.send(i).expect("queue receiver alive");
+        }
+        drop(tx);
+        let outs: Vec<WorkerOut> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut man = DnnfManager::new();
+                        let mut compiler = Compiler::new(net, opts);
+                        let mut compiled = Vec::new();
+                        let mut error = None;
+                        if let Err(e) = compiler.prime() {
+                            error = Some((0, e));
+                        } else {
+                            while let Ok(i) = rx.recv() {
+                                match compiler.compile(&mut man, net.targets[i]) {
+                                    Ok(d) => compiled.push((i, d)),
+                                    Err(e) => {
+                                        // Stop: an error can leave the
+                                        // evaluator's assignment dirty.
+                                        error = Some((i, e));
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        WorkerOut {
+                            man,
+                            compiled,
+                            error,
+                            steps: compiler.expansion_steps,
+                            hits: compiler.memo_hits,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("d-DNNF worker panicked"))
+                .collect()
+        })
+        .expect("d-DNNF worker scope");
+
+        // Report the error of the smallest-indexed failing target, so a
+        // failure surfaces deterministically across schedules.
+        if let Some((_, e)) = outs
+            .iter()
+            .filter_map(|w| w.error.as_ref())
+            .min_by_key(|(i, _)| *i)
+        {
+            return Err(e.clone());
+        }
+        let mut man = DnnfManager::new();
+        let mut targets: Vec<Option<Dnnf>> = vec![None; net.targets.len()];
+        let mut steps = 0u64;
+        let mut hits = 0u64;
+        for w in &outs {
+            let map = man.absorb(&w.man);
+            for &(i, d) in &w.compiled {
+                targets[i] = Some(map[d.index()]);
+            }
+            steps += w.steps;
+            hits += w.hits;
+        }
+        let targets: Vec<Dnnf> = targets
+            .into_iter()
+            .map(|t| t.expect("every queued target compiled by exactly one worker"))
+            .collect();
+        let stats = DnnfStats {
+            nodes: man.len() - 2,
+            edges: man.edges(),
+            largest_target: targets.iter().map(|&t| man.size(t)).max().unwrap_or(0),
+            expansion_steps: steps,
+            memo_hits: hits,
+        };
+        Ok(DnnfEngine {
+            man,
+            targets,
+            names: net.target_names.clone(),
+            stats,
+            workers,
         })
     }
 
@@ -342,12 +511,20 @@ impl DnnfEngine {
 
     /// Exact probability of every target: one single-pass weighted model
     /// count over the union DAG (products across `And` children, sums
-    /// across `Or` children).
+    /// across `Or` children). With more than one worker configured and a
+    /// store large enough to amortise thread startup, the sweep runs
+    /// data-parallel ([`wmc::node_probabilities_par`]) — bitwise-equal
+    /// to the sequential sweep by construction.
     ///
     /// # Panics
     /// Panics if `vt` does not cover the compiled variables.
     pub fn probabilities(&self, vt: &VarTable) -> Vec<f64> {
-        let probs = wmc::node_probabilities(&self.man, vt);
+        let wmc_workers = if self.man.len() >= PAR_WMC_MIN_NODES {
+            self.workers
+        } else {
+            1
+        };
+        let probs = wmc::node_probabilities_par(&self.man, vt, wmc_workers);
         self.targets.iter().map(|&t| probs[t.index()]).collect()
     }
 }
@@ -402,19 +579,24 @@ struct Compiler<'n> {
     /// Decision rank per variable (lower ranks decided first), from the
     /// configured [`VarOrder`] heuristic.
     rank_of: Vec<u32>,
-    /// Static variable-support bitset per network node (`words` words
-    /// each): the cheap sound over-approximation of residual support
-    /// used for component factoring.
-    support_bits: Vec<u64>,
-    /// Words per support bitset.
-    words: usize,
     /// The DP memo: residual key → compiled sentence. Keys capture the
-    /// full residual state, so entries are valid under any assignment
-    /// prefix that reaches them — including prefixes from *other
-    /// targets*.
+    /// full residual state, and every expansion is a *pure function* of
+    /// that state (decisions, component factoring, and sub-states are
+    /// all derived from the residual walk, never from the assignment
+    /// prefix), so entries are valid under any prefix that reaches them
+    /// — including prefixes from *other targets* — and memoisation never
+    /// changes the compiled sentence, only skips rebuilding it. This
+    /// purity is what makes parallel fan-out deterministic: any
+    /// partitioning of targets over per-worker memos yields the same
+    /// sentences.
     memo: FxHashMap<Box<[u64]>, Dnnf>,
     /// Visited stamps for subtree and key traversals.
     seen: VisitStamp,
+    /// Which item of the current block's key walk first opened each
+    /// network node (valid for nodes visited under the current `seen`
+    /// stamp only): lets a repeat visit from another item union the two
+    /// items' components without re-walking the shared sub-DAG.
+    opened_by: Vec<u32>,
     expansion_steps: u64,
     memo_hits: u64,
 }
@@ -426,29 +608,13 @@ impl<'n> Compiler<'n> {
         for (i, v) in order.iter().enumerate() {
             rank_of[v.index()] = i as u32;
         }
-        // Static supports, bottom-up (children precede parents).
-        let words = (net.n_vars as usize).div_ceil(64).max(1);
-        let mut support_bits = vec![0u64; net.len() * words];
-        for i in 0..net.len() {
-            let node = net.node(NodeId(i as u32));
-            if let NodeKind::Var(v) = node.kind {
-                support_bits[i * words + v.index() / 64] |= 1 << (v.index() % 64);
-            }
-            for &c in &node.children {
-                for w in 0..words {
-                    let bit = support_bits[c.index() * words + w];
-                    support_bits[i * words + w] |= bit;
-                }
-            }
-        }
         Compiler {
             net,
             eval: Evaluator::new(net),
             rank_of,
-            support_bits,
-            words,
             memo: FxHashMap::default(),
             seen: VisitStamp::new(net.len()),
+            opened_by: vec![0; net.len()],
             expansion_steps: 0,
             memo_hits: 0,
         }
@@ -550,9 +716,13 @@ impl<'n> Compiler<'n> {
             key.push(tok::ITEM | (n.0 as u64) << 1 | pol as u64);
         }
         let mut support: Vec<Var> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(norm.len());
+        let mut links: Vec<(usize, usize)> = Vec::new();
         self.seen.reset();
-        for &(n, _) in &norm {
-            self.residual_key(n, &mut key, &mut support);
+        for (item, &(n, _)) in norm.iter().enumerate() {
+            let start = support.len();
+            self.residual_key(n, &mut key, &mut support, item, &mut links);
+            ranges.push((start, support.len()));
         }
 
         if let Some(&hit) = self.memo.get(key.as_slice()) {
@@ -561,12 +731,16 @@ impl<'n> Compiler<'n> {
         }
         self.expansion_steps += 1;
 
-        // Decomposable-AND factoring: group items whose *unassigned
-        // static* supports intersect — a sound over-approximation of
-        // residual-support sharing (it can merge groups a finer analysis
-        // would split, never split ones it must merge), cheap enough to
-        // test at every block via the precomputed per-node bitsets.
-        let groups = self.components(&norm);
+        // Decomposable-AND factoring: group items whose *residual*
+        // supports are connected, read straight off the key walk (a
+        // shared undetermined sub-DAG links its items via `REF`, a
+        // shared variable reached through distinct nodes links them via
+        // the collected supports). Using the residual state — not the
+        // assignment prefix — keeps the expansion a pure function of the
+        // state, the invariant the memo and the parallel fan-out rely
+        // on, and factors strictly more finely than a static
+        // over-approximation would.
+        let groups = components(norm.len(), &support, &ranges, &links);
         let result = if groups.iter().max().copied().unwrap_or(0) > 0 {
             let n_groups = groups.iter().max().unwrap() + 1;
             let mut parts = Vec::with_capacity(n_groups);
@@ -592,41 +766,6 @@ impl<'n> Compiler<'n> {
 
         self.memo.insert(key.into_boxed_slice(), result);
         Ok(result)
-    }
-
-    /// Partitions items into connected components of shared unassigned
-    /// static support: `result[i]` is the component index of item `i`,
-    /// with components numbered contiguously from 0.
-    fn components(&self, items: &[Item]) -> Vec<usize> {
-        let words = self.words;
-        // Masked (unassigned) support per item: static support with the
-        // evaluator's assignment bitset cleared, wordwise.
-        let assigned = self.eval.assigned_bits();
-        let mut masks = vec![0u64; items.len() * words];
-        for (i, &(n, _)) in items.iter().enumerate() {
-            for w in 0..words {
-                masks[i * words + w] = self.support_bits[n.index() * words + w] & !assigned[w];
-            }
-        }
-        let mut parent: Vec<usize> = (0..items.len()).collect();
-        for i in 0..items.len() {
-            for j in 0..i {
-                let intersects =
-                    (0..words).any(|w| masks[i * words + w] & masks[j * words + w] != 0);
-                if intersects {
-                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
-                    parent[a] = b;
-                }
-            }
-        }
-        let mut label: FxHashMap<usize, usize> = FxHashMap::default();
-        let mut out = Vec::with_capacity(items.len());
-        for i in 0..items.len() {
-            let r = find(&mut parent, i);
-            let next = label.len();
-            out.push(*label.entry(r).or_insert(next));
-        }
-        out
     }
 
     /// Expands one decision on the best-ranked undetermined variable and
@@ -657,7 +796,10 @@ impl<'n> Compiler<'n> {
     }
 
     /// Emits the residual state of `root`'s undetermined cone into `key`
-    /// and collects its undetermined support into `support`.
+    /// and collects its undetermined support into `support`; `item` is
+    /// the block item being walked, and a repeat visit of a node first
+    /// opened under another item records an `(item, opener)` edge in
+    /// `links` for component analysis.
     ///
     /// The walk descends only *undetermined* nodes. Determined children
     /// contribute their forced value — except under `And`/`Or`, where an
@@ -668,7 +810,14 @@ impl<'n> Compiler<'n> {
     /// their continuation regardless of the assignment that got there).
     /// Shared nodes repeat as [`tok::REF`] — within one key the repeat
     /// has the same residual by construction.
-    fn residual_key(&mut self, root: NodeId, key: &mut Vec<u64>, support: &mut Vec<Var>) {
+    fn residual_key(
+        &mut self,
+        root: NodeId,
+        key: &mut Vec<u64>,
+        support: &mut Vec<Var>,
+        item: usize,
+        links: &mut Vec<(usize, usize)>,
+    ) {
         match self.eval.value(root) {
             Partial::B(b) => {
                 key.push(tok::BOOL | *b as u64);
@@ -685,8 +834,13 @@ impl<'n> Compiler<'n> {
         }
         if self.seen.visit(root) {
             key.push(tok::REF | root.0 as u64);
+            let opener = self.opened_by[root.index()] as usize;
+            if opener != item {
+                links.push((item, opener));
+            }
             return;
         }
+        self.opened_by[root.index()] = item as u32;
         key.push(tok::OPEN | root.0 as u64);
         let node = self.net.node(root);
         match &node.kind {
@@ -698,7 +852,7 @@ impl<'n> Compiler<'n> {
                 for i in 0..node.children.len() {
                     let c = self.net.node(root).children[i];
                     if matches!(self.eval.value(c), Partial::Unknown) {
-                        self.residual_key(c, key, support);
+                        self.residual_key(c, key, support, item, links);
                     }
                 }
             }
@@ -729,7 +883,7 @@ impl<'n> Compiler<'n> {
                 for i in 0..self.net.node(root).children.len() {
                     let c = self.net.node(root).children[i];
                     if matches!(self.eval.value(c), Partial::Unknown) {
-                        self.residual_key(c, key, support);
+                        self.residual_key(c, key, support, item, links);
                     }
                 }
             }
@@ -739,12 +893,57 @@ impl<'n> Compiler<'n> {
                 // decided side of a half-determined comparison).
                 for i in 0..self.net.node(root).children.len() {
                     let c = self.net.node(root).children[i];
-                    self.residual_key(c, key, support);
+                    self.residual_key(c, key, support, item, links);
                 }
             }
         }
         key.push(tok::CLOSE);
     }
+}
+
+/// Partitions a block's items into connected components of shared
+/// *residual* support: `result[i]` is the component index of item `i`,
+/// numbered contiguously from 0 in item order. `support`/`ranges` hold
+/// each item's variables as collected by its portion of the key walk,
+/// and `links` the item pairs joined by a shared undetermined sub-DAG
+/// (whose variables were collected under the opening item only). Both
+/// inputs are functions of the residual state alone, so the grouping —
+/// and with it the compiled structure — is prefix-independent.
+fn components(
+    n_items: usize,
+    support: &[Var],
+    ranges: &[(usize, usize)],
+    links: &[(usize, usize)],
+) -> Vec<usize> {
+    let mut parent: Vec<usize> = (0..n_items).collect();
+    for &(a, b) in links {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        parent[ra] = rb;
+    }
+    // Distinct network nodes can mention the same variable, so shared
+    // variables union items even without a shared sub-DAG.
+    let mut var_owner: FxHashMap<u32, usize> = FxHashMap::default();
+    for (i, &(start, end)) in ranges.iter().enumerate() {
+        for v in &support[start..end] {
+            match var_owner.entry(v.0) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let (ra, rb) = (find(&mut parent, i), find(&mut parent, *o.get()));
+                    parent[ra] = rb;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                }
+            }
+        }
+    }
+    let mut label: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut out = Vec::with_capacity(n_items);
+    for i in 0..n_items {
+        let r = find(&mut parent, i);
+        let next = label.len();
+        out.push(*label.entry(r).or_insert(next));
+    }
+    out
 }
 
 /// Path-halving find for the tiny per-block union-find.
@@ -950,7 +1149,14 @@ mod tests {
             VarOrder::StaticOccurrence,
             VarOrder::Dynamic,
         ] {
-            let engine = DnnfEngine::compile(&net, &DnnfOptions { order }).unwrap();
+            let engine = DnnfEngine::compile(
+                &net,
+                &DnnfOptions {
+                    order,
+                    ..DnnfOptions::default()
+                },
+            )
+            .unwrap();
             let got = engine.probabilities(&vt);
             assert!((got[0] - want[0]).abs() < 1e-12, "{order:?}");
         }

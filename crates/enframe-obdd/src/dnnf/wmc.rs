@@ -1,4 +1,4 @@
-//! Single-pass weighted model counting over d-DNNF.
+//! Weighted model counting over d-DNNF — sequential and data-parallel.
 //!
 //! This is the payoff of the two structural invariants the compiler
 //! maintains: children of an `And` mention **disjoint** variable sets,
@@ -10,9 +10,80 @@
 //! whole union DAG is counted in **one forward sweep** — no recursion,
 //! no cache invalidation protocol, just an array of per-node
 //! probabilities.
+//!
+//! ## Determinism
+//!
+//! Floating-point reduction is order-sensitive for three or more
+//! operands, and child *handle* order is a manager-numbering artefact
+//! (merging per-worker managers renumbers handles). Both sweeps
+//! therefore reduce each node's child probabilities in a **canonical
+//! order** — sorted by [`f64::total_cmp`] — through the shared
+//! `node_probability` kernel. Consequences, both load-bearing for the
+//! parallel paths:
+//!
+//! * [`node_probabilities_par`] is bitwise-equal to
+//!   [`node_probabilities`] for every worker count and chunking: each
+//!   node's value is the same pure function of its children's values,
+//!   only the evaluation schedule differs.
+//! * A sentence's probability depends only on its *abstract* structure,
+//!   not on handle numbering — so a parallel target fan-out, whose
+//!   merged manager numbers nodes differently than a sequential
+//!   compile, still yields bitwise-identical probabilities.
 
 use super::{DnnfManager, DnnfNode};
 use enframe_core::VarTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// One node's probability from its children's probabilities — the
+/// single reduction kernel shared by the sequential and parallel
+/// sweeps, so the two are bitwise-identical by construction. `child`
+/// reads an already-computed probability by node index; `scratch` is a
+/// reusable buffer for the canonical (totally ordered) reduction.
+///
+/// # Panics
+/// Panics if a literal's variable is not covered by `vt`.
+fn node_probability(
+    node: &DnnfNode,
+    vt: &VarTable,
+    child: impl Fn(usize) -> f64,
+    scratch: &mut Vec<f64>,
+) -> f64 {
+    match node {
+        DnnfNode::Const(b) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        DnnfNode::Lit { var, positive } => {
+            assert!(
+                var.index() < vt.len(),
+                "variable table covers {} variables but the d-DNNF mentions x{}",
+                vt.len(),
+                var.0
+            );
+            if *positive {
+                vt.prob(*var)
+            } else {
+                1.0 - vt.prob(*var)
+            }
+        }
+        DnnfNode::And(cs) => {
+            scratch.clear();
+            scratch.extend(cs.iter().map(|c| child(c.index())));
+            scratch.sort_unstable_by(|a, b| a.total_cmp(b));
+            scratch.iter().product()
+        }
+        DnnfNode::Or(cs) => {
+            scratch.clear();
+            scratch.extend(cs.iter().map(|c| child(c.index())));
+            scratch.sort_unstable_by(|a, b| a.total_cmp(b));
+            scratch.iter().sum()
+        }
+    }
+}
 
 /// The probability of every stored node under `vt`, indexed by node
 /// index — one linear pass over the manager. `probs[f.index()]` is the
@@ -22,37 +93,99 @@ use enframe_core::VarTable;
 /// Panics if a stored literal's variable is not covered by `vt`.
 pub fn node_probabilities(man: &DnnfManager, vt: &VarTable) -> Vec<f64> {
     let nodes = man.nodes();
-    let mut probs = Vec::with_capacity(nodes.len());
+    let mut probs: Vec<f64> = Vec::with_capacity(nodes.len());
+    let mut scratch = Vec::new();
     for node in nodes {
-        let p = match node {
-            DnnfNode::Const(b) => {
-                if *b {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
-            DnnfNode::Lit { var, positive } => {
-                assert!(
-                    var.index() < vt.len(),
-                    "variable table covers {} variables but the d-DNNF mentions x{}",
-                    vt.len(),
-                    var.0
-                );
-                if *positive {
-                    vt.prob(*var)
-                } else {
-                    1.0 - vt.prob(*var)
-                }
-            }
-            // Children are created before parents, so their entries are
-            // already in `probs`.
-            DnnfNode::And(cs) => cs.iter().map(|c| probs[c.index()]).product(),
-            DnnfNode::Or(cs) => cs.iter().map(|c| probs[c.index()]).sum(),
-        };
+        // Children are created before parents, so their entries are
+        // already in `probs`.
+        let p = node_probability(node, vt, |c| probs[c], &mut scratch);
         probs.push(p);
     }
     probs
+}
+
+/// Data-parallel [`node_probabilities`]: the creation-ordered node
+/// array is swept as a **level wavefront**. A node's level is one more
+/// than its deepest child's, so all nodes of a level depend only on
+/// lower levels; each level is split into `workers` deterministic
+/// contiguous chunks (by creation index) computed concurrently, with a
+/// barrier between levels. Every node's value is computed by the same
+/// canonical-order kernel as the sequential sweep, so the result is
+/// **bitwise-equal to [`node_probabilities`] for every worker count** —
+/// parallelism changes the schedule, never the arithmetic.
+///
+/// `workers <= 1` falls back to the sequential sweep.
+///
+/// # Panics
+/// Panics if a stored literal's variable is not covered by `vt`.
+pub fn node_probabilities_par(man: &DnnfManager, vt: &VarTable, workers: usize) -> Vec<f64> {
+    let nodes = man.nodes();
+    let workers = workers.min(nodes.len()).max(1);
+    if workers <= 1 {
+        return node_probabilities(man, vt);
+    }
+
+    // Levels: constants and literals are 0, internal nodes one past
+    // their deepest child. Creation order is topological, so one
+    // forward pass suffices.
+    let mut level = vec![0u32; nodes.len()];
+    let mut n_levels = 1usize;
+    for (i, node) in nodes.iter().enumerate() {
+        if let DnnfNode::And(cs) | DnnfNode::Or(cs) = node {
+            let l = 1 + cs.iter().map(|c| level[c.index()]).max().unwrap_or(0);
+            level[i] = l;
+            n_levels = n_levels.max(l as usize + 1);
+        }
+    }
+    // Counting sort of node indices by level; ties keep creation order.
+    let mut starts = vec![0usize; n_levels + 1];
+    for &l in &level {
+        starts[l as usize + 1] += 1;
+    }
+    for l in 1..=n_levels {
+        starts[l] += starts[l - 1];
+    }
+    let mut order = vec![0u32; nodes.len()];
+    let mut next = starts.clone();
+    for (i, &l) in level.iter().enumerate() {
+        order[next[l as usize]] = i as u32;
+        next[l as usize] += 1;
+    }
+
+    // f64 bit patterns behind atomics: each slot is written by exactly
+    // one worker, and cross-level reads are ordered by the barrier (the
+    // acquire/release pairing is belt-and-braces on top of it).
+    let probs: Vec<AtomicU64> = (0..nodes.len()).map(|_| AtomicU64::new(0)).collect();
+    let barrier = Barrier::new(workers);
+    crossbeam::scope(|s| {
+        for w in 0..workers {
+            let (probs, order, starts, barrier, level_count) =
+                (&probs, &order, &starts, &barrier, n_levels);
+            s.spawn(move || {
+                let mut scratch = Vec::new();
+                for l in 0..level_count {
+                    let lvl = &order[starts[l]..starts[l + 1]];
+                    let lo = lvl.len() * w / workers;
+                    let hi = lvl.len() * (w + 1) / workers;
+                    for &i in &lvl[lo..hi] {
+                        let p = node_probability(
+                            &nodes[i as usize],
+                            vt,
+                            |c| f64::from_bits(probs[c].load(Ordering::Acquire)),
+                            &mut scratch,
+                        );
+                        probs[i as usize].store(p.to_bits(), Ordering::Release);
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    })
+    .expect("WMC worker scope");
+    probs
+        .into_iter()
+        .map(|a| f64::from_bits(a.into_inner()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -97,5 +230,77 @@ mod tests {
         let vt = VarTable::new(vec![0.6, 0.1, 0.9]);
         let probs = node_probabilities(&man, &vt);
         assert!((probs[x.index()] - 0.6).abs() < 1e-12);
+    }
+
+    /// A deep/wide synthetic DAG: the parallel sweep must match the
+    /// sequential one bit-for-bit at every node, for several worker
+    /// counts (including more workers than some levels have nodes).
+    #[test]
+    fn parallel_sweep_is_bitwise_equal_to_sequential() {
+        let mut man = DnnfManager::new();
+        let n_vars = 24u32;
+        let mut layer: Vec<Dnnf> = (0..n_vars).map(|v| man.lit(Var(v), v % 2 == 0)).collect();
+        // Alternate decision/AND layers to get both node kinds at many
+        // levels, with fan-in 3 so reduction order genuinely matters.
+        for round in 0..6u32 {
+            layer = layer
+                .chunks(3)
+                .enumerate()
+                .map(|(i, c)| {
+                    if round % 2 == 0 {
+                        man.and(c.iter().copied())
+                    } else {
+                        let hi = c[0];
+                        let lo = *c.last().unwrap();
+                        man.decision(Var((i as u32 + round) % n_vars), hi, lo)
+                    }
+                })
+                .collect();
+        }
+        let vt = enframe_core::VarTable::new(
+            (0..n_vars)
+                .map(|i| 0.17 + 0.029 * i as f64)
+                .collect::<Vec<_>>(),
+        );
+        let seq = node_probabilities(&man, &vt);
+        for workers in [2, 3, 5, 8, 64] {
+            let par = node_probabilities_par(&man, &vt, workers);
+            assert_eq!(seq.len(), par.len());
+            for i in 0..seq.len() {
+                assert_eq!(
+                    seq[i].to_bits(),
+                    par[i].to_bits(),
+                    "node {i} differs at workers={workers}"
+                );
+            }
+        }
+    }
+
+    /// Handle numbering must not affect probabilities: absorbing a
+    /// manager into a fresh one permutes handles, and the canonical
+    /// reduction has to absorb the permutation.
+    #[test]
+    fn probabilities_are_invariant_under_absorb_renumbering() {
+        let mut man = DnnfManager::new();
+        let lits: Vec<Dnnf> = (0..9).map(|v| man.lit(Var(v), true)).collect();
+        let a = man.and(lits[0..4].iter().copied());
+        let b = man.and(lits[4..9].iter().copied());
+        let d = man.decision(Var(9), a, b);
+        let vt = VarTable::new((0..10).map(|i| 0.05 + 0.09 * i as f64).collect::<Vec<_>>());
+        let probs = node_probabilities(&man, &vt);
+
+        // Interleave unrelated nodes first so absorb renumbers.
+        let mut other = DnnfManager::new();
+        for v in 0..6 {
+            other.lit(Var(v), false);
+        }
+        let map = other.absorb(&man);
+        let probs2 = node_probabilities(&other, &vt);
+        for f in [a, b, d] {
+            assert_eq!(
+                probs[f.index()].to_bits(),
+                probs2[map[f.index()].index()].to_bits()
+            );
+        }
     }
 }

@@ -79,7 +79,7 @@ use enframe_prob::order::{static_order, VarOrder};
 use std::cell::RefCell;
 
 /// Errors of the OBDD backend.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ObddError {
     /// The network contains structure with no OBDD encoding (folded
     /// loops), or a query refers to unknown entities.
@@ -124,6 +124,16 @@ pub struct ObddOptions {
     /// growth-triggered group sifting (the default), or
     /// [`ReorderPolicy::disabled`] for a fully static manager.
     pub reorder: ReorderPolicy,
+    /// Worker threads for parallel target fan-out. `0` (the default)
+    /// means *auto*: honour the `ENFRAME_WORKERS` environment variable,
+    /// else compile sequentially. With more than one worker, each worker
+    /// compiles whole targets into its own manager (maintenance
+    /// disabled, shared initial order) and the results are merged into
+    /// the main manager by a recursive cross-manager transfer;
+    /// probabilities agree with the sequential compile to floating-point
+    /// roundoff (the final variable order may differ, since sequential
+    /// compilation may auto-reorder mid-compile).
+    pub workers: usize,
 }
 
 impl ObddOptions {
@@ -202,6 +212,10 @@ impl ObddEngine {
     /// the engine, so later [`ObddEngine::reorder`]/GC calls are always
     /// safe.
     pub fn compile(net: &Network, opts: &ObddOptions) -> Result<Self, ObddError> {
+        let workers = enframe_core::workers::resolve(opts.workers, 1);
+        if workers > 1 && net.targets.len() > 1 {
+            return Self::compile_par(net, opts, workers);
+        }
         let order = grouped_order(static_order(net, opts.order), &opts.groups);
         let mut level_of: Vec<Option<u32>> = vec![None; net.n_vars as usize];
         for (l, v) in order.iter().enumerate() {
@@ -229,6 +243,136 @@ impl ObddEngine {
             largest_target: targets.iter().map(|&t| man.size(t)).max().unwrap_or(0),
             cmp_branches,
             cache_hits: man.cache_hits(),
+            manager: man.stats(),
+        };
+        Ok(ObddEngine {
+            man,
+            order,
+            level_of,
+            targets,
+            names: net.target_names.clone(),
+            stats,
+            wmc_cache: RefCell::new(WmcCache::new()),
+        })
+    }
+
+    /// Parallel target fan-out: each worker compiles whole targets into
+    /// its own manager over the shared immutable network (same initial
+    /// variable order, maintenance disabled so handles stay stable and
+    /// per-worker results are order-deterministic), pulling target
+    /// indices from a pre-filled bounded queue whose sender is dropped
+    /// up front. The per-worker BDDs are then merged into the main
+    /// manager by [`import_bdd`], which deduplicates shared structure
+    /// via the unique tables.
+    fn compile_par(net: &Network, opts: &ObddOptions, workers: usize) -> Result<Self, ObddError> {
+        struct WorkerOut {
+            man: Manager,
+            compiled: Vec<(usize, Bdd)>,
+            error: Option<(usize, ObddError)>,
+            cmp_branches: u64,
+            cache_hits: u64,
+        }
+        let order = grouped_order(static_order(net, opts.order), &opts.groups);
+        let mut level_of: Vec<Option<u32>> = vec![None; net.n_vars as usize];
+        for (l, v) in order.iter().enumerate() {
+            level_of[v.index()] = Some(l as u32);
+        }
+        let blocks = level_blocks(&order, &opts.groups);
+        let workers = workers.min(net.targets.len());
+        let (tx, rx) = crossbeam::channel::bounded(net.targets.len());
+        for i in 0..net.targets.len() {
+            tx.send(i).expect("queue receiver alive");
+        }
+        drop(tx);
+        let outs: Vec<WorkerOut> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let (order, blocks, level_of) = (&order, &blocks, &level_of);
+                    s.spawn(move || {
+                        let mut man = Manager::with_policy(ReorderPolicy::disabled());
+                        man.declare_vars(order.len() as u32);
+                        man.set_level_blocks(blocks);
+                        let mut compiler = Compiler::new(net, level_of.clone());
+                        let mut compiled = Vec::new();
+                        let mut error = None;
+                        while let Ok(i) = rx.recv() {
+                            match compiler.compile(&mut man, net.targets[i]) {
+                                Ok(bdd) => {
+                                    man.protect(bdd);
+                                    compiled.push((i, bdd));
+                                }
+                                Err(e) => {
+                                    error = Some((i, e));
+                                    break;
+                                }
+                            }
+                        }
+                        let cmp_branches = compiler.cmp_branches;
+                        let cache_hits = man.cache_hits();
+                        compiler.finish(&mut man);
+                        WorkerOut {
+                            man,
+                            compiled,
+                            error,
+                            cmp_branches,
+                            cache_hits,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("OBDD worker panicked"))
+                .collect()
+        })
+        .expect("OBDD worker scope");
+
+        // Report the error of the smallest-indexed failing target, so a
+        // failure surfaces deterministically across schedules.
+        if let Some((_, e)) = outs
+            .iter()
+            .filter_map(|w| w.error.as_ref())
+            .min_by_key(|(i, _)| *i)
+        {
+            return Err(e.clone());
+        }
+        let mut man = Manager::with_policy(opts.reorder.clone());
+        man.declare_vars(order.len() as u32);
+        man.set_level_blocks(&level_blocks(&order, &opts.groups));
+        let mut targets: Vec<Option<Bdd>> = vec![None; net.targets.len()];
+        let mut cmp_branches = 0u64;
+        let mut cache_hits = 0u64;
+        for w in &outs {
+            // No maintenance runs while a worker's results transfer in
+            // (imports only call `Manager::node`), so the import memo's
+            // intermediate handles stay valid; each merged root is
+            // protected as soon as it exists.
+            let mut memo: FxHashMap<u32, Bdd> = FxHashMap::default();
+            for &(i, bdd) in &w.compiled {
+                let merged = import_bdd(&w.man, bdd, &mut man, &mut memo);
+                man.protect(merged);
+                targets[i] = Some(merged);
+            }
+            cmp_branches += w.cmp_branches;
+            cache_hits += w.cache_hits;
+        }
+        let targets: Vec<Bdd> = targets
+            .into_iter()
+            .map(|t| t.expect("every queued target compiled by exactly one worker"))
+            .collect();
+        if opts.reorder.auto {
+            man.collect_garbage();
+            // The merged manager never reordered mid-compile the way a
+            // sequential run may have; give the policy one chance to
+            // settle the merged diagram before queries start.
+            man.maybe_maintain();
+        }
+        let stats = ObddStats {
+            nodes: man.len(),
+            largest_target: targets.iter().map(|&t| man.size(t)).max().unwrap_or(0),
+            cmp_branches,
+            cache_hits,
             manager: man.stats(),
         };
         Ok(ObddEngine {
@@ -389,6 +533,38 @@ impl ObddEngine {
                 l
             }
         }
+    }
+}
+
+/// Recursively transfers the BDD `f` from manager `src` into `dst`,
+/// rebuilding it bottom-up through `dst`'s unique tables (so structure
+/// already present — e.g. from a previously imported worker — is shared,
+/// not duplicated). Variable *labels* carry over verbatim: both managers
+/// were declared with the same labels, and neither reorders during the
+/// transfer. The memo is keyed on `src` node indices with the complement
+/// bit stripped, mirroring the complement-edge canonical form.
+fn import_bdd(src: &Manager, f: Bdd, dst: &mut Manager, memo: &mut FxHashMap<u32, Bdd>) -> Bdd {
+    if f.is_const() {
+        // The two constants are represented identically in any manager.
+        return f;
+    }
+    let neg = f.is_complement();
+    let base = if neg { !f } else { f };
+    let r = match memo.get(&base.index()) {
+        Some(&r) => r,
+        None => {
+            let (_, v, hi, lo) = src.node_of(base);
+            let hi = import_bdd(src, hi, dst, memo);
+            let lo = import_bdd(src, lo, dst, memo);
+            let r = dst.node(v, hi, lo);
+            memo.insert(base.index(), r);
+            r
+        }
+    };
+    if neg {
+        !r
+    } else {
+        r
     }
 }
 

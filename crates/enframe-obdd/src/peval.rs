@@ -113,11 +113,6 @@ pub(crate) struct Evaluator<'n> {
     /// extension), so propagation only ever flips `Unknown` nodes and
     /// backtracking is exactly: restore these to `Unknown`.
     trail: Vec<NodeId>,
-    /// The assignment as a bitset (incremental mode only: maintained by
-    /// [`Evaluator::assign_monotone`] / [`Evaluator::undo_to`], not by
-    /// pass-mode [`Evaluator::assign`]) — lets support-mask consumers
-    /// clear assigned variables wordwise.
-    assigned_bits: Vec<u64>,
     /// Propagation cone: node `i` participates iff `active[i] ==
     /// active_stamp`. Restricting to one target's cone keeps each delta
     /// from sweeping the 30-odd unrelated targets of a many-target
@@ -137,15 +132,9 @@ impl<'n> Evaluator<'n> {
             var_nodes: Vec::new(),
             work: Vec::new(),
             trail: Vec::new(),
-            assigned_bits: vec![0; (net.n_vars as usize).div_ceil(64).max(1)],
             active: vec![0; net.len()],
             active_stamp: 0,
         }
-    }
-
-    /// The assignment bitset (incremental mode), one bit per variable.
-    pub(crate) fn assigned_bits(&self) -> &[u64] {
-        &self.assigned_bits
     }
 
     /// Restricts propagation to `cone` (every node whose value the
@@ -198,7 +187,6 @@ impl<'n> Evaluator<'n> {
     pub(crate) fn assign_monotone(&mut self, v: Var, value: bool) -> Result<usize, ObddError> {
         let mark = self.trail.len();
         self.assignment[v.index()] = Some(value);
-        self.assigned_bits[v.index() / 64] |= 1 << (v.index() % 64);
         let mut work = std::mem::take(&mut self.work);
         work.clear();
         for i in 0..self.var_nodes[v.index()].len() {
@@ -222,7 +210,6 @@ impl<'n> Evaluator<'n> {
     /// [`Evaluator::assign_monotone`].
     pub(crate) fn undo_to(&mut self, mark: usize, v: Var) {
         self.assignment[v.index()] = None;
-        self.assigned_bits[v.index() / 64] &= !(1 << (v.index() % 64));
         while self.trail.len() > mark {
             let id = self.trail.pop().expect("trail length checked");
             self.scratch[id.index()] = Partial::Unknown;

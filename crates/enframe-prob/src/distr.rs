@@ -30,7 +30,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// Options for distributed compilation.
 #[derive(Debug, Clone, Copy)]
 pub struct DistOptions {
-    /// Worker threads.
+    /// Worker threads. `0` means *auto*: honour the `ENFRAME_WORKERS`
+    /// environment variable, else use the default pool of 4 — the same
+    /// convention as the knowledge-compilation engines
+    /// (`enframe_core::workers::resolve`).
     pub workers: usize,
     /// Job size `d`: maximum relative exploration depth per job.
     pub job_depth: usize,
@@ -120,7 +123,10 @@ where
     T: Topology,
     F: Fn() -> MaskStore<T> + Sync,
 {
-    assert!(opts.workers >= 1, "need at least one worker");
+    let opts = DistOptions {
+        workers: enframe_core::workers::resolve(opts.workers, 4),
+        ..opts
+    };
     assert!(opts.job_depth >= 1, "job depth must be at least 1");
 
     // Account targets resolved by the empty assignment, and collect the

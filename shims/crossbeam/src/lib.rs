@@ -1,13 +1,22 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no crates-io access, so this shim implements
-//! the subset of crossbeam the workspace uses: [`channel::unbounded`],
-//! a multi-producer multi-consumer FIFO channel whose [`channel::Sender`]
-//! and [`channel::Receiver`] are both cloneable. It is a plain
-//! `Mutex<VecDeque>` + `Condvar` queue — adequate for the distributed
-//! compiler's job queue, which blocks on `recv` and uses explicit `None`
-//! sentinels for shutdown.
-
+//! the subset of crossbeam the workspace uses:
+//!
+//! * [`channel::unbounded`] and [`channel::bounded`] — multi-producer
+//!   multi-consumer FIFO channels whose [`channel::Sender`] and
+//!   [`channel::Receiver`] are both cloneable, built on a
+//!   `Mutex<VecDeque>` + `Condvar` queue. Disconnection semantics follow
+//!   the real crate: a channel counts as *disconnected* for receivers
+//!   only once every sender is gone **and** the queue has drained (a
+//!   receiver always sees messages that were sent before the last sender
+//!   dropped), and for senders once every receiver is gone.
+//! * [`scope`] — structured spawning mirroring
+//!   `crossbeam_utils::thread::scope`: scoped threads may borrow from the
+//!   enclosing stack frame, and [`thread::ScopedJoinHandle::join`]
+//!   returns the closure's value. Unlike the real crate the closure takes
+//!   no `&Scope` argument re-spawning is not needed by this workspace —
+//!   spawn directly from the scope handle instead.
 pub mod channel {
     //! MPMC channels, mirroring `crossbeam-channel`'s core API.
 
@@ -17,16 +26,19 @@ pub mod channel {
 
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
+        /// Signalled when a value arrives or the last sender departs.
         ready: Condvar,
+        /// Signalled when capacity frees up in a bounded channel or the
+        /// last receiver departs.
+        space: Condvar,
+        /// `None` for unbounded channels.
+        capacity: Option<usize>,
         senders: AtomicUsize,
+        receivers: AtomicUsize,
     }
 
-    /// Error returned by [`Sender::send`] when all receivers are gone.
-    ///
-    /// This shim keeps the queue alive as long as any handle exists, so
-    /// `send` only fails once every `Receiver` has been dropped — which
-    /// the workspace never does while sending. The unsent value is
-    /// returned, as with crossbeam.
+    /// Error returned by [`Sender::send`] when every [`Receiver`] has
+    /// been dropped; the unsent value is returned, as with crossbeam.
     #[derive(PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -37,9 +49,24 @@ pub mod channel {
     }
 
     /// Error returned by [`Receiver::recv`] when the channel is empty
-    /// and all senders have been dropped.
+    /// and all senders have been dropped. Pending messages are always
+    /// delivered first: disconnection is observed only once the queue
+    /// has drained.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`], distinguishing a
+    /// momentarily empty channel from a drained-and-disconnected one —
+    /// the distinction the real crate draws and shutdown paths rely on.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is empty but senders remain; a message may still
+        /// arrive.
+        Empty,
+        /// The channel is empty and every sender has been dropped; no
+        /// message can ever arrive.
+        Disconnected,
+    }
 
     /// The sending half; cloneable (multi-producer).
     pub struct Sender<T> {
@@ -51,12 +78,14 @@ pub mod channel {
         inner: Arc<Inner<T>>,
     }
 
-    /// Creates an unbounded FIFO channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
         });
         (
             Sender {
@@ -66,10 +95,40 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    /// Creates a bounded FIFO channel holding at most `cap` messages;
+    /// [`Sender::send`] blocks while the channel is full. A capacity of
+    /// zero is bumped to one (the real crate's zero-capacity rendezvous
+    /// channel is not needed by this workspace).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Appends `value` to the queue and wakes one blocked receiver.
+        /// Appends `value` to the queue and wakes one blocked receiver,
+        /// blocking first while a bounded channel is at capacity. Fails
+        /// only when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = self
+                            .inner
+                            .space
+                            .wait(queue)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
             queue.push_back(value);
             drop(queue);
             self.inner.ready.notify_one();
@@ -97,11 +156,15 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
-        /// Blocks until a value is available or all senders are dropped.
+        /// Blocks until a value is available or the channel disconnects.
+        /// Messages sent before the last sender dropped are still
+        /// delivered; `Err(RecvError)` means drained *and* disconnected.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.space.notify_one();
                     return Ok(value);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -115,29 +178,113 @@ pub mod channel {
             }
         }
 
-        /// Returns a value if one is immediately available.
-        pub fn try_recv(&self) -> Result<T, RecvError> {
-            self.inner
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .pop_front()
-                .ok_or(RecvError)
+        /// Returns a value if one is immediately available, otherwise
+        /// reports whether the channel is merely empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match queue.pop_front() {
+                Some(value) => {
+                    drop(queue);
+                    self.inner.space.notify_one();
+                    Ok(value)
+                }
+                // Order matters: check the sender count only after the
+                // queue came up empty, so a message sent before the last
+                // sender dropped is drained, never lost to an error.
+                None if self.inner.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::Relaxed);
             Receiver {
                 inner: self.inner.clone(),
             }
         }
     }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver gone: wake senders blocked on a full
+                // bounded channel so they can observe disconnection.
+                self.inner.space.notify_all();
+            }
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam_utils::thread`.
+
+    use std::marker::PhantomData;
+
+    /// Handle to spawn threads inside a [`crate::scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread; [`ScopedJoinHandle::join`]
+    /// returns the closure's value.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing frame.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries the panic
+        /// payload, as with `std::thread::JoinHandle::join`.
+        pub fn join(self) -> std::thread::Result<T> {
+            // std's scoped join never blocks past scope exit, and the
+            // panic payload shape matches crossbeam's.
+            self.inner.join()
+        }
+    }
+
+    pub(crate) fn run_scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let result = std::thread::scope(|s| f(&Scope { inner: s }));
+        Ok(result)
+    }
+}
+
+/// Creates a scope for spawning threads that borrow from the enclosing
+/// stack frame, mirroring `crossbeam::scope`. All spawned threads are
+/// joined before the call returns; the `Ok` value is the closure's
+/// return value. (With std scoped threads underneath, a panicking child
+/// propagates at scope exit rather than surfacing as `Err`, which is
+/// strictly stricter — shutdown bugs fail loudly.)
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&thread::Scope<'scope, 'env>) -> R,
+{
+    thread::run_scope(f)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel;
+    use super::{channel, scope};
 
     #[test]
     fn fifo_single_thread() {
@@ -146,7 +293,7 @@ mod tests {
         tx.send(2).unwrap();
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
-        assert_eq!(rx.try_recv(), Err(channel::RecvError));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
     }
 
     #[test]
@@ -158,6 +305,77 @@ mod tests {
         drop(tx2);
         assert_eq!(rx.recv(), Ok(7));
         assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    /// The disconnected-while-nonempty case the worker pool's shutdown
+    /// path depends on: messages sent before the last sender dropped are
+    /// drained by both `recv` and `try_recv` before either reports
+    /// disconnection.
+    #[test]
+    fn try_recv_drains_before_reporting_disconnection() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_once_all_receivers_are_gone() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.send(1).unwrap();
+        drop(rx2);
+        assert_eq!(tx.send(9), Err(channel::SendError(9)));
+    }
+
+    #[test]
+    fn bounded_channel_blocks_at_capacity() {
+        let (tx, rx) = channel::bounded::<usize>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // The third send must block until the consumer drains one slot.
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let mut got = vec![rx.recv().unwrap()];
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let t0 = std::time::Instant::now();
+        tx.send(3).unwrap();
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(25),
+            "send into a full bounded channel must block"
+        );
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = channel::bounded::<usize>(1);
+        tx.send(1).unwrap();
+        let blocked = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(blocked.join().unwrap(), Err(channel::SendError(2)));
     }
 
     #[test]
@@ -182,5 +400,57 @@ mod tests {
         drop(rx);
         let total: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn scope_joins_and_borrows_from_the_stack() {
+        let data = [1usize, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<usize>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    /// The fan-out shape the parallel engines use: pre-queue all jobs in
+    /// a bounded channel, drop the sender, let scoped workers drain it —
+    /// every job must be processed exactly once despite the sender being
+    /// gone before the workers start.
+    #[test]
+    fn preloaded_bounded_queue_drains_under_scope() {
+        let jobs = 16usize;
+        let (tx, rx) = channel::bounded::<usize>(jobs);
+        for i in 0..jobs {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut done = scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Ok(i) = rx.recv() {
+                            mine.push(i);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        done.sort_unstable();
+        assert_eq!(done, (0..jobs).collect::<Vec<_>>());
     }
 }
