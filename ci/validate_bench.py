@@ -1,22 +1,32 @@
 #!/usr/bin/env python3
 """Validate the bench artefacts the CI smoke run produces.
 
-Two artefacts, two validators:
+Three artefacts, three validators:
 
 * ``BENCH_probe.json`` (from ``cargo run --release -p enframe-bench
   --bin probe``) — the machine-readable perf trajectory. Rows must be
-  well-formed, the knowledge-compilation series must carry their
-  statistics, and the k-medoids d-DNNF headline row at v=14 must beat
-  the recorded 874k Shannon-expansion baseline by >=50x inside a 1s
-  wall-clock budget.
+  well-formed, every row must carry the full fixed-key ``telemetry``
+  snapshot, the knowledge-compilation series must carry their
+  statistics, the k-medoids d-DNNF headline row at v=14 must beat the
+  recorded 874k Shannon-expansion baseline by >=50x inside a 1s
+  wall-clock budget, and the ``telemetry=off`` / ``telemetry=on`` rows
+  at the same configuration must satisfy the disabled-overhead bound
+  (off <= on * 1.05 — disabling telemetry must never cost time).
 
 * ``fig_bdd.csv`` (from ``--bin fig_bdd``) — the knowledge-compilation
-  sweep. The stat and ``workers`` columns must be present, the
-  overhauled manager must beat the static baseline (>=2x peak-node
+  sweep. The stat, telemetry, and ``workers`` columns must be present,
+  the overhauled manager must beat the static baseline (>=2x peak-node
   reduction at the largest positive size), the dnnf series must cover
   all three correlation schemes, and the workers sweep must show the
   parallel target fan-out paying off: >=1.5x speedup at workers=4 over
   workers=1 on the dnnf series at the largest swept size.
+
+* ``trace.json`` (``--trace``, from any bench run with
+  ``ENFRAME_TRACE`` set) — the Chrome Trace Event timeline. Must be a
+  valid Trace Event JSON object, every complete event must carry the
+  required fields, the per-phase span names must appear, and the
+  worker fan-out must put >=4 distinct labelled ``worker-N`` tracks on
+  the timeline.
 
 The speedup assertion needs real cores. It is enforced when
 ``--require-speedup`` is passed (CI does: ubuntu-latest runners have 4
@@ -35,9 +45,31 @@ import sys
 # pipeline at n=16, v=14 — the baseline the d-DNNF headline is held to.
 SHANNON_V14_BRANCHES = 874_000
 
-BDD_KEYS = {"live_nodes", "peak_nodes", "gc_runs", "reorders", "load_factor",
-            "cmp_branches"}
+BDD_KEYS = {"live_nodes", "peak_nodes", "peak_bytes", "gc_runs", "reorders",
+            "load_factor", "cmp_branches"}
 DNNF_KEYS = {"cmp_branches", "dnnf_nodes", "dnnf_edges", "memo_hits"}
+
+# The fixed key set of every telemetry snapshot (enframe-telemetry's
+# Snapshot::to_json): 15 event counters plus a seconds/count pair per
+# pipeline phase. Keep in sync with Counter::ALL / Phase::ALL.
+COUNTER_KEYS = {
+    "ite_hits", "ite_misses", "ite_evictions",
+    "wmc_hits", "wmc_misses", "wmc_invalidations",
+    "memo_hits", "memo_misses",
+    "unique_probes", "unique_resizes",
+    "nodes_allocated", "nodes_freed",
+    "trail_pushes", "trail_backtracks",
+    "queue_waits",
+}
+PHASE_NAMES = ("build", "bdd_apply", "shannon", "dnnf_expand", "unit_prop",
+               "wmc", "gc", "reorder", "merge", "worker", "queue_wait")
+TELEMETRY_KEYS = COUNTER_KEYS | {f"phase_{p}_s" for p in PHASE_NAMES} \
+                              | {f"phase_{p}_n" for p in PHASE_NAMES}
+
+# The disabled-overhead bound on the v=14 headline: the telemetry=off
+# run does strictly less work than the telemetry=on run, so off must
+# not be slower than on by more than measurement noise.
+OVERHEAD_FACTOR = 1.05
 
 # The workers-axis gate: dnnf at SPEEDUP_WORKERS workers must be at
 # least SPEEDUP_MIN times faster than the sequential run of the same
@@ -45,16 +77,34 @@ DNNF_KEYS = {"cmp_branches", "dnnf_nodes", "dnnf_edges", "memo_hits"}
 SPEEDUP_MIN = 1.5
 SPEEDUP_WORKERS = 4
 
+# Minimum number of distinct labelled worker tracks the trace timeline
+# must show (the fig_bdd workers sweep runs up to 4 workers).
+TRACE_MIN_WORKERS = 4
+
+
+def check_telemetry(r):
+    tel = r["telemetry"]
+    assert set(tel) == TELEMETRY_KEYS, (
+        f"bad telemetry keys in {r['series']}/{r['x']}: "
+        f"missing {sorted(TELEMETRY_KEYS - set(tel))}, "
+        f"extra {sorted(set(tel) - TELEMETRY_KEYS)}")
+    for k, v in tel.items():
+        if k.endswith("_s"):
+            assert isinstance(v, float) and v >= 0.0, f"bad {k}: {r}"
+        else:
+            assert isinstance(v, int) and v >= 0, f"bad {k}: {r}"
+
 
 def validate_probe(path):
     with open(path) as f:
         rows = json.load(f)
     assert isinstance(rows, list) and rows, f"{path} must be a non-empty array"
-    base = {"figure", "series", "x", "seconds", "workers"}
+    base = {"figure", "series", "x", "seconds", "workers", "telemetry"}
     for r in rows:
         assert set(r) in (base, base | {"stats"}), f"bad keys: {r}"
         assert isinstance(r["seconds"], float), f"bad seconds: {r}"
         assert isinstance(r["workers"], int) and r["workers"] >= 1, f"bad workers: {r}"
+        check_telemetry(r)
         if "stats" in r:
             want = DNNF_KEYS if r["series"] == "dnnf" else BDD_KEYS
             assert set(r["stats"]) == want, f"bad stats keys: {r}"
@@ -78,24 +128,54 @@ def validate_probe(path):
         f"(need <= {SHANNON_V14_BRANCHES // 50})")
     assert head[0]["seconds"] < 1.0, (
         f"d-DNNF wall-clock at v=14 regressed: {head[0]['seconds']}s (Shannon took 14.8s)")
+    # The headline row ran with telemetry enabled, so its snapshot must
+    # show the engine actually reporting through the counters/spans.
+    tel = head[0]["telemetry"]
+    assert tel["phase_dnnf_expand_n"] > 0, f"headline ran without expand spans: {tel}"
+    assert tel["memo_misses"] > 0, f"headline ran without memo counters: {tel}"
+    # Disabled-overhead bound: the telemetry=off / telemetry=on pair at
+    # the headline configuration (min of 3 reps each). Enabling does
+    # strictly more work, so off <= on * 1.05 holds on any host while
+    # still catching a pathologically slow disabled path.
+    off = [r for r in rows
+           if r["series"] == "dnnf" and r["x"] == "n=16;v=14;telemetry=off"]
+    on = [r for r in rows
+          if r["series"] == "dnnf" and r["x"] == "n=16;v=14;telemetry=on"]
+    assert off and on, "missing the telemetry=off/on overhead rows at v=14"
+    t_off, t_on = off[0]["seconds"], on[0]["seconds"]
+    assert t_off <= t_on * OVERHEAD_FACTOR, (
+        f"telemetry-disabled run slower than enabled: off={t_off:.4f}s "
+        f"on={t_on:.4f}s (off must be <= on * {OVERHEAD_FACTOR})")
+    # The off row must really have run disabled: an all-zero snapshot.
+    assert all(v == 0 for k, v in off[0]["telemetry"].items()
+               if not k.endswith("_s")), (
+        f"telemetry=off row carries non-zero counters: {off[0]['telemetry']}")
     workers = sorted({r["workers"] for r in rows if r["series"] == "dnnf"})
     print(f"{path} OK: {len(rows)} rows, series {sorted(series)}; "
           f"dnnf v=14: {steps} steps ({SHANNON_V14_BRANCHES // steps}x fewer), "
-          f"{head[0]['seconds']:.3f}s; dnnf worker counts {workers}")
+          f"{head[0]['seconds']:.3f}s; dnnf worker counts {workers}; "
+          f"telemetry off={t_off:.4f}s on={t_on:.4f}s "
+          f"({(t_on / t_off - 1) * 100:+.1f}% enabled)")
 
 
 def validate_fig_bdd(path, require_speedup):
     rows = list(csv.DictReader(open(path)))
     assert rows, f"{path} is empty"
     cols = rows[0].keys()
-    for c in ("workers", "live_nodes", "peak_nodes", "gc_runs", "reorders",
-              "load_factor", "cmp_branches", "dnnf_nodes", "dnnf_edges"):
+    for c in ("workers", "live_nodes", "peak_nodes", "peak_bytes", "gc_runs",
+              "reorders", "load_factor", "cmp_branches", "dnnf_nodes",
+              "dnnf_edges", "ite_hits", "memo_hits", "phase_compile_s",
+              "phase_wmc_s"):
         assert c in cols, f"missing column {c}"
     bdd = [r for r in rows
            if r["series"] in ("bdd-exact", "bdd-static") and r["status"] == "ok"]
     assert bdd, "no BDD rows"
     for r in bdd:
         assert r["peak_nodes"].isdigit(), f"bad peak_nodes: {r}"
+        assert r["peak_bytes"].isdigit() and int(r["peak_bytes"]) > 0, (
+            f"bad peak_bytes: {r}")
+        assert r["ite_hits"].isdigit(), f"bad ite_hits: {r}"
+        assert float(r["phase_compile_s"]) >= 0.0, f"bad phase_compile_s: {r}"
     pos = [r for r in bdd if "scheme=positive" in r["x"]]
     largest = max(int(r["x"].split("v=")[1]) for r in pos)
     peaks = {r["series"]: int(r["peak_nodes"]) for r in pos
@@ -111,6 +191,7 @@ def validate_fig_bdd(path, require_speedup):
         f"dnnf series must cover all three schemes, got {sorted(schemes)}")
     for r in dnnf:
         assert r["cmp_branches"].isdigit() and r["dnnf_nodes"].isdigit(), f"bad dnnf stats: {r}"
+        assert r["memo_hits"].isdigit(), f"bad memo_hits: {r}"
     print(f"{path} OK: positive v={largest} peaks {peaks} "
           f"({peaks['bdd-static'] / peaks['bdd-exact']:.2f}x); "
           f"dnnf rows {len(dnnf)} across {sorted(schemes)}")
@@ -142,18 +223,59 @@ def validate_fig_bdd(path, require_speedup):
               f"need >= 4 cores or --require-speedup)")
 
 
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert isinstance(doc, dict) and "traceEvents" in doc, (
+        f"{path} must be a Trace Event JSON object with traceEvents")
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events, "traceEvents must be non-empty"
+    spans, tracks = [], {}
+    for e in events:
+        assert e.get("ph") in ("X", "M"), f"unexpected event phase: {e}"
+        if e["ph"] == "M":
+            # Thread-name metadata rows label the per-thread tracks.
+            assert e.get("name") == "thread_name", f"bad metadata event: {e}"
+            tracks[e["tid"]] = e["args"]["name"]
+        else:
+            for k in ("name", "cat", "pid", "tid", "ts", "dur"):
+                assert k in e, f"complete event missing {k}: {e}"
+            assert e["dur"] >= 0 and e["ts"] >= 0, f"bad span timing: {e}"
+            spans.append(e)
+    names = {e["name"] for e in spans}
+    # The timeline must show the pipeline phases: WMC plus at least one
+    # compile phase, and the worker spans that form the fan-out tracks.
+    assert "wmc" in names, f"no wmc spans on the timeline, got {sorted(names)}"
+    assert names & {"bdd_apply", "dnnf_expand", "shannon"}, (
+        f"no compile-phase spans on the timeline, got {sorted(names)}")
+    assert "worker" in names, f"no worker spans on the timeline, got {sorted(names)}"
+    worker_tids = {e["tid"] for e in spans if e["name"] == "worker"}
+    labelled = {t for t in worker_tids
+                if tracks.get(t, "").startswith("worker-")}
+    assert len(labelled) >= TRACE_MIN_WORKERS, (
+        f"need >= {TRACE_MIN_WORKERS} labelled worker tracks, got "
+        f"{sorted(tracks.get(t, '?') for t in worker_tids)}")
+    print(f"{path} OK: {len(spans)} spans over {len(names)} phase names, "
+          f"{len(labelled)} labelled worker tracks")
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--probe", default="BENCH_probe.json",
                     help="path to the probe's JSON trajectory")
     ap.add_argument("--fig-bdd", default="fig_bdd.csv",
                     help="path to the fig_bdd CSV sweep")
+    ap.add_argument("--trace", default=None,
+                    help="path to a Chrome Trace timeline to validate "
+                         "(from a run with ENFRAME_TRACE set)")
     ap.add_argument("--require-speedup", action="store_true",
                     help="assert the workers=4 speedup regardless of host "
                          "core count (CI passes this)")
     args = ap.parse_args(argv)
     validate_probe(args.probe)
     validate_fig_bdd(args.fig_bdd, args.require_speedup)
+    if args.trace:
+        validate_trace(args.trace)
 
 
 if __name__ == "__main__":

@@ -156,6 +156,7 @@ fn main() {
             stats: None,
             dnnf_stats: None,
             workers: 1,
+            telemetry: None,
         };
         print_row(
             "ablation_dimensions",
@@ -185,6 +186,7 @@ fn main() {
             stats: None,
             dnnf_stats: None,
             workers: 1,
+            telemetry: None,
         };
         print_row(
             "ablation_targets",
@@ -207,6 +209,7 @@ fn main() {
             stats: None,
             dnnf_stats: None,
             workers: 1,
+            telemetry: None,
         };
         print_row("ablation_targets", "co_occurrence", "targets=1", &m, "");
     }
@@ -230,6 +233,7 @@ fn main() {
             stats: None,
             dnnf_stats: None,
             workers: 1,
+            telemetry: None,
         };
         print_row(
             "ablation_network_size",
@@ -288,6 +292,7 @@ fn main() {
                 stats: None,
                 dnnf_stats: None,
                 workers: 1,
+                telemetry: None,
             };
             print_row("ablation_var_order", label, "v=16", &m, "");
         }

@@ -45,6 +45,7 @@ fn main() {
                         stats: None,
                         dnnf_stats: None,
                         workers: 1,
+                        telemetry: None,
                     },
                     "",
                 );

@@ -21,13 +21,22 @@
 //! the two BDD series' `peak_nodes` to read off the sifting win
 //! directly.
 //!
+//! The sweep runs with telemetry enabled: the trailing CSV columns
+//! also carry per-measurement cache-hit counters and the compile/WMC
+//! phase split, and setting `ENFRAME_TRACE=<path>` writes a Chrome
+//! Trace timeline of the whole run (the workers sweep at the end puts
+//! one labelled track per worker thread on it — load it in Perfetto).
+//!
 //! Run: `cargo run --release -p enframe-bench --bin fig_bdd`
 //! (`ENFRAME_BENCH_FULL=1` for the larger grid.)
 
 use enframe_bench::*;
 use enframe_data::{LineageOpts, Scheme};
+use enframe_telemetry as telemetry;
 
 fn main() {
+    telemetry::set_enabled(true);
+    telemetry::init_from_env();
     let full = full_scale();
     let eps = 0.1;
     print_header();
@@ -91,6 +100,16 @@ fn main() {
     for w in [1usize, 2, 4] {
         let m = run_lineage_engine(&prep, Engine::DnnfPar { workers: w }, eps);
         print_row("fig_bdd", "dnnf", &x, &m, &detail);
+    }
+
+    // CSV goes to stdout, so the trace notice goes to stderr.
+    match telemetry::write_trace_if_armed() {
+        Some(Ok(path)) => eprintln!("wrote Chrome trace to {path}"),
+        Some(Err(e)) => {
+            eprintln!("failed to write trace: {e}");
+            std::process::exit(1);
+        }
+        None => {}
     }
 }
 

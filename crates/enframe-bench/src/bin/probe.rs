@@ -8,18 +8,29 @@
 //! Besides the human-readable lines, the probe writes every measurement
 //! to `BENCH_probe.json` in the working directory — an array of
 //! `{figure, series, x, seconds}` objects — so the performance
-//! trajectory accumulates machine-readably from run to run. CI fails if
-//! the file is missing or malformed.
+//! trajectory accumulates machine-readably from run to run. Every row
+//! also carries the full `telemetry` snapshot (counters + per-phase
+//! span times; see `enframe::telemetry`), and the knowledge-compilation
+//! series keep their `stats` object. CI fails if the file is missing,
+//! malformed, or missing telemetry keys.
+//!
+//! The probe runs with telemetry **enabled** and additionally emits two
+//! `telemetry=off` / `telemetry=on` rows for the v = 14 d-DNNF headline
+//! (min of 3 reps each) that CI holds to the ≤ 5 % disabled-overhead
+//! bound. Set `ENFRAME_TRACE=<path>` to also write a Chrome Trace
+//! timeline of the whole probe run.
 //!
 //! Run: `cargo run --release -p enframe-bench --bin probe`
 
 use enframe_bench::*;
 use enframe_data::{LineageOpts, Scheme};
-use enframe_obdd::dnnf::DnnfStats;
-use enframe_obdd::ObddStats;
+use enframe_telemetry as telemetry;
 use std::fmt::Write as _;
 
-/// One JSON record of the probe's output.
+/// One JSON record of the probe's output. The stat fragments are
+/// pre-rendered by the shared serialisers in `enframe_bench`
+/// ([`stats_json`] / [`telemetry_json`]), so this binary holds no
+/// per-engine key lists of its own.
 struct JsonRow {
     figure: &'static str,
     series: String,
@@ -27,83 +38,42 @@ struct JsonRow {
     seconds: f64,
     /// Worker threads the measurement ran with (1 = sequential).
     workers: usize,
-    /// OBDD manager statistics (BDD series only).
-    stats: Option<ObddStats>,
-    /// d-DNNF compilation statistics (`dnnf` series only).
-    dnnf: Option<DnnfStats>,
-}
-
-/// Per-series statistics attached to a row (at most one kind applies).
-enum Extra {
-    None,
-    Obdd(Option<ObddStats>),
-    Dnnf(Option<DnnfStats>),
-}
-
-fn push_row(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &str, seconds: f64) {
-    push_full_row(rows, figure, series, x, seconds, 1, Extra::None);
-}
-
-fn push_row_stats(
-    rows: &mut Vec<JsonRow>,
-    figure: &'static str,
-    series: &str,
-    x: &str,
-    seconds: f64,
-    stats: Option<ObddStats>,
-) {
-    push_full_row(rows, figure, series, x, seconds, 1, Extra::Obdd(stats));
-}
-
-fn push_row_dnnf(
-    rows: &mut Vec<JsonRow>,
-    figure: &'static str,
-    series: &str,
-    x: &str,
-    seconds: f64,
-    dnnf: Option<DnnfStats>,
-) {
-    push_full_row(rows, figure, series, x, seconds, 1, Extra::Dnnf(dnnf));
-}
-
-/// [`push_row_dnnf`] for a parallel run: carries the worker count.
-fn push_row_dnnf_w(
-    rows: &mut Vec<JsonRow>,
-    figure: &'static str,
-    series: &str,
-    x: &str,
-    seconds: f64,
-    workers: usize,
-    dnnf: Option<DnnfStats>,
-) {
-    push_full_row(rows, figure, series, x, seconds, workers, Extra::Dnnf(dnnf));
+    /// Rendered `"stats"` object (knowledge-compilation series only).
+    stats: Option<String>,
+    /// Rendered `"telemetry"` snapshot object (every row).
+    telemetry: String,
 }
 
 /// Appends one finite measurement (rows with NaN seconds — timeouts and
-/// skips — stay out of the trajectory file).
-fn push_full_row(
-    rows: &mut Vec<JsonRow>,
-    figure: &'static str,
-    series: &str,
-    x: &str,
-    seconds: f64,
-    workers: usize,
-    extra: Extra,
-) {
-    let (stats, dnnf) = match extra {
-        Extra::None => (None, None),
-        Extra::Obdd(s) => (s, None),
-        Extra::Dnnf(d) => (None, d),
-    };
+/// skips — stay out of the trajectory file), with its stats and
+/// telemetry fragments rendered by the shared serialisers.
+fn push_m(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &str, m: &Measurement) {
+    if m.seconds.is_finite() {
+        rows.push(JsonRow {
+            figure,
+            series: series.to_string(),
+            x: x.to_string(),
+            seconds: m.seconds,
+            workers: m.workers,
+            stats: stats_json(m),
+            telemetry: telemetry_json(m).unwrap_or_else(|| telemetry::snapshot().to_json()),
+        });
+    }
+}
+
+/// Appends a row measured outside [`run_engine`] (the network-build
+/// rows): the telemetry object is the current global snapshot, which
+/// covers the build because the caller resets before preparing.
+fn push_plain(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &str, seconds: f64) {
     if seconds.is_finite() {
         rows.push(JsonRow {
             figure,
             series: series.to_string(),
             x: x.to_string(),
             seconds,
-            workers,
-            stats,
-            dnnf,
+            workers: 1,
+            stats: None,
+            telemetry: telemetry::snapshot().to_json(),
         });
     }
 }
@@ -127,20 +97,9 @@ fn write_json(rows: &[JsonRow]) {
             r.workers
         );
         if let Some(st) = &r.stats {
-            let m = &st.manager;
-            let _ = write!(
-                out,
-                ", \"stats\": {{\"live_nodes\": {}, \"peak_nodes\": {}, \"gc_runs\": {}, \"reorders\": {}, \"load_factor\": {:.3}, \"cmp_branches\": {}}}",
-                m.live_nodes, m.peak_nodes, m.gc_runs, m.reorders, m.load_factor, st.cmp_branches
-            );
+            let _ = write!(out, ", \"stats\": {st}");
         }
-        if let Some(d) = &r.dnnf {
-            let _ = write!(
-                out,
-                ", \"stats\": {{\"cmp_branches\": {}, \"dnnf_nodes\": {}, \"dnnf_edges\": {}, \"memo_hits\": {}}}",
-                d.expansion_steps, d.nodes, d.edges, d.memo_hits
-            );
-        }
+        let _ = write!(out, ", \"telemetry\": {}", r.telemetry);
         out.push('}');
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -155,6 +114,8 @@ fn write_json(rows: &[JsonRow]) {
 }
 
 fn main() {
+    telemetry::set_enabled(true);
+    telemetry::init_from_env();
     let full = full_scale();
     let mut rows: Vec<JsonRow> = Vec::new();
     let exact_grid: &[(usize, usize)] = if full {
@@ -163,6 +124,9 @@ fn main() {
         &[(32, 8), (48, 12)]
     };
     for &(n, v) in exact_grid {
+        // Reset so the build row's telemetry snapshot covers exactly
+        // the prepare below (run_engine resets again for each engine).
+        telemetry::reset();
         let prep = prepare(
             n,
             2,
@@ -173,6 +137,7 @@ fn main() {
         );
         let stats = prep.net.stats();
         let x = format!("n={n};v={v}");
+        push_plain(&mut rows, "probe", "build", &x, prep.build_seconds);
         let exact = run_engine(&prep, Engine::Exact, 0.0);
         let hybrid = run_engine(&prep, Engine::Hybrid, 0.1);
         let hd = run_engine(
@@ -187,10 +152,9 @@ fn main() {
             "n={n} v={v} nodes={} build={:.3}s exact={:.3}s hybrid={:.4}s hybrid-d={:.4}s",
             stats.nodes, prep.build_seconds, exact.seconds, hybrid.seconds, hd.seconds
         );
-        push_row(&mut rows, "probe", "build", &x, prep.build_seconds);
-        push_row(&mut rows, "probe", "exact", &x, exact.seconds);
-        push_row(&mut rows, "probe", "hybrid", &x, hybrid.seconds);
-        push_row(&mut rows, "probe", "hybrid-d", &x, hd.seconds);
+        push_m(&mut rows, "probe", "exact", &x, &exact);
+        push_m(&mut rows, "probe", "hybrid", &x, &hybrid);
+        push_m(&mut rows, "probe", "hybrid-d", &x, &hd);
     }
     // Larger hybrid-only configs (fig8-scale).
     let hybrid_grid: &[(usize, f64, usize)] = if full {
@@ -222,12 +186,12 @@ fn main() {
             prep.build_seconds,
             hybrid.seconds
         );
-        push_row(
+        push_m(
             &mut rows,
             "probe",
             "hybrid",
             &format!("n={n};c={c};v={v}"),
-            hybrid.seconds,
+            &hybrid,
         );
     }
     // OBDD backend probes: lineage queries where the decision-tree exact
@@ -255,23 +219,9 @@ fn main() {
                 exact.status.clone()
             }
         );
-        push_row_stats(
-            &mut rows,
-            "probe",
-            "bdd-exact",
-            &x,
-            bdd.seconds,
-            bdd.stats.clone(),
-        );
-        push_row_dnnf(
-            &mut rows,
-            "probe",
-            "dnnf",
-            &x,
-            dnnf.seconds,
-            dnnf.dnnf_stats.clone(),
-        );
-        push_row(&mut rows, "probe", "exact", &x, exact.seconds);
+        push_m(&mut rows, "probe", "bdd-exact", &x, &bdd);
+        push_m(&mut rows, "probe", "dnnf", &x, &dnnf);
+        push_m(&mut rows, "probe", "exact", &x, &exact);
     }
     // The d-DNNF headline: the k-medoids aggregate-comparison pipeline
     // at the exact configuration PR 3 measured the Shannon wall on
@@ -300,14 +250,7 @@ fn main() {
             "kmedoids-dnnf v={v} build={:.3}s dnnf={:.4}s steps={steps}",
             prep.build_seconds, dnnf.seconds
         );
-        push_row_dnnf(
-            &mut rows,
-            "probe",
-            "dnnf",
-            &x,
-            dnnf.seconds,
-            dnnf.dnnf_stats.clone(),
-        );
+        push_m(&mut rows, "probe", "dnnf", &x, &dnnf);
         // The workers axis at the headline configuration: the parallel
         // target fan-out yields bitwise-identical probabilities, so the
         // only things that move are seconds (down, on multi-core hosts)
@@ -318,17 +261,52 @@ fn main() {
             for w in [2usize, 4] {
                 let par = run_engine(&prep, Engine::DnnfPar { workers: w }, 0.0);
                 println!("kmedoids-dnnf v={v} workers={w} dnnf={:.4}s", par.seconds);
-                push_row_dnnf_w(
+                push_m(
                     &mut rows,
                     "probe",
                     "dnnf",
                     &format!("n=16;v={v};w={w}"),
-                    par.seconds,
-                    par.workers,
-                    par.dnnf_stats.clone(),
+                    &par,
                 );
             }
+            // Telemetry overhead bound on the headline: min of 3 reps
+            // with telemetry off vs on. The enabled run does strictly
+            // more work, so asserting off ≤ on × 1.05 is robust to
+            // noise while still catching a pathological disabled path
+            // (the whole point of the relaxed-atomic `enabled()` gate).
+            telemetry::set_enabled(false);
+            let mut off = run_engine(&prep, Engine::DnnfExact, 0.0);
+            for _ in 0..2 {
+                let m = run_engine(&prep, Engine::DnnfExact, 0.0);
+                if m.seconds < off.seconds {
+                    off = m;
+                }
+            }
+            telemetry::set_enabled(true);
+            let mut on = run_engine(&prep, Engine::DnnfExact, 0.0);
+            for _ in 0..2 {
+                let m = run_engine(&prep, Engine::DnnfExact, 0.0);
+                if m.seconds < on.seconds {
+                    on = m;
+                }
+            }
+            println!(
+                "kmedoids-dnnf v={v} telemetry off={:.4}s on={:.4}s ({:+.1}% when enabled)",
+                off.seconds,
+                on.seconds,
+                (on.seconds / off.seconds - 1.0) * 100.0
+            );
+            push_m(&mut rows, "probe", "dnnf", "n=16;v=14;telemetry=off", &off);
+            push_m(&mut rows, "probe", "dnnf", "n=16;v=14;telemetry=on", &on);
         }
     }
     write_json(&rows);
+    match telemetry::write_trace_if_armed() {
+        Some(Ok(path)) => println!("wrote Chrome trace to {path}"),
+        Some(Err(e)) => {
+            eprintln!("failed to write trace: {e}");
+            std::process::exit(1);
+        }
+        None => {}
+    }
 }

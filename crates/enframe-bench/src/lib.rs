@@ -33,8 +33,10 @@ use enframe_obdd::{ObddEngine, ObddOptions, ObddStats};
 use enframe_prob::{
     compile, compile_distributed, compile_folded, CompileResult, DistOptions, Options, Strategy,
 };
+use enframe_telemetry::{self as telemetry, Counter, Phase, Snapshot};
 use enframe_translate::{targets, translate, ProbEnv};
 use enframe_worlds::{extract, naive_probabilities};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Whether the paper-scale grid was requested.
@@ -76,6 +78,7 @@ pub fn prepare(
 ) -> Prepared {
     let workload = kmedoids_workload(n, k, iterations, scheme, opts, seed);
     let ast = parse(programs::K_MEDOIDS).expect("canonical program parses");
+    let _span = telemetry::span(Phase::Build);
     let t0 = Instant::now();
     let mut tr = translate(&ast, &workload.env).expect("translation succeeds");
     targets::add_all_bool_targets(&mut tr, "Centre");
@@ -206,6 +209,10 @@ pub struct Measurement {
     /// Worker threads the engine ran with (after `0 = auto`
     /// resolution); 1 for the sequential engines.
     pub workers: usize,
+    /// Telemetry snapshot covering exactly this measurement: counters
+    /// and per-phase span aggregates, reset before the engine ran and
+    /// read after it finished. All-zero when telemetry is disabled.
+    pub telemetry: Option<Snapshot>,
 }
 
 /// Cap on variables for the naïve baseline in harness runs (the paper's
@@ -268,6 +275,7 @@ pub fn timeout_measurement(reason: &str) -> Measurement {
         stats: None,
         dnnf_stats: None,
         workers: 1,
+        telemetry: None,
     }
 }
 
@@ -280,13 +288,16 @@ fn error_measurement(e: impl std::fmt::Display) -> Measurement {
         stats: None,
         dnnf_stats: None,
         workers: 1,
+        telemetry: None,
     }
 }
 
 /// Runs one engine over a prepared pipeline.
 pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement {
+    telemetry::reset();
     let mut m = run_engine_inner(prep, engine, epsilon);
     m.workers = engine.workers();
+    m.telemetry = Some(telemetry::snapshot());
     m
 }
 
@@ -368,6 +379,7 @@ fn finish(t0: Instant, res: CompileResult) -> Measurement {
         stats: None,
         dnnf_stats: None,
         workers: 1,
+        telemetry: None,
     }
 }
 
@@ -385,6 +397,7 @@ fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize
         stats: None,
         dnnf_stats: None,
         workers: 1,
+        telemetry: None,
     }
 }
 
@@ -432,6 +445,7 @@ pub fn prepare_lineage(
         ..*opts
     };
     let corr = generate_lineage(n_groups, scheme, &opts, seed);
+    let _span = telemetry::span(Phase::Build);
     let t0 = Instant::now();
     let mut p = Program::new();
     p.ensure_vars(corr.var_table.len() as u32);
@@ -505,6 +519,7 @@ pub fn prepare_workers_sweep(n_groups: usize, window: usize, seed: u64) -> Linea
         &opts,
         seed,
     );
+    let _span = telemetry::span(Phase::Build);
     let t0 = Instant::now();
     let mut p = Program::new();
     p.ensure_vars(corr.var_table.len() as u32);
@@ -555,8 +570,10 @@ pub fn prepare_workers_sweep(n_groups: usize, window: usize, seed: u64) -> Linea
 /// sequential engines ([`Engine::Exact`], the three approximations, and
 /// [`Engine::BddExact`]); others report a skip.
 pub fn run_lineage_engine(prep: &LineagePrepared, engine: Engine, epsilon: f64) -> Measurement {
+    telemetry::reset();
     let mut m = run_lineage_engine_inner(prep, engine, epsilon);
     m.workers = engine.workers();
+    m.telemetry = Some(telemetry::snapshot());
     m
 }
 
@@ -623,6 +640,7 @@ fn run_bdd_exact(
                 stats: Some(engine.stats().clone()),
                 dnnf_stats: None,
                 workers: 1,
+                telemetry: None,
             }
         }
         Err(e) => error_measurement(e),
@@ -648,21 +666,63 @@ fn run_dnnf_exact(net: &Network, vt: &VarTable, workers: usize) -> Measurement {
                 stats: None,
                 dnnf_stats: Some(engine.stats().clone()),
                 workers: 1,
+                telemetry: None,
             }
         }
         Err(e) => error_measurement(e),
     }
 }
 
+/// The `"stats"` JSON object of a measurement — the single serialiser
+/// behind both `BENCH_probe.json` and any future exporter, so the
+/// knowledge-compilation stat keys exist in exactly one place. OBDD
+/// measurements carry the manager counters (including the
+/// `peak_bytes` footprint estimate), d-DNNF measurements the
+/// expansion/memo counters; `None` for engines with neither.
+pub fn stats_json(m: &Measurement) -> Option<String> {
+    if let Some(s) = &m.stats {
+        let mg = &s.manager;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"live_nodes\": {}, \"peak_nodes\": {}, \"peak_bytes\": {}, \"gc_runs\": {}, \
+             \"reorders\": {}, \"load_factor\": {:.3}, \"cmp_branches\": {}}}",
+            mg.live_nodes,
+            mg.peak_nodes,
+            mg.peak_bytes,
+            mg.gc_runs,
+            mg.reorders,
+            mg.load_factor,
+            s.cmp_branches
+        );
+        return Some(out);
+    }
+    m.dnnf_stats.as_ref().map(|d| {
+        format!(
+            "{{\"cmp_branches\": {}, \"dnnf_nodes\": {}, \"dnnf_edges\": {}, \"memo_hits\": {}}}",
+            d.expansion_steps, d.nodes, d.edges, d.memo_hits
+        )
+    })
+}
+
+/// The `"telemetry"` JSON object of a measurement: the fixed-key
+/// [`Snapshot`] serialisation, shared by every exporter.
+pub fn telemetry_json(m: &Measurement) -> Option<String> {
+    m.telemetry.as_ref().map(Snapshot::to_json)
+}
+
 /// Prints the CSV header used by all figure binaries. The trailing
 /// columns carry knowledge-compilation statistics and stay empty for
-/// engines that do not produce them: five OBDD manager columns, then
+/// engines that do not produce them: six OBDD manager columns
+/// (including the `peak_bytes` footprint estimate), then
 /// `cmp_branches` (Shannon branches for the BDD engines, expansion
-/// steps for the d-DNNF engine — the directly comparable pair) and the
-/// d-DNNF node/edge counts.
+/// steps for the d-DNNF engine — the directly comparable pair), the
+/// d-DNNF node/edge counts, and four telemetry columns distilled from
+/// the per-measurement [`Snapshot`] (cache hits and the compile/WMC
+/// phase split).
 pub fn print_header() {
     println!(
-        "figure,series,x,seconds,status,detail,workers,live_nodes,peak_nodes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges"
+        "figure,series,x,seconds,status,detail,workers,live_nodes,peak_nodes,peak_bytes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges,ite_hits,memo_hits,phase_compile_s,phase_wmc_s"
     );
 }
 
@@ -676,19 +736,30 @@ pub fn print_row(figure: &str, series: &str, x: &str, m: &Measurement, detail: &
     };
     let stats = match (&m.stats, &m.dnnf_stats) {
         (Some(s), _) => format!(
-            "{},{},{},{},{:.3},{},,",
+            "{},{},{},{},{},{:.3},{},,",
             s.manager.live_nodes,
             s.manager.peak_nodes,
+            s.manager.peak_bytes,
             s.manager.gc_runs,
             s.manager.reorders,
             s.manager.load_factor,
             s.cmp_branches
         ),
-        (None, Some(d)) => format!(",,,,,{},{},{}", d.expansion_steps, d.nodes, d.edges),
-        (None, None) => ",,,,,,,".into(),
+        (None, Some(d)) => format!(",,,,,,{},{},{}", d.expansion_steps, d.nodes, d.edges),
+        (None, None) => ",,,,,,,,".into(),
+    };
+    let tel = match &m.telemetry {
+        Some(t) => format!(
+            "{},{},{:.6e},{:.6e}",
+            t.counter(Counter::IteHit),
+            t.counter(Counter::MemoHit),
+            t.compile_seconds(),
+            t.phase_seconds(Phase::Wmc)
+        ),
+        None => ",,,".into(),
     };
     println!(
-        "{figure},{series},{x},{secs},{},{detail},{},{stats}",
+        "{figure},{series},{x},{secs},{},{detail},{},{stats},{tel}",
         m.status, m.workers
     );
 }

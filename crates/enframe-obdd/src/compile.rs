@@ -94,6 +94,7 @@ impl<'n> Compiler<'n> {
 
     /// Compiles one Boolean node (typically a target) into a BDD.
     pub(crate) fn compile(&mut self, man: &mut Manager, root: NodeId) -> Result<Bdd, ObddError> {
+        let _span = enframe_telemetry::span(enframe_telemetry::Phase::BddApply);
         // The Boolean cone of `root`: nodes whose BDDs are combined
         // compositionally. Recursion stops at `Cmp` atoms — their numeric
         // subtrees are handled by Shannon expansion instead.
@@ -203,6 +204,7 @@ impl<'n> Compiler<'n> {
     /// Shannon expansion of a comparison atom over its support, in global
     /// level order, pruning branches the partial evaluator resolves.
     fn expand_cmp(&mut self, man: &mut Manager, id: NodeId) -> Result<Bdd, ObddError> {
+        let _span = enframe_telemetry::span(enframe_telemetry::Phase::Shannon);
         // The atom's reachable subtree, ascending (topological) order.
         self.seen.reset();
         self.subtree.clear();

@@ -59,6 +59,7 @@ use enframe_core::fxhash::FxHashMap;
 use enframe_core::{Value, Var, VarTable};
 use enframe_network::{Network, NodeId, NodeKind};
 use enframe_prob::order::{static_order, VarOrder};
+use enframe_telemetry::{self as telemetry, Counter, Phase};
 
 /// A handle to a d-DNNF node. Equality is node identity; hash-consing
 /// makes node identity function identity *per construction site* (the
@@ -404,9 +405,10 @@ impl DnnfEngine {
         drop(tx);
         let outs: Vec<WorkerOut> = crossbeam::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let rx = rx.clone();
                     s.spawn(move || {
+                        let _worker = telemetry::worker_span(Phase::Worker, w);
                         let mut man = DnnfManager::new();
                         let mut compiler = Compiler::new(net, opts);
                         let mut compiled = Vec::new();
@@ -414,7 +416,13 @@ impl DnnfEngine {
                         if let Err(e) = compiler.prime() {
                             error = Some((0, e));
                         } else {
-                            while let Ok(i) = rx.recv() {
+                            loop {
+                                let msg = {
+                                    let _wait = telemetry::span(Phase::QueueWait);
+                                    telemetry::count(Counter::QueueWait);
+                                    rx.recv()
+                                };
+                                let Ok(i) = msg else { break };
                                 match compiler.compile(&mut man, net.targets[i]) {
                                     Ok(d) => compiled.push((i, d)),
                                     Err(e) => {
@@ -452,6 +460,7 @@ impl DnnfEngine {
         {
             return Err(e.clone());
         }
+        let _merge = telemetry::span(Phase::Merge);
         let mut man = DnnfManager::new();
         let mut targets: Vec<Option<Dnnf>> = vec![None; net.targets.len()];
         let mut steps = 0u64;
@@ -519,6 +528,7 @@ impl DnnfEngine {
     /// # Panics
     /// Panics if `vt` does not cover the compiled variables.
     pub fn probabilities(&self, vt: &VarTable) -> Vec<f64> {
+        let _span = telemetry::span(Phase::Wmc);
         let wmc_workers = if self.man.len() >= PAR_WMC_MIN_NODES {
             self.workers
         } else {
@@ -627,6 +637,7 @@ impl<'n> Compiler<'n> {
     }
 
     fn compile(&mut self, man: &mut DnnfManager, root: NodeId) -> Result<Dnnf, ObddError> {
+        let _span = telemetry::span(Phase::DnnfExpand);
         if !self.net.node(root).is_bool() {
             return Err(ObddError::Unsupported(format!(
                 "numeric node {} cannot be a Boolean compilation root",
@@ -727,9 +738,11 @@ impl<'n> Compiler<'n> {
 
         if let Some(&hit) = self.memo.get(key.as_slice()) {
             self.memo_hits += 1;
+            telemetry::count(Counter::MemoHit);
             return Ok(hit);
         }
         self.expansion_steps += 1;
+        telemetry::count(Counter::MemoMiss);
 
         // Decomposable-AND factoring: group items whose *residual*
         // supports are connected, read straight off the key walk (a

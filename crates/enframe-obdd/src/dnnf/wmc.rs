@@ -32,6 +32,7 @@
 
 use super::{DnnfManager, DnnfNode};
 use enframe_core::VarTable;
+use enframe_telemetry::{self as telemetry, Phase};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -162,6 +163,7 @@ pub fn node_probabilities_par(man: &DnnfManager, vt: &VarTable, workers: usize) 
             let (probs, order, starts, barrier, level_count) =
                 (&probs, &order, &starts, &barrier, n_levels);
             s.spawn(move || {
+                let _worker = telemetry::worker_span(Phase::Worker, w);
                 let mut scratch = Vec::new();
                 for l in 0..level_count {
                     let lvl = &order[starts[l]..starts[l + 1]];

@@ -76,6 +76,7 @@ use enframe_core::fxhash::FxHashMap;
 use enframe_core::{CoreError, Var, VarTable};
 use enframe_network::Network;
 use enframe_prob::order::{static_order, VarOrder};
+use enframe_telemetry::{self as telemetry, Counter, Phase};
 use std::cell::RefCell;
 
 /// Errors of the OBDD backend.
@@ -286,17 +287,24 @@ impl ObddEngine {
         drop(tx);
         let outs: Vec<WorkerOut> = crossbeam::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let rx = rx.clone();
                     let (order, blocks, level_of) = (&order, &blocks, &level_of);
                     s.spawn(move || {
+                        let _worker = telemetry::worker_span(Phase::Worker, w);
                         let mut man = Manager::with_policy(ReorderPolicy::disabled());
                         man.declare_vars(order.len() as u32);
                         man.set_level_blocks(blocks);
                         let mut compiler = Compiler::new(net, level_of.clone());
                         let mut compiled = Vec::new();
                         let mut error = None;
-                        while let Ok(i) = rx.recv() {
+                        loop {
+                            let msg = {
+                                let _wait = telemetry::span(Phase::QueueWait);
+                                telemetry::count(Counter::QueueWait);
+                                rx.recv()
+                            };
+                            let Ok(i) = msg else { break };
                             match compiler.compile(&mut man, net.targets[i]) {
                                 Ok(bdd) => {
                                     man.protect(bdd);
@@ -337,6 +345,7 @@ impl ObddEngine {
         {
             return Err(e.clone());
         }
+        let _merge = telemetry::span(Phase::Merge);
         let mut man = Manager::with_policy(opts.reorder.clone());
         man.declare_vars(order.len() as u32);
         man.set_level_blocks(&level_blocks(&order, &opts.groups));
@@ -440,6 +449,7 @@ impl ObddEngine {
     /// # Panics
     /// Panics if `vt` does not cover the compiled variables.
     pub fn probabilities(&self, vt: &VarTable) -> Vec<f64> {
+        let _span = telemetry::span(Phase::Wmc);
         let mut wmc = Wmc::with_cache(&self.man, self.level_weights(vt), self.wmc_cache.take());
         let probs = self.targets.iter().map(|&t| wmc.probability(t)).collect();
         self.wmc_cache.replace(wmc.into_cache());
@@ -483,7 +493,10 @@ impl ObddEngine {
         // away.
         let weights = self.level_weights(vt);
         let mut wmc = Wmc::with_cache(&self.man, weights.clone(), self.wmc_cache.take());
-        let evidence_prob = wmc.probability(evidence);
+        let evidence_prob = {
+            let _span = telemetry::span(Phase::Wmc);
+            wmc.probability(evidence)
+        };
         self.wmc_cache.replace(wmc.into_cache());
         if evidence_prob <= 0.0 {
             return Err(ObddError::ZeroEvidence);
@@ -495,10 +508,13 @@ impl ObddEngine {
             .map(|t| self.man.and(t, evidence))
             .collect();
         let mut wmc = Wmc::with_cache(&self.man, weights, self.wmc_cache.take());
-        let posteriors = joint
-            .into_iter()
-            .map(|j| wmc.probability(j) / evidence_prob)
-            .collect();
+        let posteriors = {
+            let _span = telemetry::span(Phase::Wmc);
+            joint
+                .into_iter()
+                .map(|j| wmc.probability(j) / evidence_prob)
+                .collect()
+        };
         self.wmc_cache.replace(wmc.into_cache());
         // Maintenance point: the joints (and the caller's evidence) are
         // garbage now, the targets are protected — repeated conditioning

@@ -49,6 +49,7 @@
 //! must protect whatever they hold across an explicit maintenance point.
 
 use enframe_core::fxhash::{mix2, mix3, FxHashMap};
+use enframe_telemetry::{self as telemetry, Counter, Phase};
 
 /// A handle to a Boolean function: node index and complement bit packed
 /// into one word. Copy-cheap; equality is function equality.
@@ -194,6 +195,11 @@ pub struct ManagerStats {
     pub load_factor: f64,
     /// `ite` computed-table hits so far.
     pub cache_hits: u64,
+    /// Estimated peak resident bytes: peak nodes × per-node storage
+    /// (node data + stored-edge refcount) plus the current unique-table
+    /// slot capacity and `ite` computed-table capacity. Node counts
+    /// alone hide memory walls; this makes them visible in the CSV.
+    pub peak_bytes: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -296,6 +302,7 @@ impl Subtable {
     /// Re-slots every live entry into a fresh array sized for the current
     /// population (min 8), clearing tombstones.
     fn rebuild(&mut self, nodes: &[NodeData]) {
+        telemetry::count(Counter::UniqueResize);
         let cap = ((self.len + 1) * 2).next_power_of_two().max(8);
         let old = std::mem::replace(&mut self.slots, vec![EMPTY; cap]);
         self.tombs = 0;
@@ -396,6 +403,10 @@ impl IteCache {
             self.inserts = 0;
         }
         let s = self.slot(f, g, h);
+        let prev = &self.entries[s];
+        if prev.stamp == self.stamp && (prev.f, prev.g, prev.h) != (f.raw(), g.raw(), h.raw()) {
+            telemetry::count(Counter::IteEviction);
+        }
         self.entries[s] = IteEntry {
             f: f.raw(),
             g: g.raw(),
@@ -535,6 +546,13 @@ impl Manager {
     pub fn stats(&self) -> ManagerStats {
         let capacity: usize = self.subtables.iter().map(Subtable::capacity).sum();
         let entries: usize = self.subtables.iter().map(Subtable::len).sum();
+        // Peak-memory estimate: node storage is sized by the high-water
+        // mark (the node array never shrinks), tables by their current
+        // capacity (subtables only shrink on GC rebuild).
+        let per_node = std::mem::size_of::<NodeData>() + std::mem::size_of::<u32>();
+        let peak_bytes = self.peak.max(self.nodes.len()) * per_node
+            + capacity * std::mem::size_of::<u32>()
+            + self.cache.entries.len() * std::mem::size_of::<IteEntry>();
         ManagerStats {
             live_nodes: self.live,
             peak_nodes: self.peak,
@@ -546,6 +564,7 @@ impl Manager {
                 entries as f64 / capacity as f64
             },
             cache_hits: self.cache_hits,
+            peak_bytes,
         }
     }
 
@@ -669,9 +688,11 @@ impl Manager {
     }
 
     pub(crate) fn node_raw(&mut self, v: u32, hi: Bdd, lo: Bdd) -> Bdd {
+        telemetry::count(Counter::UniqueProbe);
         if let Some(idx) = self.subtables[v as usize].find(&self.nodes, hi, lo) {
             return Bdd::pack(idx, false);
         }
+        telemetry::count(Counter::NodeAlloc);
         let idx = match self.free.pop() {
             Some(slot) => {
                 self.nodes[slot as usize] = NodeData { var: v, hi, lo };
@@ -765,6 +786,7 @@ impl Manager {
     /// Any unprotected [`Bdd`] held by a caller dangles afterwards; the
     /// constants [`Bdd::TRUE`]/[`Bdd::FALSE`] are always safe.
     pub fn collect_garbage(&mut self) -> usize {
+        let _span = telemetry::span(Phase::Gc);
         // Mark.
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
@@ -812,6 +834,7 @@ impl Manager {
         self.cache.invalidate();
         self.epoch += 1;
         self.gc_runs += 1;
+        telemetry::count_n(Counter::NodeFree, freed as u64);
         freed
     }
 
@@ -900,8 +923,10 @@ impl Manager {
         }
         if let Some(r) = self.cache.lookup(f, g, h) {
             self.cache_hits += 1;
+            telemetry::count(Counter::IteHit);
             return r;
         }
+        telemetry::count(Counter::IteMiss);
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let v = self.invperm[top as usize];
         let (f1, f0) = self.cofactors(f, v);

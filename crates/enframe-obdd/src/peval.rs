@@ -20,6 +20,7 @@
 use crate::ObddError;
 use enframe_core::{Value, Var};
 use enframe_network::{Network, NodeId, NodeKind};
+use enframe_telemetry::{self as telemetry, Counter, Phase};
 
 /// The shared rejection for folded networks: `LoopIn` carries have no
 /// flat Boolean semantics, so neither compilation path can encode them.
@@ -165,6 +166,7 @@ impl<'n> Evaluator<'n> {
     /// assignment and indexes the `Var` nodes, enabling
     /// [`Evaluator::assign_monotone`].
     pub(crate) fn prime(&mut self) -> Result<(), ObddError> {
+        let _span = telemetry::span(Phase::UnitProp);
         self.var_nodes = vec![Vec::new(); self.net.n_vars as usize];
         for i in 0..self.net.len() {
             let id = NodeId(i as u32);
@@ -202,6 +204,7 @@ impl<'n> Evaluator<'n> {
         let result = self.flush(&mut work);
         self.work = work;
         result?;
+        telemetry::count_n(Counter::TrailPush, (self.trail.len() - mark) as u64);
         Ok(mark)
     }
 
@@ -210,6 +213,7 @@ impl<'n> Evaluator<'n> {
     /// [`Evaluator::assign_monotone`].
     pub(crate) fn undo_to(&mut self, mark: usize, v: Var) {
         self.assignment[v.index()] = None;
+        telemetry::count_n(Counter::TrailBacktrack, (self.trail.len() - mark) as u64);
         while self.trail.len() > mark {
             let id = self.trail.pop().expect("trail length checked");
             self.scratch[id.index()] = Partial::Unknown;

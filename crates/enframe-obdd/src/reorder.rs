@@ -45,6 +45,7 @@ impl Manager {
     /// The sifting pass of [`Manager::reorder`], assuming garbage was
     /// just collected (sizes must reflect live nodes only).
     pub(crate) fn sift_pass(&mut self) {
+        let _span = enframe_telemetry::span(enframe_telemetry::Phase::Reorder);
         let nblocks = self.blocks.len();
         if nblocks >= 2 && self.live > 0 {
             // done[i] travels with the block at position i. Each round

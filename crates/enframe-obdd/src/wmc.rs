@@ -22,6 +22,7 @@
 
 use crate::manager::{Bdd, Manager};
 use enframe_core::fxhash::FxHashMap;
+use enframe_telemetry::{self as telemetry, Counter};
 
 /// A reusable per-node probability cache, epoch- and weight-stamped so it
 /// survives exactly as long as its entries stay valid.
@@ -55,6 +56,9 @@ impl WmcCache {
 
     fn validate(&mut self, man: &Manager, weights: &[f64]) {
         if self.epoch != man.epoch() || self.weights != weights {
+            if !self.probs.is_empty() {
+                telemetry::count(Counter::WmcInvalidation);
+            }
             self.probs.clear();
             self.epoch = man.epoch();
             self.weights.clear();
@@ -113,8 +117,10 @@ impl<'m> Wmc<'m> {
             return 1.0; // the ⊤ terminal
         }
         if let Some(&p) = self.cache.probs.get(&index) {
+            telemetry::count(Counter::WmcHit);
             return p;
         }
+        telemetry::count(Counter::WmcMiss);
         let pv = self.weights[var as usize];
         let ph = self.probability(hi);
         let pl = self.probability(lo);

@@ -190,12 +190,14 @@ where
     .expect("queue open");
 
     std::thread::scope(|scope| {
-        for _ in 0..opts.workers {
+        for w in 0..opts.workers {
             let rx = rx.clone();
             let tx = tx.clone();
             let shared = &shared;
             let make_store = &make_store;
             scope.spawn(move || {
+                use enframe_telemetry::{self as telemetry, Counter, Phase};
+                let _worker = telemetry::worker_span(Phase::Worker, w);
                 let mut worker = Worker {
                     shared,
                     store: make_store(),
@@ -204,7 +206,13 @@ where
                     local_upper_delta: vec![0.0; shared.targets.len()],
                     branches: 0,
                 };
-                while let Ok(Some(job)) = rx.recv() {
+                loop {
+                    let msg = {
+                        let _wait = telemetry::span(Phase::QueueWait);
+                        telemetry::count(Counter::QueueWait);
+                        rx.recv()
+                    };
+                    let Ok(Some(job)) = msg else { break };
                     worker.run_job(job);
                     shared.jobs_run.fetch_add(1, Ordering::Relaxed);
                     if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {

@@ -198,6 +198,10 @@ struct Summary {
     max: Duration,
     /// Sample standard deviation (zero for a single sample).
     std_dev: Duration,
+    /// Total measured wall-clock across all samples — how long the
+    /// benchmark actually spent in the routine, the number a timeline
+    /// (or a CI time budget) cares about.
+    total: Duration,
 }
 
 fn summarize(samples: &[Duration]) -> Option<Summary> {
@@ -231,6 +235,7 @@ fn summarize(samples: &[Duration]) -> Option<Summary> {
         mean,
         max: sorted[n - 1],
         std_dev,
+        total,
     })
 }
 
@@ -240,12 +245,13 @@ fn report(id: &str, samples: &[Duration]) {
         return;
     };
     println!(
-        "{id:<40} time: [{} {} {} {}]  σ {}  ({} samples; min median mean max)",
+        "{id:<40} time: [{} {} {} {}]  σ {}  total {}  ({} samples; min median mean max)",
         fmt_duration(s.min),
         fmt_duration(s.median),
         fmt_duration(s.mean),
         fmt_duration(s.max),
         fmt_duration(s.std_dev),
+        fmt_duration(s.total),
         samples.len()
     );
 }
@@ -325,6 +331,7 @@ mod tests {
         assert_eq!(s.median, ms(2));
         assert_eq!(s.mean, ms(2));
         assert_eq!(s.max, ms(3));
+        assert_eq!(s.total, ms(6), "total is the sum of all samples");
         assert!((s.std_dev.as_secs_f64() - 0.001).abs() < 1e-9);
         // Even count: median is the midpoint of the two middle elements.
         let s = summarize(&[ms(1), ms(2), ms(3), ms(10)]).unwrap();
@@ -336,6 +343,7 @@ mod tests {
         let s = summarize(&[ms(5)]).unwrap();
         assert_eq!(s.median, ms(5));
         assert_eq!(s.std_dev, Duration::ZERO);
+        assert_eq!(s.total, ms(5));
         // Constant samples have zero deviation.
         let s = summarize(&[ms(4); 6]).unwrap();
         assert_eq!(s.std_dev, Duration::ZERO);
