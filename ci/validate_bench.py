@@ -50,7 +50,7 @@ BDD_KEYS = {"live_nodes", "peak_nodes", "peak_bytes", "gc_runs", "reorders",
 DNNF_KEYS = {"cmp_branches", "dnnf_nodes", "dnnf_edges", "memo_hits"}
 
 # The fixed key set of every telemetry snapshot (enframe-telemetry's
-# Snapshot::to_json): 15 event counters plus a seconds/count pair per
+# Snapshot::to_json): 18 event counters plus a seconds/count pair per
 # pipeline phase. Keep in sync with Counter::ALL / Phase::ALL.
 COUNTER_KEYS = {
     "ite_hits", "ite_misses", "ite_evictions",
@@ -60,9 +60,11 @@ COUNTER_KEYS = {
     "nodes_allocated", "nodes_freed",
     "trail_pushes", "trail_backtracks",
     "queue_waits",
+    "budget_checks", "cancellations", "fallbacks",
 }
 PHASE_NAMES = ("build", "bdd_apply", "shannon", "dnnf_expand", "unit_prop",
-               "wmc", "gc", "reorder", "merge", "worker", "queue_wait")
+               "wmc", "gc", "reorder", "merge", "worker", "queue_wait",
+               "degraded")
 TELEMETRY_KEYS = COUNTER_KEYS | {f"phase_{p}_s" for p in PHASE_NAMES} \
                               | {f"phase_{p}_n" for p in PHASE_NAMES}
 
@@ -100,8 +102,11 @@ def validate_probe(path):
         rows = json.load(f)
     assert isinstance(rows, list) and rows, f"{path} must be a non-empty array"
     base = {"figure", "series", "x", "seconds", "workers", "telemetry"}
+    # Budget-degraded rows additionally carry their status and a bounds
+    # envelope (see the probe's `bounds_json`).
+    degraded = base | {"status", "bounds"}
     for r in rows:
-        assert set(r) in (base, base | {"stats"}), f"bad keys: {r}"
+        assert set(r) in (base, base | {"stats"}, degraded), f"bad keys: {r}"
         assert isinstance(r["seconds"], float), f"bad seconds: {r}"
         assert isinstance(r["workers"], int) and r["workers"] >= 1, f"bad workers: {r}"
         check_telemetry(r)
@@ -150,12 +155,38 @@ def validate_probe(path):
     assert all(v == 0 for k, v in off[0]["telemetry"].items()
                if not k.endswith("_s")), (
         f"telemetry=off row carries non-zero counters: {off[0]['telemetry']}")
+    # Budget governance (ISSUE 8): the v=24 k-medoids row under a 50 ms
+    # deadline must degrade to a sound bounds answer — status
+    # "degraded", a valid [L, U] envelope over all 32 targets, well
+    # under a second of wall clock (the unbudgeted exact tree at v=24
+    # would enumerate 2^24 branches) — and the governance counters must
+    # show the machinery actually firing: safe-point checks taken, a
+    # cancellation observed, and the fallback rung of the ladder used.
+    bud = [r for r in rows if r["series"] == "budget"]
+    assert bud, f"missing the budget-governance probe row: {sorted({r['series'] for r in rows})}"
+    b = bud[0]
+    assert b["x"] == "n=16;v=24;budget=50ms", f"bad budget row x: {b['x']}"
+    assert b.get("status") == "degraded", f"budget row did not degrade: {b}"
+    assert b["seconds"] < 1.0, (
+        f"budgeted run too slow: {b['seconds']}s (a 50 ms budget must "
+        f"come back in well under a second)")
+    env = b["bounds"]
+    assert env["targets"] > 0, f"empty bounds envelope: {env}"
+    assert 0.0 <= env["min_lower"] and env["max_upper"] <= 1.0, (
+        f"bounds outside [0, 1]: {env}")
+    assert 0.0 <= env["max_width"] <= 1.0, f"bad bounds width: {env}"
+    btel = b["telemetry"]
+    assert btel["budget_checks"] > 0, f"budgeted run took no safe-point checks: {btel}"
+    assert btel["cancellations"] > 0, f"budget exhaustion observed no cancellation: {btel}"
+    assert btel["fallbacks"] > 0, f"degraded row used no fallback: {btel}"
     workers = sorted({r["workers"] for r in rows if r["series"] == "dnnf"})
     print(f"{path} OK: {len(rows)} rows, series {sorted(series)}; "
           f"dnnf v=14: {steps} steps ({SHANNON_V14_BRANCHES // steps}x fewer), "
           f"{head[0]['seconds']:.3f}s; dnnf worker counts {workers}; "
           f"telemetry off={t_off:.4f}s on={t_on:.4f}s "
-          f"({(t_on / t_off - 1) * 100:+.1f}% enabled)")
+          f"({(t_on / t_off - 1) * 100:+.1f}% enabled); "
+          f"budget probe degraded in {b['seconds'] * 1000:.1f}ms "
+          f"(max width {env['max_width']:.3f})")
 
 
 def validate_fig_bdd(path, require_speedup):
@@ -165,7 +196,7 @@ def validate_fig_bdd(path, require_speedup):
     for c in ("workers", "live_nodes", "peak_nodes", "peak_bytes", "gc_runs",
               "reorders", "load_factor", "cmp_branches", "dnnf_nodes",
               "dnnf_edges", "ite_hits", "memo_hits", "phase_compile_s",
-              "phase_wmc_s"):
+              "phase_wmc_s", "budget_checks", "cancellations", "fallbacks"):
         assert c in cols, f"missing column {c}"
     bdd = [r for r in rows
            if r["series"] in ("bdd-exact", "bdd-static") and r["status"] == "ok"]

@@ -157,6 +157,7 @@ fn main() {
             dnnf_stats: None,
             workers: 1,
             telemetry: None,
+            bounds: None,
         };
         print_row(
             "ablation_dimensions",
@@ -187,6 +188,7 @@ fn main() {
             dnnf_stats: None,
             workers: 1,
             telemetry: None,
+            bounds: None,
         };
         print_row(
             "ablation_targets",
@@ -210,6 +212,7 @@ fn main() {
             dnnf_stats: None,
             workers: 1,
             telemetry: None,
+            bounds: None,
         };
         print_row("ablation_targets", "co_occurrence", "targets=1", &m, "");
     }
@@ -234,6 +237,7 @@ fn main() {
             dnnf_stats: None,
             workers: 1,
             telemetry: None,
+            bounds: None,
         };
         print_row(
             "ablation_network_size",
@@ -293,6 +297,7 @@ fn main() {
                 dnnf_stats: None,
                 workers: 1,
                 telemetry: None,
+                bounds: None,
             };
             print_row("ablation_var_order", label, "v=16", &m, "");
         }

@@ -46,6 +46,7 @@ fn main() {
                         dnnf_stats: None,
                         workers: 1,
                         telemetry: None,
+                        bounds: None,
                     },
                     "",
                 );

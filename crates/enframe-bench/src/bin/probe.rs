@@ -23,9 +23,11 @@
 //! Run: `cargo run --release -p enframe-bench --bin probe`
 
 use enframe_bench::*;
+use enframe_core::budget::Budget;
 use enframe_data::{LineageOpts, Scheme};
 use enframe_telemetry as telemetry;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// One JSON record of the probe's output. The stat fragments are
 /// pre-rendered by the shared serialisers in `enframe_bench`
@@ -42,6 +44,35 @@ struct JsonRow {
     stats: Option<String>,
     /// Rendered `"telemetry"` snapshot object (every row).
     telemetry: String,
+    /// Measurement status, carried only when the run did not complete
+    /// exactly (`"degraded"` rows of the budget probe) so the common
+    /// rows keep their fixed key set.
+    status: Option<String>,
+    /// Rendered `"bounds"` summary object, paired with `status`.
+    bounds: Option<String>,
+}
+
+/// The `"bounds"` summary fragment of a degraded measurement: target
+/// count and the envelope of the per-target `[L, U]` intervals — enough
+/// for CI to assert the answer is a sound probability enclosure without
+/// shipping every interval.
+fn bounds_json(m: &Measurement) -> Option<String> {
+    m.bounds.as_ref().map(|(lo, hi)| {
+        let min_lower = lo.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_upper = hi.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_width = lo
+            .iter()
+            .zip(hi)
+            .map(|(l, u)| u - l)
+            .fold(f64::NEG_INFINITY, f64::max);
+        format!(
+            "{{\"targets\": {}, \"min_lower\": {:.6}, \"max_upper\": {:.6}, \"max_width\": {:.6}}}",
+            lo.len(),
+            min_lower,
+            max_upper,
+            max_width
+        )
+    })
 }
 
 /// Appends one finite measurement (rows with NaN seconds — timeouts and
@@ -57,6 +88,8 @@ fn push_m(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &str, 
             workers: m.workers,
             stats: stats_json(m),
             telemetry: telemetry_json(m).unwrap_or_else(|| telemetry::snapshot().to_json()),
+            status: (m.status == "degraded").then(|| m.status.clone()),
+            bounds: (m.status == "degraded").then(|| bounds_json(m)).flatten(),
         });
     }
 }
@@ -74,6 +107,8 @@ fn push_plain(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &s
             workers: 1,
             stats: None,
             telemetry: telemetry::snapshot().to_json(),
+            status: None,
+            bounds: None,
         });
     }
 }
@@ -98,6 +133,12 @@ fn write_json(rows: &[JsonRow]) {
         );
         if let Some(st) = &r.stats {
             let _ = write!(out, ", \"stats\": {st}");
+        }
+        if let Some(status) = &r.status {
+            let _ = write!(out, ", \"status\": \"{}\"", escape(status));
+        }
+        if let Some(b) = &r.bounds {
+            let _ = write!(out, ", \"bounds\": {b}");
         }
         let _ = write!(out, ", \"telemetry\": {}", r.telemetry);
         out.push('}');
@@ -299,6 +340,40 @@ fn main() {
             push_m(&mut rows, "probe", "dnnf", "n=16;v=14;telemetry=off", &off);
             push_m(&mut rows, "probe", "dnnf", "n=16;v=14;telemetry=on", &on);
         }
+    }
+    // Budget-governance probe (ISSUE 8): the v = 24 k-medoids pipeline
+    // under a 50 ms deadline (plus a 500-step cap so the outcome is
+    // deterministic on arbitrarily fast hosts — the unbudgeted compile
+    // needs ~2.1 k expansion steps) must come back in well under a
+    // second with a *degraded* answer: sound per-target bounds from the
+    // hybrid fallback instead of a hang or an error. CI asserts the
+    // row's status, its bounds envelope, and the < 1 s wall time.
+    {
+        let v = DNNF_KMEDOIDS_VAR_CAP;
+        let prep = prepare(
+            16,
+            2,
+            2,
+            Scheme::Positive { l: 8, v },
+            &LineageOpts::default(),
+            7,
+        );
+        let budget = Budget {
+            max_steps: Some(500),
+            ..Budget::with_timeout(Duration::from_millis(50))
+        };
+        let m = run_engine_budgeted(&prep, Engine::DnnfExact, 0.1, budget);
+        println!(
+            "budget-probe v={v} status={} seconds={:.4}s",
+            m.status, m.seconds
+        );
+        push_m(
+            &mut rows,
+            "probe",
+            "budget",
+            &format!("n=16;v={v};budget=50ms"),
+            &m,
+        );
     }
     write_json(&rows);
     match telemetry::write_trace_if_armed() {

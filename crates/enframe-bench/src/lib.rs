@@ -24,14 +24,16 @@
 //! design choice: folded vs unfolded loop encoding
 //! (`ablation_folded`), via [`Engine::ExactFolded`]/[`Engine::HybridFolded`].
 
+use enframe_core::budget::{Budget, BudgetScope};
 use enframe_core::{Program, Var, VarTable};
 use enframe_data::{generate_lineage, kmedoids_workload, ClusteringWorkload, LineageOpts, Scheme};
 use enframe_lang::{parse, programs, UserProgram};
 use enframe_network::{FoldedNetwork, Network};
 use enframe_obdd::dnnf::{DnnfEngine, DnnfOptions, DnnfStats};
-use enframe_obdd::{ObddEngine, ObddOptions, ObddStats};
+use enframe_obdd::{ObddEngine, ObddError, ObddOptions, ObddStats};
 use enframe_prob::{
-    compile, compile_distributed, compile_folded, CompileResult, DistOptions, Options, Strategy,
+    compile_distributed, compile_folded_scoped, compile_scoped, CompileResult, DistOptions,
+    Options, Strategy,
 };
 use enframe_telemetry::{self as telemetry, Counter, Phase, Snapshot};
 use enframe_translate::{targets, translate, ProbEnv};
@@ -213,6 +215,11 @@ pub struct Measurement {
     /// and per-phase span aggregates, reset before the engine ran and
     /// read after it finished. All-zero when telemetry is disabled.
     pub telemetry: Option<Snapshot>,
+    /// Per-target probability bounds `[L, U]` when the run produced
+    /// bounds instead of (or alongside) point estimates — always set by
+    /// the decision-tree engines, and by a budget-degraded run
+    /// (`status == "degraded"`), whose `estimates` are the midpoints.
+    pub bounds: Option<(Vec<f64>, Vec<f64>)>,
 }
 
 /// Cap on variables for the naïve baseline in harness runs (the paper's
@@ -276,6 +283,7 @@ pub fn timeout_measurement(reason: &str) -> Measurement {
         dnnf_stats: None,
         workers: 1,
         telemetry: None,
+        bounds: None,
     }
 }
 
@@ -289,19 +297,40 @@ fn error_measurement(e: impl std::fmt::Display) -> Measurement {
         dnnf_stats: None,
         workers: 1,
         telemetry: None,
+        bounds: None,
     }
 }
 
-/// Runs one engine over a prepared pipeline.
+/// Runs one engine over a prepared pipeline (unlimited budget).
 pub fn run_engine(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement {
+    run_engine_budgeted(prep, engine, epsilon, Budget::unlimited())
+}
+
+/// Runs one engine over a prepared pipeline under a resource budget.
+///
+/// This is the **graceful-degradation ladder** (ISSUE 8): when an exact
+/// engine exhausts the budget mid-compilation, the measurement does not
+/// fail — the harness falls back to the hybrid bounds engine under the
+/// *same* budget (the deadline is absolute, so the fallback naturally
+/// gets only the remaining time) and reports `status == "degraded"`
+/// with per-target bounds `[L, U]` whose midpoints become the
+/// estimates. The anytime decision-tree engines degrade in place: their
+/// partial bounds are already sound, so an exhausted run keeps its own
+/// bounds and is merely relabelled `degraded`.
+pub fn run_engine_budgeted(
+    prep: &Prepared,
+    engine: Engine,
+    epsilon: f64,
+    budget: Budget,
+) -> Measurement {
     telemetry::reset();
-    let mut m = run_engine_inner(prep, engine, epsilon);
+    let mut m = run_engine_inner(prep, engine, epsilon, budget);
     m.workers = engine.workers();
     m.telemetry = Some(telemetry::snapshot());
     m
 }
 
-fn run_engine_inner(prep: &Prepared, engine: Engine, epsilon: f64) -> Measurement {
+fn run_engine_inner(prep: &Prepared, engine: Engine, epsilon: f64, budget: Budget) -> Measurement {
     let vt = &prep.workload.vt;
     match engine {
         Engine::Naive => run_naive(&prep.ast, &prep.workload.env, vt, prep.k, prep.n),
@@ -310,26 +339,41 @@ fn run_engine_inner(prep: &Prepared, engine: Engine, epsilon: f64) -> Measuremen
                 return timeout_measurement(&format!("v={}>{EXACT_VAR_CAP}", vt.len()));
             }
             let t0 = Instant::now();
-            let res = compile(&prep.net, vt, Options::exact());
+            let scope = BudgetScope::new(budget);
+            let res = compile_scoped(&prep.net, vt, Options::exact(), &scope);
+            note_scope(&scope);
+            if res.exhausted.is_some() {
+                return degrade_to_bounds(&prep.net, vt, epsilon, budget, t0);
+            }
             finish(t0, res)
         }
         Engine::Eager | Engine::Lazy | Engine::Hybrid => {
             let t0 = Instant::now();
-            let res = compile(&prep.net, vt, Options::approx(strategy_of(engine), epsilon));
+            let scope = BudgetScope::new(budget);
+            let res = compile_scoped(
+                &prep.net,
+                vt,
+                Options::approx(strategy_of(engine), epsilon),
+                &scope,
+            );
+            note_scope(&scope);
             finish(t0, res)
         }
         Engine::HybridD { workers, job_depth } => {
             let t0 = Instant::now();
-            let res = compile_distributed(
+            match compile_distributed(
                 &prep.net,
                 vt,
                 DistOptions {
                     workers,
                     job_depth,
                     seq: Options::approx(Strategy::Hybrid, epsilon),
+                    budget,
                 },
-            );
-            finish(t0, res)
+            ) {
+                Ok(res) => finish(t0, res),
+                Err(e) => error_measurement(e),
+            }
         }
         Engine::BddExact | Engine::BddStatic | Engine::BddPar { .. } => {
             if vt.len() > BDD_KMEDOIDS_VAR_CAP {
@@ -341,13 +385,15 @@ fn run_engine_inner(prep: &Prepared, engine: Engine, epsilon: f64) -> Measuremen
                 &prep.workload.var_groups,
                 engine == Engine::BddStatic,
                 engine.workers(),
+                epsilon,
+                budget,
             )
         }
         Engine::DnnfExact | Engine::DnnfPar { .. } => {
             if vt.len() > DNNF_KMEDOIDS_VAR_CAP {
                 return timeout_measurement(&format!("v={}>{DNNF_KMEDOIDS_VAR_CAP}", vt.len()));
             }
-            run_dnnf_exact(&prep.net, vt, engine.workers())
+            run_dnnf_exact(&prep.net, vt, engine.workers(), epsilon, budget)
         }
         Engine::ExactFolded | Engine::HybridFolded => {
             let Some(folded) = &prep.folded else {
@@ -363,24 +409,72 @@ fn run_engine_inner(prep: &Prepared, engine: Engine, epsilon: f64) -> Measuremen
                 _ => Options::approx(Strategy::Hybrid, epsilon),
             };
             let t0 = Instant::now();
-            let res = compile_folded(folded, vt, opts);
+            let scope = BudgetScope::new(budget);
+            let res = compile_folded_scoped(folded, vt, opts, &scope);
+            note_scope(&scope);
+            if engine == Engine::ExactFolded && res.exhausted.is_some() {
+                return degrade_to_bounds(&prep.net, vt, epsilon, budget, t0);
+            }
             finish(t0, res)
         }
+    }
+}
+
+/// Folds a finished compilation scope's budget-governance activity into
+/// the telemetry counters (the OBDD/d-DNNF/distributed entry points do
+/// this in their own wrappers; the bare `compile_scoped` paths go
+/// through here).
+fn note_scope(scope: &BudgetScope) {
+    telemetry::count_n(Counter::BudgetCheck, scope.checks());
+    if scope.is_cancelled() {
+        telemetry::count(Counter::Cancellation);
     }
 }
 
 fn finish(t0: Instant, res: CompileResult) -> Measurement {
     let seconds = t0.elapsed().as_secs_f64();
     let estimates = (0..res.lower.len()).map(|i| res.estimate(i)).collect();
+    let status = if res.exhausted.is_some() {
+        // The anytime engines degrade in place: an exhausted run's
+        // partial bounds are still sound, only wider than requested.
+        "degraded".into()
+    } else {
+        "ok".into()
+    };
     Measurement {
         seconds,
         estimates: Some(estimates),
-        status: "ok".into(),
+        status,
         stats: None,
         dnnf_stats: None,
         workers: 1,
         telemetry: None,
+        bounds: Some((res.lower, res.upper)),
     }
+}
+
+/// The bottom rung of the degradation ladder: after an exact engine
+/// exhausted its budget, re-run the hybrid bounds engine over the same
+/// network under the *same* budget (the absolute deadline grants it
+/// exactly the remaining time) and report the result as `degraded`.
+/// The hybrid engine is anytime, so whatever it reaches is a sound
+/// `[L, U]` enclosure of the exact answer.
+fn degrade_to_bounds(
+    net: &Network,
+    vt: &VarTable,
+    epsilon: f64,
+    budget: Budget,
+    t0: Instant,
+) -> Measurement {
+    telemetry::count(Counter::Fallback);
+    let _span = telemetry::span(Phase::Degraded);
+    let eps = if epsilon > 0.0 { epsilon } else { 0.1 };
+    let scope = BudgetScope::new(budget);
+    let res = compile_scoped(net, vt, Options::approx(Strategy::Hybrid, eps), &scope);
+    note_scope(&scope);
+    let mut m = finish(t0, res);
+    m.status = "degraded".into();
+    m
 }
 
 fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize) -> Measurement {
@@ -398,6 +492,7 @@ fn run_naive(ast: &UserProgram, env: &ProbEnv, vt: &VarTable, k: usize, n: usize
         dnnf_stats: None,
         workers: 1,
         telemetry: None,
+        bounds: None,
     }
 }
 
@@ -570,14 +665,30 @@ pub fn prepare_workers_sweep(n_groups: usize, window: usize, seed: u64) -> Linea
 /// sequential engines ([`Engine::Exact`], the three approximations, and
 /// [`Engine::BddExact`]); others report a skip.
 pub fn run_lineage_engine(prep: &LineagePrepared, engine: Engine, epsilon: f64) -> Measurement {
+    run_lineage_engine_budgeted(prep, engine, epsilon, Budget::unlimited())
+}
+
+/// [`run_lineage_engine`] under a resource budget, with the same
+/// degradation ladder as [`run_engine_budgeted`].
+pub fn run_lineage_engine_budgeted(
+    prep: &LineagePrepared,
+    engine: Engine,
+    epsilon: f64,
+    budget: Budget,
+) -> Measurement {
     telemetry::reset();
-    let mut m = run_lineage_engine_inner(prep, engine, epsilon);
+    let mut m = run_lineage_engine_inner(prep, engine, epsilon, budget);
     m.workers = engine.workers();
     m.telemetry = Some(telemetry::snapshot());
     m
 }
 
-fn run_lineage_engine_inner(prep: &LineagePrepared, engine: Engine, epsilon: f64) -> Measurement {
+fn run_lineage_engine_inner(
+    prep: &LineagePrepared,
+    engine: Engine,
+    epsilon: f64,
+    budget: Budget,
+) -> Measurement {
     let vt = &prep.vt;
     match engine {
         Engine::Exact => {
@@ -585,21 +696,43 @@ fn run_lineage_engine_inner(prep: &LineagePrepared, engine: Engine, epsilon: f64
                 return timeout_measurement(&format!("v={}>{EXACT_VAR_CAP}", vt.len()));
             }
             let t0 = Instant::now();
-            let res = compile(&prep.net, vt, Options::exact());
+            let scope = BudgetScope::new(budget);
+            let res = compile_scoped(&prep.net, vt, Options::exact(), &scope);
+            note_scope(&scope);
+            if res.exhausted.is_some() {
+                return degrade_to_bounds(&prep.net, vt, epsilon, budget, t0);
+            }
             finish(t0, res)
         }
         Engine::Eager | Engine::Lazy | Engine::Hybrid => {
             let t0 = Instant::now();
-            let res = compile(&prep.net, vt, Options::approx(strategy_of(engine), epsilon));
+            let scope = BudgetScope::new(budget);
+            let res = compile_scoped(
+                &prep.net,
+                vt,
+                Options::approx(strategy_of(engine), epsilon),
+                &scope,
+            );
+            note_scope(&scope);
             finish(t0, res)
         }
-        Engine::BddExact => run_bdd_exact(&prep.net, vt, &prep.var_groups, false, 1),
-        Engine::BddStatic => run_bdd_exact(&prep.net, vt, &prep.var_groups, true, 1),
-        Engine::BddPar { .. } => {
-            run_bdd_exact(&prep.net, vt, &prep.var_groups, false, engine.workers())
+        Engine::BddExact => {
+            run_bdd_exact(&prep.net, vt, &prep.var_groups, false, 1, epsilon, budget)
         }
-        Engine::DnnfExact => run_dnnf_exact(&prep.net, vt, 1),
-        Engine::DnnfPar { .. } => run_dnnf_exact(&prep.net, vt, engine.workers()),
+        Engine::BddStatic => {
+            run_bdd_exact(&prep.net, vt, &prep.var_groups, true, 1, epsilon, budget)
+        }
+        Engine::BddPar { .. } => run_bdd_exact(
+            &prep.net,
+            vt,
+            &prep.var_groups,
+            false,
+            engine.workers(),
+            epsilon,
+            budget,
+        ),
+        Engine::DnnfExact => run_dnnf_exact(&prep.net, vt, 1, epsilon, budget),
+        Engine::DnnfPar { .. } => run_dnnf_exact(&prep.net, vt, engine.workers(), epsilon, budget),
         _ => timeout_measurement("engine not applicable to lineage queries"),
     }
 }
@@ -622,6 +755,8 @@ fn run_bdd_exact(
     groups: &[Vec<Var>],
     static_manager: bool,
     workers: usize,
+    epsilon: f64,
+    budget: Budget,
 ) -> Measurement {
     let t0 = Instant::now();
     let base = if static_manager {
@@ -629,7 +764,11 @@ fn run_bdd_exact(
     } else {
         ObddOptions::with_groups(groups.to_vec())
     };
-    let opts = ObddOptions { workers, ..base };
+    let opts = ObddOptions {
+        workers,
+        budget,
+        ..base
+    };
     match ObddEngine::compile(net, &opts) {
         Ok(engine) => {
             let probs = engine.probabilities(vt);
@@ -641,8 +780,12 @@ fn run_bdd_exact(
                 dnnf_stats: None,
                 workers: 1,
                 telemetry: None,
+                bounds: None,
             }
         }
+        // Budget exhaustion degrades to the bounds engine; structural
+        // failures (worker panics, injected faults) stay errors.
+        Err(ObddError::BudgetExceeded { .. }) => degrade_to_bounds(net, vt, epsilon, budget, t0),
         Err(e) => error_measurement(e),
     }
 }
@@ -650,25 +793,44 @@ fn run_bdd_exact(
 /// Compiles a network's targets into d-DNNF and counts them — the
 /// [`Engine::DnnfExact`] measurement shared by [`run_engine`] and
 /// [`run_lineage_engine`].
-fn run_dnnf_exact(net: &Network, vt: &VarTable, workers: usize) -> Measurement {
+fn run_dnnf_exact(
+    net: &Network,
+    vt: &VarTable,
+    workers: usize,
+    epsilon: f64,
+    budget: Budget,
+) -> Measurement {
     let t0 = Instant::now();
     let opts = DnnfOptions {
         workers,
+        budget,
         ..DnnfOptions::default()
     };
     match DnnfEngine::compile(net, &opts) {
         Ok(engine) => {
-            let probs = engine.probabilities(vt);
-            Measurement {
-                seconds: t0.elapsed().as_secs_f64(),
-                estimates: Some(probs),
-                status: "ok".into(),
-                stats: None,
-                dnnf_stats: Some(engine.stats().clone()),
-                workers: 1,
-                telemetry: None,
+            // The WMC pass runs under the same (absolute) budget as
+            // compilation — a deadline that expires mid-count degrades
+            // to bounds exactly like one that expires mid-compile.
+            match engine.try_probabilities(vt, &BudgetScope::new(budget)) {
+                Ok(probs) => Measurement {
+                    seconds: t0.elapsed().as_secs_f64(),
+                    estimates: Some(probs),
+                    status: "ok".into(),
+                    stats: None,
+                    dnnf_stats: Some(engine.stats().clone()),
+                    workers: 1,
+                    telemetry: None,
+                    bounds: None,
+                },
+                Err(ObddError::BudgetExceeded { .. }) => {
+                    degrade_to_bounds(net, vt, epsilon, budget, t0)
+                }
+                Err(e) => error_measurement(e),
             }
         }
+        // Budget exhaustion degrades to the bounds engine; structural
+        // failures (worker panics, injected faults) stay errors.
+        Err(ObddError::BudgetExceeded { .. }) => degrade_to_bounds(net, vt, epsilon, budget, t0),
         Err(e) => error_measurement(e),
     }
 }
@@ -717,12 +879,13 @@ pub fn telemetry_json(m: &Measurement) -> Option<String> {
 /// (including the `peak_bytes` footprint estimate), then
 /// `cmp_branches` (Shannon branches for the BDD engines, expansion
 /// steps for the d-DNNF engine — the directly comparable pair), the
-/// d-DNNF node/edge counts, and four telemetry columns distilled from
-/// the per-measurement [`Snapshot`] (cache hits and the compile/WMC
-/// phase split).
+/// d-DNNF node/edge counts, and seven telemetry columns distilled from
+/// the per-measurement [`Snapshot`] (cache hits, the compile/WMC phase
+/// split, and the budget-governance triple: safe-point checks taken,
+/// cancellations observed, degradation fallbacks).
 pub fn print_header() {
     println!(
-        "figure,series,x,seconds,status,detail,workers,live_nodes,peak_nodes,peak_bytes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges,ite_hits,memo_hits,phase_compile_s,phase_wmc_s"
+        "figure,series,x,seconds,status,detail,workers,live_nodes,peak_nodes,peak_bytes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges,ite_hits,memo_hits,phase_compile_s,phase_wmc_s,budget_checks,cancellations,fallbacks"
     );
 }
 
@@ -750,13 +913,16 @@ pub fn print_row(figure: &str, series: &str, x: &str, m: &Measurement, detail: &
     };
     let tel = match &m.telemetry {
         Some(t) => format!(
-            "{},{},{:.6e},{:.6e}",
+            "{},{},{:.6e},{:.6e},{},{},{}",
             t.counter(Counter::IteHit),
             t.counter(Counter::MemoHit),
             t.compile_seconds(),
-            t.phase_seconds(Phase::Wmc)
+            t.phase_seconds(Phase::Wmc),
+            t.counter(Counter::BudgetCheck),
+            t.counter(Counter::Cancellation),
+            t.counter(Counter::Fallback)
         ),
-        None => ",,,".into(),
+        None => ",,,,,,".into(),
     };
     println!(
         "{figure},{series},{x},{secs},{},{detail},{},{stats},{tel}",
@@ -995,5 +1161,115 @@ mod tests {
         assert!(naive.status.starts_with("timeout"));
         let exact = run_engine(&prep, Engine::Exact, 0.0);
         assert!(exact.status.starts_with("timeout"));
+    }
+
+    /// ISSUE 8 acceptance: the v = 24 k-medoids query — far past the
+    /// decision-tree horizon — under a 50 ms deadline must return a
+    /// *valid bounds answer containing the exact probabilities* instead
+    /// of hanging. The exact reference comes from the unbudgeted d-DNNF
+    /// engine (v = 24 is within its cap).
+    #[test]
+    fn tiny_budget_v24_returns_containing_bounds() {
+        // The governance counters only record while telemetry is on.
+        telemetry::set_enabled(true);
+        let prep = prepare(
+            16,
+            2,
+            2,
+            Scheme::Positive { l: 8, v: 24 },
+            &LineageOpts::default(),
+            7,
+        );
+        let exact = run_engine(&prep, Engine::DnnfExact, 0.0);
+        assert_eq!(exact.status, "ok");
+        let exact = exact.estimates.unwrap();
+        let budget = Budget {
+            // The step cap keeps the outcome deterministic on hosts
+            // fast enough to finish inside 50 ms (the unbudgeted
+            // compile needs ~2.1 k expansion steps).
+            max_steps: Some(500),
+            ..Budget::with_timeout(std::time::Duration::from_millis(50))
+        };
+        let t0 = Instant::now();
+        let m = run_engine_budgeted(&prep, Engine::DnnfExact, 0.1, budget);
+        assert!(
+            t0.elapsed().as_secs_f64() < 5.0,
+            "budgeted run failed to stop promptly"
+        );
+        assert_eq!(m.status, "degraded", "expected degradation, got {m:?}");
+        let (lo, hi) = m.bounds.expect("degraded run must carry bounds");
+        assert_eq!(lo.len(), exact.len());
+        for i in 0..exact.len() {
+            assert!(
+                lo[i] <= exact[i] + 1e-9 && exact[i] <= hi[i] + 1e-9,
+                "target {i}: exact {} not in [{}, {}]",
+                exact[i],
+                lo[i],
+                hi[i]
+            );
+            assert!((0.0..=1.0 + 1e-9).contains(&lo[i]) && hi[i] <= 1.0 + 1e-9);
+        }
+        let tel = m.telemetry.unwrap();
+        assert!(tel.counter(Counter::BudgetCheck) > 0);
+        assert!(tel.counter(Counter::Cancellation) > 0);
+        assert!(tel.counter(Counter::Fallback) > 0);
+    }
+
+    mod degradation_ladder {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// The degradation-ladder invariant, over all three
+            /// correlation schemes and arbitrary step budgets: a
+            /// budgeted exact run either completes — with estimates
+            /// bitwise-equal to the unbudgeted run — or degrades to
+            /// bounds that contain the exact answer. Never an error,
+            /// never a panic, never a silently wrong point estimate.
+            #[test]
+            fn any_budget_is_exact_or_containing_bounds(
+                scheme_ix in 0usize..3,
+                max_steps in 1u64..4_000,
+                seed in 0u64..100,
+            ) {
+                let scheme = [
+                    Scheme::Positive { l: 3, v: 8 },
+                    Scheme::Mutex { m: 4 },
+                    Scheme::Conditional,
+                ][scheme_ix];
+                let prep = prepare_lineage(6, scheme, &LineageOpts::default(), seed);
+                let exact = run_lineage_engine(&prep, Engine::Exact, 0.0);
+                prop_assert_eq!(&exact.status, "ok");
+                let exact = exact.estimates.unwrap();
+                let budget = Budget {
+                    max_steps: Some(max_steps),
+                    ..Budget::unlimited()
+                };
+                let m = run_lineage_engine_budgeted(&prep, Engine::Exact, 0.0, budget);
+                if m.status == "ok" {
+                    let got = m.estimates.as_ref().unwrap();
+                    for i in 0..exact.len() {
+                        prop_assert_eq!(
+                            got[i].to_bits(),
+                            exact[i].to_bits(),
+                            "{:?} steps={} target {}: completed run must be bitwise-exact",
+                            scheme, max_steps, i
+                        );
+                    }
+                } else {
+                    prop_assert_eq!(&m.status, "degraded", "unexpected status: {:?}", m);
+                    let (lo, hi) = m.bounds.as_ref().expect("degraded run carries bounds");
+                    for i in 0..exact.len() {
+                        prop_assert!(
+                            lo[i] <= exact[i] + 1e-9 && exact[i] <= hi[i] + 1e-9,
+                            "{:?} steps={} target {}: exact {} not in [{}, {}]",
+                            scheme, max_steps, i, exact[i], lo[i], hi[i]
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -27,6 +27,15 @@ pub enum CoreError {
     ValueType(String),
     /// A target was registered that does not name a declaration.
     UnknownTarget(String),
+    /// A worker thread panicked; the panic was isolated and converted
+    /// into this error, and the remaining workers were cancelled. The
+    /// payload identifies the worker and carries its panic message.
+    WorkerPanicked {
+        /// Index of the failing worker in its pool.
+        worker: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +54,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::ValueType(msg) => write!(f, "value type error: {msg}"),
             CoreError::UnknownTarget(id) => write!(f, "unknown compilation target `{id}`"),
+            CoreError::WorkerPanicked { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
         }
     }
 }

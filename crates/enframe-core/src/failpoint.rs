@@ -1,0 +1,257 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A *failpoint* is a named site in the engines (allocation, worker
+//! spawn, channel recv, merge) that can be armed to fire deterministically
+//! every N-th visit. Armed via the `ENFRAME_FAILPOINTS` environment
+//! variable — a comma-separated list of `site:every-N` clauses:
+//!
+//! ```text
+//! ENFRAME_FAILPOINTS=spawn:every-1            # every worker spawn faults
+//! ENFRAME_FAILPOINTS=alloc:every-1000,recv:every-4
+//! ```
+//!
+//! Site names are [`Site::name`] values: `alloc`, `spawn`, `recv`,
+//! `merge`. Unparseable clauses are ignored (chaos harnesses must never
+//! take the process down themselves). When the variable is unset and no
+//! programmatic override is installed, [`hit`] compiles down to one
+//! atomic load of a cached `None` — effectively free in production.
+//!
+//! What a hit *means* is decided at the call site: spawn sites panic
+//! (exercising panic isolation), alloc/merge sites return a structured
+//! error, recv sites stall briefly (exercising cancellation-aware
+//! polling). The facility itself only answers "should this visit fault?".
+//!
+//! Tests that cannot mutate process environment (the test harness is
+//! multi-threaded) install a process-global override with
+//! [`override_for_test`], which serialises chaos tests on an internal
+//! lock and restores the previous state on drop.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The injectable fault sites wired through the engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Node allocation in a manager (simulated allocation failure).
+    Alloc,
+    /// Worker thread body entry (simulated worker panic).
+    Spawn,
+    /// Worker channel recv (simulated stall).
+    Recv,
+    /// Merging a worker's result into the shared store.
+    Merge,
+}
+
+/// All sites, in declaration order.
+pub const SITES: [Site; 4] = [Site::Alloc, Site::Spawn, Site::Recv, Site::Merge];
+
+impl Site {
+    /// The stable name used in `ENFRAME_FAILPOINTS` clauses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Alloc => "alloc",
+            Site::Spawn => "spawn",
+            Site::Recv => "recv",
+            Site::Merge => "merge",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Site::Alloc => 0,
+            Site::Spawn => 1,
+            Site::Recv => 2,
+            Site::Merge => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Environment variable holding the failpoint spec.
+pub const ENV_FAILPOINTS: &str = "ENFRAME_FAILPOINTS";
+
+/// Per-site period: 0 = disarmed, N = fire every N-th visit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Config {
+    every: [u64; SITES.len()],
+}
+
+impl Config {
+    fn armed(&self) -> bool {
+        self.every.iter().any(|&n| n != 0)
+    }
+}
+
+/// Parses `alloc:every-1000,spawn:every-1`; unknown/ill-formed clauses
+/// are skipped.
+fn parse(spec: &str) -> Config {
+    let mut cfg = Config::default();
+    for clause in spec.split(',') {
+        let clause = clause.trim();
+        let Some((site, period)) = clause.split_once(':') else {
+            continue;
+        };
+        let Some(site) = SITES.iter().copied().find(|s| s.name() == site.trim()) else {
+            continue;
+        };
+        let Some(n) = period.trim().strip_prefix("every-") else {
+            continue;
+        };
+        if let Ok(n) = n.parse::<u64>() {
+            if n > 0 {
+                cfg.every[site.index()] = n;
+            }
+        }
+    }
+    cfg
+}
+
+/// Encoded active config: 0 = uninitialised, 1 = disarmed, otherwise a
+/// leaked `Config` index+2 into `OVERRIDES`. Keeping the armed/disarmed
+/// decision in one atomic makes the disarmed [`hit`] path a single load.
+static STATE: AtomicUsize = AtomicUsize::new(0);
+static ENV_CONFIG: OnceLock<Config> = OnceLock::new();
+static ACTIVE: Mutex<Option<Config>> = Mutex::new(None);
+static COUNTERS: [AtomicU64; SITES.len()] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+const UNINIT: usize = 0;
+const DISARMED: usize = 1;
+const ARMED: usize = 2;
+
+fn env_config() -> Config {
+    *ENV_CONFIG.get_or_init(|| {
+        std::env::var(ENV_FAILPOINTS)
+            .ok()
+            .map(|s| parse(&s))
+            .unwrap_or_default()
+    })
+}
+
+fn activate(cfg: Config) {
+    let mut active = ACTIVE.lock().unwrap_or_else(|e| e.into_inner());
+    *active = Some(cfg);
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    STATE.store(
+        if cfg.armed() { ARMED } else { DISARMED },
+        Ordering::Release,
+    );
+}
+
+/// Whether this visit to `site` should fault. Deterministic: the K-th
+/// visit faults iff K is a multiple of the site's configured period.
+/// Free (one relaxed load) when no failpoints are armed.
+#[inline]
+pub fn hit(site: Site) -> bool {
+    match STATE.load(Ordering::Acquire) {
+        DISARMED => false,
+        UNINIT => {
+            activate(env_config());
+            hit(site)
+        }
+        _ => hit_armed(site),
+    }
+}
+
+#[cold]
+fn hit_armed(site: Site) -> bool {
+    let every = {
+        let active = ACTIVE.lock().unwrap_or_else(|e| e.into_inner());
+        match *active {
+            Some(cfg) => cfg.every[site.index()],
+            None => return false,
+        }
+    };
+    if every == 0 {
+        return false;
+    }
+    let visit = COUNTERS[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
+    visit % every == 0
+}
+
+/// Lock serialising chaos tests that use [`override_for_test`].
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Guard installing a failpoint spec process-wide for the duration of a
+/// test; restores the environment-derived config on drop. Holding the
+/// guard serialises all override-based chaos tests.
+pub struct OverrideGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        activate(env_config());
+    }
+}
+
+/// Installs `spec` (same grammar as `ENFRAME_FAILPOINTS`) as the active
+/// failpoint config and resets all visit counters. Intended for tests:
+/// the returned guard serialises concurrent chaos tests and restores
+/// the environment config when dropped.
+pub fn override_for_test(spec: &str) -> OverrideGuard {
+    let lock = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    activate(parse(spec));
+    OverrideGuard { _lock: lock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_reads_the_documented_grammar() {
+        let cfg = parse("alloc:every-1000, spawn:every-1");
+        assert_eq!(cfg.every[Site::Alloc.index()], 1000);
+        assert_eq!(cfg.every[Site::Spawn.index()], 1);
+        assert_eq!(cfg.every[Site::Recv.index()], 0);
+        assert_eq!(cfg.every[Site::Merge.index()], 0);
+    }
+
+    #[test]
+    fn parser_skips_garbage_clauses() {
+        let cfg = parse("bogus:every-3,alloc:sometimes,recv:every-0,merge:every-x,,spawn:every-2");
+        assert_eq!(
+            cfg,
+            Config {
+                every: [0, 2, 0, 0]
+            }
+        );
+        assert!(!parse("").armed());
+    }
+
+    #[test]
+    fn override_fires_every_nth_visit_and_restores() {
+        {
+            let _guard = override_for_test("recv:every-3");
+            let hits: Vec<bool> = (0..9).map(|_| hit(Site::Recv)).collect();
+            assert_eq!(
+                hits,
+                [false, false, true, false, false, true, false, false, true]
+            );
+            assert!(!hit(Site::Alloc), "unarmed sites never fire");
+        }
+        // Guard dropped: back to the (unset) environment config.
+        for _ in 0..10 {
+            assert!(!hit(Site::Recv));
+        }
+    }
+
+    #[test]
+    fn every_one_fires_always() {
+        let _guard = override_for_test("spawn:every-1");
+        assert!(hit(Site::Spawn));
+        assert!(hit(Site::Spawn));
+    }
+}

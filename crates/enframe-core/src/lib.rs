@@ -44,8 +44,10 @@
 //! assert!((probs[0] - 0.75).abs() < 1e-12);
 //! ```
 
+pub mod budget;
 pub mod error;
 pub mod event;
+pub mod failpoint;
 pub mod fxhash;
 pub mod ground;
 pub mod program;
@@ -55,6 +57,7 @@ pub mod value;
 pub mod var;
 pub mod workers;
 
+pub use budget::{Budget, BudgetScope, Exceeded, Resource};
 pub use error::CoreError;
 pub use event::{CVal, CmpOp, Event};
 pub use ground::{Def, DefId, GroundProgram, Ident};

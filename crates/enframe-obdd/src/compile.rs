@@ -35,6 +35,8 @@
 use crate::manager::{Bdd, Manager};
 use crate::peval::{loop_in_unsupported, Evaluator, Partial, VisitStamp};
 use crate::ObddError;
+use enframe_core::budget::BudgetScope;
+use enframe_core::failpoint::{self, Site};
 use enframe_core::Var;
 use enframe_network::{Network, NodeId, NodeKind};
 
@@ -74,21 +76,26 @@ pub(crate) struct Compiler<'n> {
     support: Vec<Var>,
     /// Count of Shannon-expansion branches taken for `Cmp` atoms.
     pub(crate) cmp_branches: u64,
+    /// Shared budget/cancellation state, checked at the existing safe
+    /// points: per cone node (size limits) and per Shannon branch (step
+    /// limit). Unlimited scopes short-circuit every check.
+    scope: BudgetScope,
 }
 
 impl<'n> Compiler<'n> {
-    pub(crate) fn new(net: &'n Network, level_of: Vec<Option<u32>>) -> Self {
+    pub(crate) fn new(net: &'n Network, level_of: Vec<Option<u32>>, scope: BudgetScope) -> Self {
         Compiler {
             net,
             level_of,
             cache: vec![None; net.len()],
-            eval: Evaluator::new(net),
+            eval: Evaluator::new(net, scope.clone()),
             seen: VisitStamp::new(net.len()),
             stack: Vec::new(),
             cone: Vec::new(),
             subtree: Vec::new(),
             support: Vec::new(),
             cmp_branches: 0,
+            scope,
         }
     }
 
@@ -120,12 +127,24 @@ impl<'n> Compiler<'n> {
         self.cone.sort_unstable();
         for i in 0..self.cone.len() {
             let id = self.cone[i];
+            if failpoint::hit(Site::Alloc) {
+                return Err(ObddError::Injected("alloc"));
+            }
             let bdd = self.compile_one(man, id)?;
             // Memoised BDDs are GC roots until `finish`: later cone
             // nodes (and later targets) combine them compositionally.
             man.protect(bdd);
             self.cache[id.index()] = Some(bdd);
             man.maybe_maintain();
+            // Budget safe point, right after maintenance had its chance
+            // to shrink the table. The `stats()` snapshot walks the
+            // subtables, so it is only taken on limited scopes.
+            if self.scope.is_limited() {
+                let st = man.stats();
+                self.scope.check_usage(st.live_nodes, st.peak_bytes)?;
+            } else {
+                self.scope.checkpoint()?;
+            }
         }
         Ok(self.cache[root.index()].expect("root is in its own cone"))
     }
@@ -249,6 +268,10 @@ impl<'n> Compiler<'n> {
         next: usize,
     ) -> Result<Bdd, ObddError> {
         self.cmp_branches += 1;
+        // One budget step per Shannon branch — the quantity that blows
+        // up on aggregate-heavy workloads, and the knob `max_steps`
+        // bounds.
+        self.scope.check_steps(1)?;
         self.eval.eval_subtree(subtree)?;
         if let Partial::B(b) = self.eval.value(id) {
             return Ok(if *b { Bdd::TRUE } else { Bdd::FALSE });

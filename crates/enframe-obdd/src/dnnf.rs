@@ -54,12 +54,15 @@
 pub mod wmc;
 
 use crate::peval::{loop_in_unsupported, Evaluator, Partial, VisitStamp};
-use crate::ObddError;
+use crate::{first_worker_error, panic_message, recv_next, ObddError};
+use enframe_core::budget::{Budget, BudgetScope, Exceeded, Resource};
+use enframe_core::failpoint::{self, Site};
 use enframe_core::fxhash::FxHashMap;
 use enframe_core::{Value, Var, VarTable};
 use enframe_network::{Network, NodeId, NodeKind};
 use enframe_prob::order::{static_order, VarOrder};
 use enframe_telemetry::{self as telemetry, Counter, Phase};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A handle to a d-DNNF node. Equality is node identity; hash-consing
 /// makes node identity function identity *per construction site* (the
@@ -305,6 +308,10 @@ pub struct DnnfOptions {
     /// regardless of which worker compiles it, and weighted model
     /// counting reduces children in a canonical order.
     pub workers: usize,
+    /// Resource budget for the compilation. Unlimited by default (all
+    /// checks short-circuit); on exhaustion the compile returns
+    /// [`ObddError::BudgetExceeded`] instead of hanging or OOMing.
+    pub budget: Budget,
 }
 
 /// Compilation statistics.
@@ -353,16 +360,35 @@ impl DnnfEngine {
     /// compiled sentences — and therefore all probabilities — are
     /// identical to a sequential compile for every worker count.
     pub fn compile(net: &Network, opts: &DnnfOptions) -> Result<Self, ObddError> {
-        let workers = enframe_core::workers::resolve(opts.workers, 1);
-        if workers <= 1 || net.targets.len() <= 1 {
-            return Self::compile_seq(net, opts, workers);
+        let scope = BudgetScope::new(opts.budget);
+        let result = Self::compile_scoped(net, opts, &scope);
+        telemetry::count_n(Counter::BudgetCheck, scope.checks());
+        if scope.is_cancelled() {
+            telemetry::count(Counter::Cancellation);
         }
-        Self::compile_par(net, opts, workers)
+        result
     }
 
-    fn compile_seq(net: &Network, opts: &DnnfOptions, workers: usize) -> Result<Self, ObddError> {
+    fn compile_scoped(
+        net: &Network,
+        opts: &DnnfOptions,
+        scope: &BudgetScope,
+    ) -> Result<Self, ObddError> {
+        let workers = enframe_core::workers::resolve(opts.workers, 1);
+        if workers <= 1 || net.targets.len() <= 1 {
+            return Self::compile_seq(net, opts, workers, scope);
+        }
+        Self::compile_par(net, opts, workers, scope)
+    }
+
+    fn compile_seq(
+        net: &Network,
+        opts: &DnnfOptions,
+        workers: usize,
+        scope: &BudgetScope,
+    ) -> Result<Self, ObddError> {
         let mut man = DnnfManager::new();
-        let mut compiler = Compiler::new(net, opts);
+        let mut compiler = Compiler::new(net, opts, scope.clone());
         compiler.prime()?;
         let mut targets = Vec::with_capacity(net.targets.len());
         for &t in &net.targets {
@@ -389,7 +415,12 @@ impl DnnfEngine {
     /// so the pool drains the queue and shuts down on disconnect — the
     /// semantics the `crossbeam` shim's disconnected-while-nonempty
     /// behaviour guarantees.
-    fn compile_par(net: &Network, opts: &DnnfOptions, workers: usize) -> Result<Self, ObddError> {
+    fn compile_par(
+        net: &Network,
+        opts: &DnnfOptions,
+        workers: usize,
+        scope: &BudgetScope,
+    ) -> Result<Self, ObddError> {
         struct WorkerOut {
             man: DnnfManager,
             compiled: Vec<(usize, Dnnf)>,
@@ -407,60 +438,86 @@ impl DnnfEngine {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let rx = rx.clone();
+                    let scope = scope.clone();
                     s.spawn(move || {
                         let _worker = telemetry::worker_span(Phase::Worker, w);
-                        let mut man = DnnfManager::new();
-                        let mut compiler = Compiler::new(net, opts);
-                        let mut compiled = Vec::new();
-                        let mut error = None;
-                        if let Err(e) = compiler.prime() {
-                            error = Some((0, e));
-                        } else {
-                            loop {
-                                let msg = {
-                                    let _wait = telemetry::span(Phase::QueueWait);
-                                    telemetry::count(Counter::QueueWait);
-                                    rx.recv()
-                                };
-                                let Ok(i) = msg else { break };
-                                match compiler.compile(&mut man, net.targets[i]) {
-                                    Ok(d) => compiled.push((i, d)),
-                                    Err(e) => {
-                                        // Stop: an error can leave the
-                                        // evaluator's assignment dirty.
-                                        error = Some((i, e));
-                                        break;
+                        // Panic isolation — see `ObddEngine::compile_par`.
+                        let current = std::cell::Cell::new(0usize);
+                        let body = catch_unwind(AssertUnwindSafe(|| {
+                            let mut man = DnnfManager::new();
+                            let mut compiler = Compiler::new(net, opts, scope.clone());
+                            let mut compiled = Vec::new();
+                            let mut error = None;
+                            if let Err(e) = compiler.prime() {
+                                scope.cancel_external();
+                                error = Some((0, e));
+                            } else {
+                                while let Some(i) = recv_next(&rx, &scope) {
+                                    current.set(i);
+                                    if failpoint::hit(Site::Spawn) {
+                                        panic!("injected worker panic (failpoint `spawn`)");
+                                    }
+                                    match compiler.compile(&mut man, net.targets[i]) {
+                                        Ok(d) => compiled.push((i, d)),
+                                        Err(e) => {
+                                            // Stop this worker (the
+                                            // evaluator's assignment may
+                                            // be dirty) and its siblings.
+                                            scope.cancel_external();
+                                            error = Some((i, e));
+                                            break;
+                                        }
                                     }
                                 }
                             }
-                        }
-                        WorkerOut {
-                            man,
-                            compiled,
-                            error,
-                            steps: compiler.expansion_steps,
-                            hits: compiler.memo_hits,
-                        }
+                            WorkerOut {
+                                man,
+                                compiled,
+                                error,
+                                steps: compiler.expansion_steps,
+                                hits: compiler.memo_hits,
+                            }
+                        }));
+                        body.unwrap_or_else(|payload| {
+                            scope.cancel_external();
+                            telemetry::count(Counter::Cancellation);
+                            let target = current.get();
+                            WorkerOut {
+                                man: DnnfManager::new(),
+                                compiled: Vec::new(),
+                                error: Some((
+                                    target,
+                                    ObddError::WorkerPanicked {
+                                        target,
+                                        message: panic_message(payload),
+                                    },
+                                )),
+                                steps: 0,
+                                hits: 0,
+                            }
+                        })
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("d-DNNF worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .expect("worker panics are caught inside the closure")
+                })
                 .collect()
         })
-        .expect("d-DNNF worker scope");
+        .expect("worker panics are caught inside the closure");
 
-        // Report the error of the smallest-indexed failing target, so a
-        // failure surfaces deterministically across schedules.
-        if let Some((_, e)) = outs
-            .iter()
-            .filter_map(|w| w.error.as_ref())
-            .min_by_key(|(i, _)| *i)
-        {
+        // Report the first real failure, deterministically across
+        // schedules; cancellation echoes from sibling workers lose.
+        if let Some((_, e)) = first_worker_error(outs.iter().filter_map(|w| w.error.as_ref())) {
             return Err(e.clone());
         }
         let _merge = telemetry::span(Phase::Merge);
+        if failpoint::hit(Site::Merge) {
+            return Err(ObddError::Injected("merge"));
+        }
         let mut man = DnnfManager::new();
         let mut targets: Vec<Option<Dnnf>> = vec![None; net.targets.len()];
         let mut steps = 0u64;
@@ -473,10 +530,18 @@ impl DnnfEngine {
             steps += w.steps;
             hits += w.hits;
         }
-        let targets: Vec<Dnnf> = targets
-            .into_iter()
-            .map(|t| t.expect("every queued target compiled by exactly one worker"))
-            .collect();
+        // Holes mean a cancellation stopped the pool before every target
+        // compiled; surface the recorded verdict.
+        let targets: Vec<Dnnf> =
+            targets
+                .into_iter()
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| {
+                    ObddError::from(scope.verdict().unwrap_or(Exceeded {
+                        resource: Resource::Cancelled,
+                        spent: 0,
+                    }))
+                })?;
         let stats = DnnfStats {
             nodes: man.len() - 2,
             edges: man.edges(),
@@ -528,14 +593,30 @@ impl DnnfEngine {
     /// # Panics
     /// Panics if `vt` does not cover the compiled variables.
     pub fn probabilities(&self, vt: &VarTable) -> Vec<f64> {
+        self.try_probabilities(vt, &BudgetScope::unlimited())
+            .expect("unlimited scope cannot exceed a budget")
+    }
+
+    /// [`Self::probabilities`] under a budget: the WMC sweep checkpoints
+    /// `scope` (per level when parallel, every few thousand nodes when
+    /// sequential) and returns [`ObddError::BudgetExceeded`] instead of
+    /// finishing if the budget runs out mid-sweep.
+    ///
+    /// # Panics
+    /// Panics if `vt` does not cover the compiled variables.
+    pub fn try_probabilities(
+        &self,
+        vt: &VarTable,
+        scope: &BudgetScope,
+    ) -> Result<Vec<f64>, ObddError> {
         let _span = telemetry::span(Phase::Wmc);
         let wmc_workers = if self.man.len() >= PAR_WMC_MIN_NODES {
             self.workers
         } else {
             1
         };
-        let probs = wmc::node_probabilities_par(&self.man, vt, wmc_workers);
-        self.targets.iter().map(|&t| probs[t.index()]).collect()
+        let probs = wmc::node_probabilities_par_scoped(&self.man, vt, wmc_workers, scope)?;
+        Ok(self.targets.iter().map(|&t| probs[t.index()]).collect())
     }
 }
 
@@ -609,10 +690,14 @@ struct Compiler<'n> {
     opened_by: Vec<u32>,
     expansion_steps: u64,
     memo_hits: u64,
+    /// Shared budget/cancellation state, checked once per expansion step
+    /// (memo misses — the quantity that grows on hard instances; memo
+    /// hits are O(key) and bounded by misses).
+    scope: BudgetScope,
 }
 
 impl<'n> Compiler<'n> {
-    fn new(net: &'n Network, opts: &DnnfOptions) -> Self {
+    fn new(net: &'n Network, opts: &DnnfOptions, scope: BudgetScope) -> Self {
         let order = static_order(net, opts.order);
         let mut rank_of = vec![u32::MAX; net.n_vars as usize];
         for (i, v) in order.iter().enumerate() {
@@ -620,13 +705,14 @@ impl<'n> Compiler<'n> {
         }
         Compiler {
             net,
-            eval: Evaluator::new(net),
+            eval: Evaluator::new(net, scope.clone()),
             rank_of,
             memo: FxHashMap::default(),
             seen: VisitStamp::new(net.len()),
             opened_by: vec![0; net.len()],
             expansion_steps: 0,
             memo_hits: 0,
+            scope,
         }
     }
 
@@ -743,6 +829,16 @@ impl<'n> Compiler<'n> {
         }
         self.expansion_steps += 1;
         telemetry::count(Counter::MemoMiss);
+        // One budget step per fresh expansion, plus the node-count limit
+        // against the store (bytes are proportional at ~20 B/node).
+        self.scope.check_steps(1)?;
+        if self.scope.is_limited() {
+            let nodes = man.len();
+            self.scope.check_usage(nodes, nodes * 20)?;
+        }
+        if failpoint::hit(Site::Alloc) {
+            return Err(ObddError::Injected("alloc"));
+        }
 
         // Decomposable-AND factoring: group items whose *residual*
         // supports are connected, read straight off the key walk (a

@@ -31,10 +31,16 @@
 //!   compile, still yields bitwise-identical probabilities.
 
 use super::{DnnfManager, DnnfNode};
+use enframe_core::budget::{BudgetScope, Exceeded};
 use enframe_core::VarTable;
 use enframe_telemetry::{self as telemetry, Phase};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
+
+/// Stride between budget checkpoints in the sequential sweep: WMC is a
+/// cheap linear pass, so checking every node would cost more than the
+/// work it guards.
+const WMC_CHECK_STRIDE: usize = 4096;
 
 /// One node's probability from its children's probabilities — the
 /// single reduction kernel shared by the sequential and parallel
@@ -93,16 +99,34 @@ fn node_probability(
 /// # Panics
 /// Panics if a stored literal's variable is not covered by `vt`.
 pub fn node_probabilities(man: &DnnfManager, vt: &VarTable) -> Vec<f64> {
+    node_probabilities_scoped(man, vt, &BudgetScope::unlimited())
+        .expect("unlimited scope cannot exceed a budget")
+}
+
+/// [`node_probabilities`] under a budget: the sweep checkpoints the
+/// scope every `WMC_CHECK_STRIDE` nodes and aborts with the verdict
+/// when the budget is spent or a sibling cancelled.
+///
+/// # Panics
+/// Panics if a stored literal's variable is not covered by `vt`.
+pub fn node_probabilities_scoped(
+    man: &DnnfManager,
+    vt: &VarTable,
+    scope: &BudgetScope,
+) -> Result<Vec<f64>, Exceeded> {
     let nodes = man.nodes();
     let mut probs: Vec<f64> = Vec::with_capacity(nodes.len());
     let mut scratch = Vec::new();
-    for node in nodes {
+    for (i, node) in nodes.iter().enumerate() {
+        if i % WMC_CHECK_STRIDE == 0 {
+            scope.checkpoint()?;
+        }
         // Children are created before parents, so their entries are
         // already in `probs`.
         let p = node_probability(node, vt, |c| probs[c], &mut scratch);
         probs.push(p);
     }
-    probs
+    Ok(probs)
 }
 
 /// Data-parallel [`node_probabilities`]: the creation-ordered node
@@ -120,10 +144,28 @@ pub fn node_probabilities(man: &DnnfManager, vt: &VarTable) -> Vec<f64> {
 /// # Panics
 /// Panics if a stored literal's variable is not covered by `vt`.
 pub fn node_probabilities_par(man: &DnnfManager, vt: &VarTable, workers: usize) -> Vec<f64> {
+    node_probabilities_par_scoped(man, vt, workers, &BudgetScope::unlimited())
+        .expect("unlimited scope cannot exceed a budget")
+}
+
+/// [`node_probabilities_par`] under a budget. Workers checkpoint the
+/// scope once per wavefront level; a worker that observes cancellation
+/// stops computing but **keeps hitting every remaining barrier** so its
+/// siblings' `wait()` counts stay matched — the whole pool drains the
+/// level loop and the verdict is returned after the scope exits.
+///
+/// # Panics
+/// Panics if a stored literal's variable is not covered by `vt`.
+pub fn node_probabilities_par_scoped(
+    man: &DnnfManager,
+    vt: &VarTable,
+    workers: usize,
+    scope: &BudgetScope,
+) -> Result<Vec<f64>, Exceeded> {
     let nodes = man.nodes();
     let workers = workers.min(nodes.len()).max(1);
     if workers <= 1 {
-        return node_probabilities(man, vt);
+        return node_probabilities_scoped(man, vt, scope);
     }
 
     // Levels: constants and literals are 0, internal nodes one past
@@ -162,21 +204,32 @@ pub fn node_probabilities_par(man: &DnnfManager, vt: &VarTable, workers: usize) 
         for w in 0..workers {
             let (probs, order, starts, barrier, level_count) =
                 (&probs, &order, &starts, &barrier, n_levels);
+            let scope = scope.clone();
             s.spawn(move || {
                 let _worker = telemetry::worker_span(Phase::Worker, w);
                 let mut scratch = Vec::new();
+                // Barrier discipline: once cancelled, skip the work but
+                // keep hitting `wait()` every remaining level — every
+                // worker must reach each barrier the same number of
+                // times or the pool deadlocks.
+                let mut stopped = false;
                 for l in 0..level_count {
-                    let lvl = &order[starts[l]..starts[l + 1]];
-                    let lo = lvl.len() * w / workers;
-                    let hi = lvl.len() * (w + 1) / workers;
-                    for &i in &lvl[lo..hi] {
-                        let p = node_probability(
-                            &nodes[i as usize],
-                            vt,
-                            |c| f64::from_bits(probs[c].load(Ordering::Acquire)),
-                            &mut scratch,
-                        );
-                        probs[i as usize].store(p.to_bits(), Ordering::Release);
+                    if !stopped && scope.checkpoint().is_err() {
+                        stopped = true;
+                    }
+                    if !stopped {
+                        let lvl = &order[starts[l]..starts[l + 1]];
+                        let lo = lvl.len() * w / workers;
+                        let hi = lvl.len() * (w + 1) / workers;
+                        for &i in &lvl[lo..hi] {
+                            let p = node_probability(
+                                &nodes[i as usize],
+                                vt,
+                                |c| f64::from_bits(probs[c].load(Ordering::Acquire)),
+                                &mut scratch,
+                            );
+                            probs[i as usize].store(p.to_bits(), Ordering::Release);
+                        }
                     }
                     barrier.wait();
                 }
@@ -184,10 +237,13 @@ pub fn node_probabilities_par(man: &DnnfManager, vt: &VarTable, workers: usize) 
         }
     })
     .expect("WMC worker scope");
-    probs
+    if let Some(verdict) = scope.verdict() {
+        return Err(verdict);
+    }
+    Ok(probs
         .into_iter()
         .map(|a| f64::from_bits(a.into_inner()))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

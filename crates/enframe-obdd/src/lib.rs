@@ -72,12 +72,16 @@ pub use manager::{Bdd, Manager, ManagerStats, ReorderPolicy};
 pub use wmc::{Wmc, WmcCache};
 
 use compile::Compiler;
+use enframe_core::budget::{Budget, BudgetScope, Exceeded, Resource};
+use enframe_core::failpoint::{self, Site};
 use enframe_core::fxhash::FxHashMap;
 use enframe_core::{CoreError, Var, VarTable};
 use enframe_network::Network;
 use enframe_prob::order::{static_order, VarOrder};
 use enframe_telemetry::{self as telemetry, Counter, Phase};
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 /// Errors of the OBDD backend.
 #[derive(Debug, Clone)]
@@ -89,6 +93,26 @@ pub enum ObddError {
     Core(CoreError),
     /// Conditioning on evidence of probability zero.
     ZeroEvidence,
+    /// A resource budget ran out mid-compilation ([`ObddOptions::budget`]).
+    /// All workers of the run report the *same* first verdict; callers
+    /// can degrade to the bounds engine under the remaining budget.
+    BudgetExceeded {
+        /// The limit that was crossed.
+        resource: Resource,
+        /// Amount spent at detection time (ns for time, counts otherwise).
+        spent: u64,
+    },
+    /// A worker thread panicked; the panic was caught, the sibling
+    /// workers were cancelled, and the pool shut down cleanly.
+    WorkerPanicked {
+        /// Index of the target being compiled when the panic fired.
+        target: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A fault-injection site fired (`ENFRAME_FAILPOINTS`); only
+    /// reachable with a failpoint armed ([`enframe_core::failpoint`]).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for ObddError {
@@ -97,6 +121,16 @@ impl std::fmt::Display for ObddError {
             ObddError::Unsupported(what) => write!(f, "unsupported for OBDD compilation: {what}"),
             ObddError::Core(e) => write!(f, "evaluation error during compilation: {e}"),
             ObddError::ZeroEvidence => write!(f, "conditioning on evidence of probability zero"),
+            ObddError::BudgetExceeded { resource, spent } => {
+                write!(f, "compilation budget exceeded: {resource} (spent {spent})")
+            }
+            ObddError::WorkerPanicked { target, message } => {
+                write!(
+                    f,
+                    "worker panicked while compiling target {target}: {message}"
+                )
+            }
+            ObddError::Injected(site) => write!(f, "injected fault at failpoint `{site}`"),
         }
     }
 }
@@ -107,6 +141,85 @@ impl From<CoreError> for ObddError {
     fn from(e: CoreError) -> Self {
         ObddError::Core(e)
     }
+}
+
+impl From<Exceeded> for ObddError {
+    fn from(e: Exceeded) -> Self {
+        ObddError::BudgetExceeded {
+            resource: e.resource,
+            spent: e.spent,
+        }
+    }
+}
+
+impl ObddError {
+    /// Whether this is the secondary "cancelled because a sibling
+    /// failed" error rather than a primary failure. Error selection
+    /// prefers primary errors so the first real failure is what callers
+    /// see, deterministically across schedules.
+    fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            ObddError::BudgetExceeded {
+                resource: Resource::Cancelled,
+                ..
+            }
+        )
+    }
+}
+
+/// How long a pool worker blocks on the target queue before re-checking
+/// the cancellation flag — bounds the shutdown latency of a cancelled
+/// fan-out without busy-waiting.
+const RECV_POLL: Duration = Duration::from_millis(20);
+
+/// The injected stall of an armed `recv` failpoint.
+const RECV_STALL: Duration = Duration::from_millis(40);
+
+/// Pulls the next work item for a pool worker, polling the cancellation
+/// flag between bounded waits. `None` means stop: the queue disconnected
+/// (drained, sender dropped up front) or the scope was cancelled.
+pub(crate) fn recv_next<T>(rx: &crossbeam::channel::Receiver<T>, scope: &BudgetScope) -> Option<T> {
+    let _wait = telemetry::span(Phase::QueueWait);
+    telemetry::count(Counter::QueueWait);
+    if failpoint::hit(Site::Recv) {
+        std::thread::sleep(RECV_STALL);
+    }
+    loop {
+        if scope.is_cancelled() {
+            return None;
+        }
+        match rx.recv_timeout(RECV_POLL) {
+            Ok(item) => return Some(item),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return None,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+/// Renders a caught panic payload (as produced by `catch_unwind`).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Picks the error to report from a pool run: the smallest-indexed
+/// *primary* failure, falling back to the smallest-indexed cancellation
+/// echo — deterministic across worker schedules.
+pub(crate) fn first_worker_error<'a, I>(errors: I) -> Option<&'a (usize, ObddError)>
+where
+    I: Iterator<Item = &'a (usize, ObddError)> + Clone,
+{
+    errors
+        .clone()
+        .filter(|(_, e)| !e.is_cancellation())
+        .min_by_key(|(i, _)| *i)
+        .or_else(|| errors.min_by_key(|(i, _)| *i))
 }
 
 /// Options for OBDD compilation.
@@ -135,6 +248,12 @@ pub struct ObddOptions {
     /// roundoff (the final variable order may differ, since sequential
     /// compilation may auto-reorder mid-compile).
     pub workers: usize,
+    /// Resource budget for the compilation. The default is unlimited,
+    /// which skips all bookkeeping — budgeted and unbudgeted runs that
+    /// stay inside the budget are bitwise-identical. On exhaustion the
+    /// compile returns [`ObddError::BudgetExceeded`] instead of hanging
+    /// or growing without bound.
+    pub budget: Budget,
 }
 
 impl ObddOptions {
@@ -213,9 +332,23 @@ impl ObddEngine {
     /// the engine, so later [`ObddEngine::reorder`]/GC calls are always
     /// safe.
     pub fn compile(net: &Network, opts: &ObddOptions) -> Result<Self, ObddError> {
+        let scope = BudgetScope::new(opts.budget);
+        let result = Self::compile_scoped(net, opts, &scope);
+        telemetry::count_n(Counter::BudgetCheck, scope.checks());
+        if scope.is_cancelled() {
+            telemetry::count(Counter::Cancellation);
+        }
+        result
+    }
+
+    fn compile_scoped(
+        net: &Network,
+        opts: &ObddOptions,
+        scope: &BudgetScope,
+    ) -> Result<Self, ObddError> {
         let workers = enframe_core::workers::resolve(opts.workers, 1);
         if workers > 1 && net.targets.len() > 1 {
-            return Self::compile_par(net, opts, workers);
+            return Self::compile_par(net, opts, workers, scope);
         }
         let order = grouped_order(static_order(net, opts.order), &opts.groups);
         let mut level_of: Vec<Option<u32>> = vec![None; net.n_vars as usize];
@@ -225,7 +358,7 @@ impl ObddEngine {
         let mut man = Manager::with_policy(opts.reorder.clone());
         man.declare_vars(order.len() as u32);
         man.set_level_blocks(&level_blocks(&order, &opts.groups));
-        let mut compiler = Compiler::new(net, level_of.clone());
+        let mut compiler = Compiler::new(net, level_of.clone(), scope.clone());
         let mut targets = Vec::with_capacity(net.targets.len());
         for &t in &net.targets {
             let bdd = compiler.compile(&mut man, t)?;
@@ -265,7 +398,12 @@ impl ObddEngine {
     /// up front. The per-worker BDDs are then merged into the main
     /// manager by [`import_bdd`], which deduplicates shared structure
     /// via the unique tables.
-    fn compile_par(net: &Network, opts: &ObddOptions, workers: usize) -> Result<Self, ObddError> {
+    fn compile_par(
+        net: &Network,
+        opts: &ObddOptions,
+        workers: usize,
+        scope: &BudgetScope,
+    ) -> Result<Self, ObddError> {
         struct WorkerOut {
             man: Manager,
             compiled: Vec<(usize, Bdd)>,
@@ -289,63 +427,95 @@ impl ObddEngine {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let rx = rx.clone();
+                    let scope = scope.clone();
                     let (order, blocks, level_of) = (&order, &blocks, &level_of);
                     s.spawn(move || {
                         let _worker = telemetry::worker_span(Phase::Worker, w);
-                        let mut man = Manager::with_policy(ReorderPolicy::disabled());
-                        man.declare_vars(order.len() as u32);
-                        man.set_level_blocks(blocks);
-                        let mut compiler = Compiler::new(net, level_of.clone());
-                        let mut compiled = Vec::new();
-                        let mut error = None;
-                        loop {
-                            let msg = {
-                                let _wait = telemetry::span(Phase::QueueWait);
-                                telemetry::count(Counter::QueueWait);
-                                rx.recv()
-                            };
-                            let Ok(i) = msg else { break };
-                            match compiler.compile(&mut man, net.targets[i]) {
-                                Ok(bdd) => {
-                                    man.protect(bdd);
-                                    compiled.push((i, bdd));
+                        // Panic isolation: a panic escaping the closure
+                        // would propagate at scope exit and tear down the
+                        // whole process tree. Catch it, cancel the
+                        // siblings, and surface a structured error with
+                        // the target that was being compiled.
+                        let current = std::cell::Cell::new(0usize);
+                        let body = catch_unwind(AssertUnwindSafe(|| {
+                            let mut man = Manager::with_policy(ReorderPolicy::disabled());
+                            man.declare_vars(order.len() as u32);
+                            man.set_level_blocks(blocks);
+                            let mut compiler = Compiler::new(net, level_of.clone(), scope.clone());
+                            let mut compiled = Vec::new();
+                            let mut error = None;
+                            while let Some(i) = recv_next(&rx, &scope) {
+                                current.set(i);
+                                if failpoint::hit(Site::Spawn) {
+                                    panic!("injected worker panic (failpoint `spawn`)");
                                 }
-                                Err(e) => {
-                                    error = Some((i, e));
-                                    break;
+                                match compiler.compile(&mut man, net.targets[i]) {
+                                    Ok(bdd) => {
+                                        man.protect(bdd);
+                                        compiled.push((i, bdd));
+                                    }
+                                    Err(e) => {
+                                        // Stop this worker and its
+                                        // siblings: the remaining
+                                        // targets' results would be
+                                        // discarded anyway.
+                                        scope.cancel_external();
+                                        error = Some((i, e));
+                                        break;
+                                    }
                                 }
                             }
-                        }
-                        let cmp_branches = compiler.cmp_branches;
-                        let cache_hits = man.cache_hits();
-                        compiler.finish(&mut man);
-                        WorkerOut {
-                            man,
-                            compiled,
-                            error,
-                            cmp_branches,
-                            cache_hits,
-                        }
+                            let cmp_branches = compiler.cmp_branches;
+                            let cache_hits = man.cache_hits();
+                            compiler.finish(&mut man);
+                            WorkerOut {
+                                man,
+                                compiled,
+                                error,
+                                cmp_branches,
+                                cache_hits,
+                            }
+                        }));
+                        body.unwrap_or_else(|payload| {
+                            scope.cancel_external();
+                            telemetry::count(Counter::Cancellation);
+                            let target = current.get();
+                            WorkerOut {
+                                man: Manager::with_policy(ReorderPolicy::disabled()),
+                                compiled: Vec::new(),
+                                error: Some((
+                                    target,
+                                    ObddError::WorkerPanicked {
+                                        target,
+                                        message: panic_message(payload),
+                                    },
+                                )),
+                                cmp_branches: 0,
+                                cache_hits: 0,
+                            }
+                        })
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("OBDD worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .expect("worker panics are caught inside the closure")
+                })
                 .collect()
         })
-        .expect("OBDD worker scope");
+        .expect("worker panics are caught inside the closure");
 
-        // Report the error of the smallest-indexed failing target, so a
-        // failure surfaces deterministically across schedules.
-        if let Some((_, e)) = outs
-            .iter()
-            .filter_map(|w| w.error.as_ref())
-            .min_by_key(|(i, _)| *i)
-        {
+        // Report the first real failure, deterministically across
+        // schedules; cancellation echoes from sibling workers lose.
+        if let Some((_, e)) = first_worker_error(outs.iter().filter_map(|w| w.error.as_ref())) {
             return Err(e.clone());
         }
         let _merge = telemetry::span(Phase::Merge);
+        if failpoint::hit(Site::Merge) {
+            return Err(ObddError::Injected("merge"));
+        }
         let mut man = Manager::with_policy(opts.reorder.clone());
         man.declare_vars(order.len() as u32);
         man.set_level_blocks(&level_blocks(&order, &opts.groups));
@@ -366,10 +536,19 @@ impl ObddEngine {
             cmp_branches += w.cmp_branches;
             cache_hits += w.cache_hits;
         }
-        let targets: Vec<Bdd> = targets
-            .into_iter()
-            .map(|t| t.expect("every queued target compiled by exactly one worker"))
-            .collect();
+        // With no worker error every queued target was compiled by
+        // exactly one worker — unless a cancellation (budget verdict on
+        // the scope, external request) stopped the pool early.
+        let targets: Vec<Bdd> =
+            targets
+                .into_iter()
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| {
+                    ObddError::from(scope.verdict().unwrap_or(Exceeded {
+                        resource: Resource::Cancelled,
+                        spent: 0,
+                    }))
+                })?;
         if opts.reorder.auto {
             man.collect_garbage();
             // The merged manager never reordered mid-compile the way a
@@ -855,6 +1034,129 @@ mod tests {
             let got = engine.probabilities(&vt);
             for i in 0..want.len() {
                 assert!((got[i] - want[i]).abs() < 1e-12, "{order:?} target {i}");
+            }
+        }
+    }
+
+    /// Current thread count of this process (Linux `/proc`); `None`
+    /// where unsupported, which skips the leak assertion.
+    fn thread_count() -> Option<usize> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+    }
+
+    /// ISSUE 8 acceptance: an injected worker panic at `workers = 4`
+    /// must surface as a structured [`ObddError::WorkerPanicked`] with
+    /// the failing target index — never a propagated panic — and the
+    /// pool must be fully joined (no leaked threads), leaving the
+    /// process able to compile again.
+    #[test]
+    fn injected_worker_panic_is_isolated_and_joined() {
+        let p = mutex_chain_program(8);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let opts = ObddOptions {
+            workers: 4,
+            ..ObddOptions::default()
+        };
+        let before = thread_count();
+        {
+            let _chaos = failpoint::override_for_test("spawn:every-1");
+            for _ in 0..4 {
+                match ObddEngine::compile(&net, &opts) {
+                    Err(ObddError::WorkerPanicked { target, message }) => {
+                        assert!(target < net.targets.len(), "bad target index {target}");
+                        assert!(
+                            message.contains("injected"),
+                            "unexpected payload: {message}"
+                        );
+                    }
+                    other => panic!("expected WorkerPanicked, got {other:?}"),
+                }
+            }
+        }
+        // Every worker is joined before compile_par returns, so four
+        // panicking compiles must not leave stray threads behind (small
+        // slack for the test harness's own threads).
+        if let (Some(b), Some(a)) = (before, thread_count()) {
+            assert!(a <= b + 4, "leaked threads: {b} before, {a} after");
+        }
+        // The failure is transient: with the fault cleared the same
+        // pool compiles cleanly.
+        let engine = ObddEngine::compile(&net, &opts).unwrap();
+        let vt = VarTable::uniform(8, 0.4);
+        let want = space::target_probabilities(&g, &vt);
+        let got = engine.probabilities(&vt);
+        for i in 0..want.len() {
+            assert!((got[i] - want[i]).abs() < 1e-12, "target {i}");
+        }
+    }
+
+    /// An injected allocation failure at a safe point is a structured
+    /// error on the sequential path, not a panic.
+    #[test]
+    fn injected_alloc_failure_is_a_structured_error() {
+        let p = mutex_chain_program(6);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let _chaos = failpoint::override_for_test("alloc:every-1");
+        match ObddEngine::compile(&net, &ObddOptions::default()) {
+            Err(ObddError::Injected(site)) => assert_eq!(site, "alloc"),
+            other => panic!("expected Injected(alloc), got {other:?}"),
+        }
+    }
+
+    /// An injected receive stall only delays the fan-out — the answer
+    /// is still exact, and nothing deadlocks.
+    #[test]
+    fn injected_recv_stall_only_delays() {
+        let p = mutex_chain_program(8);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let vt = VarTable::uniform(8, 0.4);
+        let want = space::target_probabilities(&g, &vt);
+        let _chaos = failpoint::override_for_test("recv:every-2");
+        let engine = ObddEngine::compile(
+            &net,
+            &ObddOptions {
+                workers: 2,
+                ..ObddOptions::default()
+            },
+        )
+        .unwrap();
+        let got = engine.probabilities(&vt);
+        for i in 0..want.len() {
+            assert!((got[i] - want[i]).abs() < 1e-12, "target {i}");
+        }
+    }
+
+    /// A node budget too small for the workload trips a structured
+    /// [`ObddError::BudgetExceeded`] at a safe point — on both the
+    /// sequential and the parallel paths — instead of running to
+    /// completion or panicking.
+    #[test]
+    fn node_budget_exhaustion_is_structured() {
+        let p = mutex_chain_program(10);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        for workers in [1usize, 4] {
+            let opts = ObddOptions {
+                workers,
+                budget: Budget {
+                    max_nodes: Some(4),
+                    ..Budget::unlimited()
+                },
+                ..ObddOptions::default()
+            };
+            match ObddEngine::compile(&net, &opts) {
+                Err(ObddError::BudgetExceeded { resource, spent }) => {
+                    assert_eq!(resource, Resource::Nodes, "workers={workers}");
+                    assert!(spent > 4, "workers={workers}: spent {spent}");
+                }
+                other => panic!("workers={workers}: expected BudgetExceeded, got {other:?}"),
             }
         }
     }

@@ -18,6 +18,7 @@
 //! construction.
 
 use crate::ObddError;
+use enframe_core::budget::BudgetScope;
 use enframe_core::{Value, Var};
 use enframe_network::{Network, NodeId, NodeKind};
 use enframe_telemetry::{self as telemetry, Counter, Phase};
@@ -122,10 +123,13 @@ pub(crate) struct Evaluator<'n> {
     /// across targets.
     active: Vec<u32>,
     active_stamp: u32,
+    /// Budget state shared with the owning compiler: trail pushes are
+    /// the unit-propagation work unit, charged as budget steps.
+    scope: BudgetScope,
 }
 
 impl<'n> Evaluator<'n> {
-    pub(crate) fn new(net: &'n Network) -> Self {
+    pub(crate) fn new(net: &'n Network, scope: BudgetScope) -> Self {
         Evaluator {
             net,
             assignment: vec![None; net.n_vars as usize],
@@ -135,6 +139,7 @@ impl<'n> Evaluator<'n> {
             trail: Vec::new(),
             active: vec![0; net.len()],
             active_stamp: 0,
+            scope,
         }
     }
 
@@ -204,7 +209,12 @@ impl<'n> Evaluator<'n> {
         let result = self.flush(&mut work);
         self.work = work;
         result?;
-        telemetry::count_n(Counter::TrailPush, (self.trail.len() - mark) as u64);
+        let pushed = (self.trail.len() - mark) as u64;
+        telemetry::count_n(Counter::TrailPush, pushed);
+        // Budget safe point. Failing here leaves the propagation in
+        // place, like any other evaluation error — callers treat every
+        // error as fatal for the compile (the assignment may be dirty).
+        self.scope.check_steps(pushed)?;
         Ok(mark)
     }
 

@@ -24,6 +24,7 @@
 
 use crate::masks::{BoolMask, MaskStore, Masks, Topology};
 use crate::order::{static_order, VarOrder};
+use enframe_core::budget::{BudgetScope, Exceeded};
 use enframe_core::{Var, VarTable};
 use enframe_network::Network;
 use std::collections::HashMap;
@@ -103,6 +104,12 @@ pub struct CompileResult {
     pub names: Vec<String>,
     /// Exploration statistics.
     pub stats: Stats,
+    /// `Some` when the exploration was stopped early by an exhausted
+    /// budget or an external cancellation. The bounds are still *sound*
+    /// — a branch that never resolves a target simply leaves its mass
+    /// between `lower` and `upper` — they are just wider than the
+    /// strategy would otherwise guarantee.
+    pub exhausted: Option<Exceeded>,
 }
 
 impl CompileResult {
@@ -131,6 +138,22 @@ impl CompileResult {
 /// # Panics
 /// Panics if the variable table does not cover the network's variables.
 pub fn compile(net: &Network, vt: &VarTable, opts: Options) -> CompileResult {
+    compile_scoped(net, vt, opts, &BudgetScope::unlimited())
+}
+
+/// [`compile`] under a budget: the exploration checks `scope` once per
+/// decision-tree branch and stops early when the budget runs out,
+/// returning the (sound, possibly wide) bounds accumulated so far with
+/// [`CompileResult::exhausted`] set to the verdict.
+///
+/// # Panics
+/// Panics if the variable table does not cover the network's variables.
+pub fn compile_scoped(
+    net: &Network,
+    vt: &VarTable,
+    opts: Options,
+    scope: &BudgetScope,
+) -> CompileResult {
     assert!(
         vt.len() >= net.n_vars as usize,
         "variable table covers {} variables but the network uses {}",
@@ -144,6 +167,7 @@ pub fn compile(net: &Network, vt: &VarTable, opts: Options) -> CompileResult {
         static_order(net, opts.order),
         net.n_vars as usize,
         net.target_names.clone(),
+        scope,
     )
 }
 
@@ -157,6 +181,7 @@ pub(crate) fn run_driver<T: Topology>(
     order: Vec<Var>,
     n_vars: usize,
     names: Vec<String>,
+    scope: &BudgetScope,
 ) -> CompileResult {
     let targets = store.topo().target_gids();
     let mut node_targets: HashMap<u32, Vec<usize>> = HashMap::new();
@@ -174,6 +199,8 @@ pub(crate) fn run_driver<T: Topology>(
         assigned: vec![false; n_vars],
         node_targets,
         stats: Stats::default(),
+        scope,
+        stopped: false,
     };
     // Targets resolved by the empty assignment cover the whole space.
     for (i, &t) in c.targets.iter().enumerate() {
@@ -195,6 +222,7 @@ pub(crate) fn run_driver<T: Topology>(
         upper: c.upper,
         names,
         stats: c.stats,
+        exhausted: if c.stopped { scope.verdict() } else { None },
     }
 }
 
@@ -210,6 +238,12 @@ struct Driver<'v, T: Topology> {
     upper: Vec<f64>,
     node_targets: HashMap<u32, Vec<usize>>,
     stats: Stats,
+    /// Shared budget/cancellation state, charged one step per branch.
+    scope: &'v BudgetScope,
+    /// Set once the scope rejects a check: the rest of the tree unwinds
+    /// without exploring. Early stop is *sound* for the bounds — an
+    /// unexplored branch's mass just stays between `lower` and `upper`.
+    stopped: bool,
 }
 
 impl<T: Topology> Driver<'_, T> {
@@ -241,6 +275,12 @@ impl<T: Topology> Driver<'_, T> {
     }
 
     fn dfs(&mut self, depth: usize, p: f64, budgets: Vec<f64>) -> Vec<f64> {
+        // Budget safe point, one step per branch. Returning without
+        // exploring is always sound for the bounds (see `stopped`).
+        if self.stopped || self.scope.check_steps(1).is_err() {
+            self.stopped = true;
+            return budgets;
+        }
         self.stats.branches += 1;
         self.stats.deepest = self.stats.deepest.max(depth as u32);
         if self.store.unresolved_targets() == 0 {

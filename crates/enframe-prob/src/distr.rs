@@ -21,11 +21,24 @@ use crate::compile::{CompileResult, Options, Stats, Strategy};
 use crate::folded::FoldedTopo;
 use crate::masks::{BoolMask, MaskStore, Masks, Topology};
 use crate::order::static_order;
+use enframe_core::budget::{Budget, BudgetScope};
+use enframe_core::error::CoreError;
+use enframe_core::failpoint::{self, Site};
 use enframe_core::{Var, VarTable};
 use enframe_network::{FoldedNetwork, Network};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Poll interval for the job queue: long enough to be free of busy-wait
+/// cost, short enough that cancellation (budget exhaustion or a sibling
+/// worker's panic) is observed promptly.
+const RECV_POLL: Duration = Duration::from_millis(20);
+
+/// Sleep injected by the `recv` failpoint, to simulate a stalled queue.
+const RECV_STALL: Duration = Duration::from_millis(40);
 
 /// Options for distributed compilation.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +52,11 @@ pub struct DistOptions {
     pub job_depth: usize,
     /// Sequential options applied within each job (strategy, ε, order).
     pub seq: Options,
+    /// Resource budget shared by the whole pool; [`Budget::unlimited`]
+    /// (the default) disables every check. On exhaustion the engine
+    /// stops early and returns the sound bounds accumulated so far with
+    /// [`CompileResult::exhausted`] set.
+    pub budget: Budget,
 }
 
 impl Default for DistOptions {
@@ -47,6 +65,7 @@ impl Default for DistOptions {
             workers: 4,
             job_depth: 3,
             seq: Options::exact(),
+            budget: Budget::default(),
         }
     }
 }
@@ -68,12 +87,30 @@ struct Shared<'v> {
     outstanding: AtomicUsize,
     branches: AtomicU64,
     jobs_run: AtomicU64,
+    /// Shared budget/cancellation state: a worker that exhausts the
+    /// budget — or panics — cancels the scope, and every sibling's recv
+    /// poll and per-branch check observes it.
+    scope: BudgetScope,
+    /// First worker panic, converted to a structured error. The pool
+    /// drains and joins normally; the caller gets `Err` instead of
+    /// bounds.
+    panic: Mutex<Option<CoreError>>,
 }
 
 /// Compiles the network with `workers` threads and job size `d`, returning
 /// the same bounds as the sequential engine (exactly for
 /// [`Strategy::Exact`]; within the ε guarantee for the approximations).
-pub fn compile_distributed(net: &Network, vt: &VarTable, opts: DistOptions) -> CompileResult {
+///
+/// `Err` is returned only for worker panics
+/// ([`CoreError::WorkerPanicked`], with every sibling cancelled and
+/// joined — no thread leaks); budget exhaustion is *not* an error: the
+/// sound bounds collected so far come back with
+/// [`CompileResult::exhausted`] set.
+pub fn compile_distributed(
+    net: &Network,
+    vt: &VarTable,
+    opts: DistOptions,
+) -> Result<CompileResult, CoreError> {
     run_distributed(
         || Masks::new(net),
         vt,
@@ -85,12 +122,12 @@ pub fn compile_distributed(net: &Network, vt: &VarTable, opts: DistOptions) -> C
 
 /// Distributed compilation over a *folded* network (§4.2 + §4.4): each
 /// worker owns a private two-dimensional mask store `M[t][v]` over the
-/// shared body template.
+/// shared body template. Errors as in [`compile_distributed`].
 pub fn compile_folded_distributed(
     net: &FoldedNetwork,
     vt: &VarTable,
     opts: DistOptions,
-) -> CompileResult {
+) -> Result<CompileResult, CoreError> {
     let order = {
         let occ = net.var_occurrences();
         let mut vars: Vec<Var> = (0..net.n_vars)
@@ -118,7 +155,7 @@ fn run_distributed<T, F>(
     opts: DistOptions,
     order: Vec<Var>,
     names: Vec<String>,
-) -> CompileResult
+) -> Result<CompileResult, CoreError>
 where
     T: Topology,
     F: Fn() -> MaskStore<T> + Sync,
@@ -149,12 +186,13 @@ where
             }
         }
         if store.unresolved_targets() == 0 {
-            return CompileResult {
+            return Ok(CompileResult {
                 lower,
                 upper,
                 names,
                 stats: Stats::default(),
-            };
+                exhausted: None,
+            });
         }
     }
 
@@ -179,6 +217,8 @@ where
         outstanding: AtomicUsize::new(1),
         branches: AtomicU64::new(0),
         jobs_run: AtomicU64::new(0),
+        scope: BudgetScope::new(opts.budget),
+        panic: Mutex::new(None),
     };
 
     let (tx, rx) = crossbeam::channel::unbounded::<Option<Job>>();
@@ -198,39 +238,93 @@ where
             scope.spawn(move || {
                 use enframe_telemetry::{self as telemetry, Counter, Phase};
                 let _worker = telemetry::worker_span(Phase::Worker, w);
-                let mut worker = Worker {
-                    shared,
-                    store: make_store(),
-                    tx: tx.clone(),
-                    local_lower: vec![0.0; shared.targets.len()],
-                    local_upper_delta: vec![0.0; shared.targets.len()],
-                    branches: 0,
-                };
-                loop {
-                    let msg = {
-                        let _wait = telemetry::span(Phase::QueueWait);
-                        telemetry::count(Counter::QueueWait);
-                        rx.recv()
+                // Panic isolation: a panic anywhere in the job loop is
+                // caught here, converted to a structured error, and the
+                // shared scope is cancelled so every sibling's recv poll
+                // exits — workers fork jobs to each other, so without
+                // cancellation the outstanding-job count would never
+                // drain and the pool would deadlock on `recv`.
+                let body = catch_unwind(AssertUnwindSafe(|| {
+                    let mut worker = Worker {
+                        shared,
+                        store: make_store(),
+                        tx: tx.clone(),
+                        local_lower: vec![0.0; shared.targets.len()],
+                        local_upper_delta: vec![0.0; shared.targets.len()],
+                        branches: 0,
+                        stopped: false,
                     };
-                    let Ok(Some(job)) = msg else { break };
-                    worker.run_job(job);
-                    shared.jobs_run.fetch_add(1, Ordering::Relaxed);
-                    if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        // Last job done: wake everyone up to exit.
-                        for _ in 0..shared.opts.workers {
-                            let _ = tx.send(None);
+                    loop {
+                        let msg = {
+                            let _wait = telemetry::span(Phase::QueueWait);
+                            telemetry::count(Counter::QueueWait);
+                            if failpoint::hit(Site::Recv) {
+                                std::thread::sleep(RECV_STALL);
+                            }
+                            // Bounded-wait poll instead of a blocking
+                            // `recv`: senders stay alive in every worker,
+                            // so disconnection alone can never signal
+                            // shutdown here.
+                            loop {
+                                if shared.scope.is_cancelled() {
+                                    break Ok(None);
+                                }
+                                match rx.recv_timeout(RECV_POLL) {
+                                    Ok(item) => break Ok(item),
+                                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                                        break Err(())
+                                    }
+                                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                                }
+                            }
+                        };
+                        let Ok(Some(job)) = msg else { break };
+                        if failpoint::hit(Site::Spawn) {
+                            panic!("injected worker panic (failpoint `spawn`)");
+                        }
+                        worker.run_job(job);
+                        shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+                        if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            // Last job done: wake everyone up to exit.
+                            for _ in 0..shared.opts.workers {
+                                let _ = tx.send(None);
+                            }
                         }
                     }
+                    shared
+                        .branches
+                        .fetch_add(worker.branches, Ordering::Relaxed);
+                }));
+                if let Err(payload) = body {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    telemetry::count(Counter::Cancellation);
+                    shared
+                        .panic
+                        .lock()
+                        .get_or_insert(CoreError::WorkerPanicked { worker: w, message });
+                    shared.scope.cancel_external();
                 }
-                shared
-                    .branches
-                    .fetch_add(worker.branches, Ordering::Relaxed);
             });
         }
     });
 
+    {
+        use enframe_telemetry::{self as telemetry, Counter};
+        telemetry::count_n(Counter::BudgetCheck, shared.scope.checks());
+        if shared.scope.is_cancelled() {
+            telemetry::count(Counter::Cancellation);
+        }
+    }
+    if let Some(err) = shared.panic.into_inner() {
+        return Err(err);
+    }
+    let exhausted = shared.scope.verdict();
     let (lower, upper) = shared.bounds.into_inner();
-    CompileResult {
+    Ok(CompileResult {
         lower,
         upper,
         names,
@@ -240,7 +334,8 @@ where
             prunes: 0,
             deepest: 0,
         },
-    }
+        exhausted,
+    })
 }
 
 struct Worker<'v, 's, T: Topology> {
@@ -250,6 +345,10 @@ struct Worker<'v, 's, T: Topology> {
     local_lower: Vec<f64>,
     local_upper_delta: Vec<f64>,
     branches: u64,
+    /// Set when the shared scope rejects a check: the current job's
+    /// remaining subtree unwinds without exploring (sound — unexplored
+    /// mass stays between the bounds) and the recv loop exits next poll.
+    stopped: bool,
 }
 
 impl<T: Topology> Worker<'_, '_, T> {
@@ -306,6 +405,12 @@ impl<T: Topology> Worker<'_, '_, T> {
         budgets: Vec<f64>,
         prefix: &mut Vec<(Var, bool)>,
     ) -> Vec<f64> {
+        // Budget safe point, one step per branch (shared across the
+        // whole pool through the scope's atomic step counter).
+        if self.stopped || self.shared.scope.check_steps(1).is_err() {
+            self.stopped = true;
+            return budgets;
+        }
         self.branches += 1;
         if self.store.unresolved_targets() == 0 {
             return budgets;
@@ -480,8 +585,10 @@ mod tests {
                         workers,
                         job_depth: depth,
                         seq: Options::exact(),
+                        ..Default::default()
                     },
-                );
+                )
+                .unwrap();
                 for i in 0..want.len() {
                     assert!(
                         (got.lower[i] - want[i]).abs() < 1e-9,
@@ -510,8 +617,10 @@ mod tests {
                 workers: 4,
                 job_depth: 3,
                 seq: Options::approx(Strategy::Hybrid, eps),
+                ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for i in 0..want.len() {
             assert!(
                 got.lower[i] <= want[i] + 1e-9 && want[i] <= got.upper[i] + 1e-9,
@@ -534,7 +643,7 @@ mod tests {
         let g = p.ground().unwrap();
         let net = Network::build(&g).unwrap();
         let vt = VarTable::uniform(1, 0.5);
-        let got = compile_distributed(&net, &vt, DistOptions::default());
+        let got = compile_distributed(&net, &vt, DistOptions::default()).unwrap();
         assert_eq!(got.lower, vec![1.0]);
         assert_eq!(got.upper, vec![1.0]);
     }
@@ -552,8 +661,10 @@ mod tests {
                 workers: 1,
                 job_depth: 2,
                 seq: Options::exact(),
+                ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let b = compile_distributed(
             &net,
             &vt,
@@ -561,8 +672,10 @@ mod tests {
                 workers: 8,
                 job_depth: 2,
                 seq: Options::exact(),
+                ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for i in 0..a.lower.len() {
             assert!((a.lower[i] - b.lower[i]).abs() < 1e-9);
             assert!((a.upper[i] - b.upper[i]).abs() < 1e-9);
@@ -583,8 +696,10 @@ mod tests {
                 workers: 3,
                 job_depth: 2,
                 seq: Options::exact(),
+                ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for i in 0..seq.lower.len() {
             assert!((seq.lower[i] - dist.lower[i]).abs() < 1e-9);
             assert!((seq.upper[i] - dist.upper[i]).abs() < 1e-9);
@@ -632,8 +747,10 @@ mod tests {
                         workers,
                         job_depth: depth,
                         seq: Options::exact(),
+                        ..Default::default()
                     },
-                );
+                )
+                .unwrap();
                 for i in 0..want.len() {
                     assert!(
                         (got.lower[i] - want[i]).abs() < 1e-9,
@@ -662,11 +779,114 @@ mod tests {
                 workers: 4,
                 job_depth: 2,
                 seq: Options::approx(Strategy::Hybrid, eps),
+                ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for i in 0..want.len() {
             assert!(got.lower[i] <= want[i] + 1e-9 && want[i] <= got.upper[i] + 1e-9);
             assert!(got.width(i) <= 2.0 * eps + 1e-9);
+        }
+    }
+
+    /// ISSUE 8: a worker panic mid-pool must come back as a structured
+    /// [`CoreError::WorkerPanicked`] — siblings cancelled via the shared
+    /// scope, every thread joined, no deadlock on the job queue (the
+    /// regression this guards: a dead worker's outstanding jobs never
+    /// drain, so a blocking `recv` would hang forever) — and the pool
+    /// must work again once the fault is cleared.
+    #[test]
+    fn injected_worker_panic_is_structured_and_joined() {
+        let p = mixed_program(6);
+        let vt = VarTable::uniform(6, 0.5);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let opts = || DistOptions {
+            workers: 4,
+            job_depth: 2,
+            seq: Options::exact(),
+            ..Default::default()
+        };
+        {
+            let _chaos = failpoint::override_for_test("spawn:every-1");
+            match compile_distributed(&net, &vt, opts()) {
+                Err(CoreError::WorkerPanicked { worker, message }) => {
+                    assert!(worker < 4, "bad worker index {worker}");
+                    assert!(
+                        message.contains("injected"),
+                        "unexpected payload: {message}"
+                    );
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+        let want = space::target_probabilities(&g, &vt);
+        let got = compile_distributed(&net, &vt, opts()).unwrap();
+        for i in 0..want.len() {
+            assert!((got.lower[i] - want[i]).abs() < 1e-9, "target {i}");
+        }
+    }
+
+    /// An injected receive stall slows the queue but changes nothing
+    /// else: the distributed run still converges to the exact answer.
+    #[test]
+    fn injected_recv_stall_only_delays() {
+        let p = mixed_program(6);
+        let vt = VarTable::uniform(6, 0.5);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let want = space::target_probabilities(&g, &vt);
+        let _chaos = failpoint::override_for_test("recv:every-3");
+        let got = compile_distributed(
+            &net,
+            &vt,
+            DistOptions {
+                workers: 2,
+                job_depth: 2,
+                seq: Options::exact(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..want.len() {
+            assert!((got.lower[i] - want[i]).abs() < 1e-9, "target {i}");
+            assert!((got.upper[i] - want[i]).abs() < 1e-9, "target {i}");
+        }
+    }
+
+    /// A step budget on the distributed pool stops every worker at a
+    /// safe point: the result is not an error but a *sound enclosure* —
+    /// `exhausted` is set and the exact answer stays inside `[L, U]`.
+    #[test]
+    fn budget_exhaustion_keeps_bounds_sound() {
+        let p = mixed_program(8);
+        let vt = VarTable::uniform(8, 0.5);
+        let g = p.ground().unwrap();
+        let net = Network::build(&g).unwrap();
+        let want = space::target_probabilities(&g, &vt);
+        let got = compile_distributed(
+            &net,
+            &vt,
+            DistOptions {
+                workers: 4,
+                job_depth: 2,
+                seq: Options::exact(),
+                budget: Budget {
+                    max_steps: Some(16),
+                    ..Budget::unlimited()
+                },
+            },
+        )
+        .unwrap();
+        assert!(got.exhausted.is_some(), "a 16-step budget must exhaust");
+        for i in 0..want.len() {
+            assert!(
+                got.lower[i] <= want[i] + 1e-9 && want[i] <= got.upper[i] + 1e-9,
+                "target {i}: {} not in [{}, {}]",
+                want[i],
+                got.lower[i],
+                got.upper[i]
+            );
         }
     }
 }

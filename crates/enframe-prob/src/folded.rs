@@ -27,6 +27,7 @@
 use crate::compile::{run_driver, CompileResult, Options};
 use crate::masks::{MaskStore, NState, Topology};
 use crate::order::VarOrder;
+use enframe_core::budget::BudgetScope;
 use enframe_core::{Value, Var, VarTable};
 use enframe_network::{FoldedNetwork, NodeId, NodeKind, Region};
 use std::collections::HashMap;
@@ -260,6 +261,21 @@ impl<'n> FoldedMasks<'n> {
 /// # Panics
 /// Panics if the variable table does not cover the network's variables.
 pub fn compile_folded(net: &FoldedNetwork, vt: &VarTable, opts: Options) -> CompileResult {
+    compile_folded_scoped(net, vt, opts, &BudgetScope::unlimited())
+}
+
+/// [`compile_folded`] under a budget — the folded counterpart of
+/// [`crate::compile::compile_scoped`]: stops early with sound bounds and
+/// [`CompileResult::exhausted`] set when the budget runs out.
+///
+/// # Panics
+/// Panics if the variable table does not cover the network's variables.
+pub fn compile_folded_scoped(
+    net: &FoldedNetwork,
+    vt: &VarTable,
+    opts: Options,
+    scope: &BudgetScope,
+) -> CompileResult {
     assert!(
         vt.len() >= net.n_vars as usize,
         "variable table covers {} variables but the network uses {}",
@@ -274,6 +290,7 @@ pub fn compile_folded(net: &FoldedNetwork, vt: &VarTable, opts: Options) -> Comp
         order,
         net.n_vars as usize,
         net.target_names.clone(),
+        scope,
     )
 }
 

@@ -45,9 +45,9 @@ pub mod masks;
 pub mod order;
 pub mod sensitivity;
 
-pub use compile::{compile, CompileResult, Options, Stats, Strategy};
+pub use compile::{compile, compile_scoped, CompileResult, Options, Stats, Strategy};
 pub use distr::{compile_distributed, compile_folded_distributed, DistOptions};
-pub use folded::{compile_folded, FoldedMasks, FoldedTopo};
+pub use folded::{compile_folded, compile_folded_scoped, FoldedMasks, FoldedTopo};
 pub use masks::{BoolMask, MaskStore, Masks, Topology};
 pub use order::VarOrder;
 pub use sensitivity::{sensitivity, sensitivity_folded, Influence, Sensitivity};

@@ -355,7 +355,9 @@ impl<T: Topology> MaskStore<T> {
     /// Rolls the trail back to a checkpoint.
     pub fn rollback(&mut self, mark: usize) {
         while self.trail.len() > mark {
-            let (g, old) = self.trail.pop().unwrap();
+            let Some((g, old)) = self.trail.pop() else {
+                break; // unreachable: the loop condition bounds the pops
+            };
             let cur_resolved = self.state[g as usize].is_resolved();
             let old_resolved = old.is_resolved();
             if self.is_target[g as usize] && cur_resolved && !old_resolved {
@@ -579,7 +581,11 @@ impl<T: Topology> MaskStore<T> {
                 }
             }
             NodeKind::ConstVal => {
-                let v = self.topo.value(g).cloned().unwrap();
+                let v = self
+                    .topo
+                    .value(g)
+                    .cloned()
+                    .expect("ConstVal node carries a literal value by construction");
                 match &v {
                     Value::Undef => NState::Num(NumState {
                         def: Def3::No,
@@ -601,7 +607,13 @@ impl<T: Topology> MaskStore<T> {
             }
             NodeKind::Cond => {
                 let guard = self.state[self.topo.child(g, 0) as usize].bool_mask();
-                NState::Num(cond_state(guard, self.topo.value(g).cloned().unwrap()))
+                NState::Num(cond_state(
+                    guard,
+                    self.topo
+                        .value(g)
+                        .cloned()
+                        .expect("Cond node carries a literal value by construction"),
+                ))
             }
             NodeKind::Guard => {
                 let gm = self.state[self.topo.child(g, 0) as usize].bool_mask();
@@ -743,7 +755,7 @@ impl<T: Topology> MaskStore<T> {
                     .num()
                     .resolved
                     .clone()
-                    .unwrap();
+                    .expect("factor resolved: all_resolved checked above");
                 acc = acc.mul(&v).expect("well-typed product");
             }
             if let Value::Undef = acc {

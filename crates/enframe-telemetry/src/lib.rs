@@ -124,9 +124,12 @@ pub enum Counter {
     TrailPush,
     TrailBacktrack,
     QueueWait,
+    BudgetCheck,
+    Cancellation,
+    Fallback,
 }
 
-const N_COUNTERS: usize = 15;
+const N_COUNTERS: usize = 18;
 
 impl Counter {
     /// Every counter, in registry order (the order snapshots export).
@@ -146,6 +149,9 @@ impl Counter {
         Counter::TrailPush,
         Counter::TrailBacktrack,
         Counter::QueueWait,
+        Counter::BudgetCheck,
+        Counter::Cancellation,
+        Counter::Fallback,
     ];
 
     /// The stable snake_case key this counter exports under.
@@ -166,6 +172,9 @@ impl Counter {
             Counter::TrailPush => "trail_pushes",
             Counter::TrailBacktrack => "trail_backtracks",
             Counter::QueueWait => "queue_waits",
+            Counter::BudgetCheck => "budget_checks",
+            Counter::Cancellation => "cancellations",
+            Counter::Fallback => "fallbacks",
         }
     }
 }
@@ -221,9 +230,12 @@ pub enum Phase {
     Worker,
     /// Time a worker spent blocked on the work queue.
     QueueWait,
+    /// Degraded-mode fallback: the hybrid bounds engine running under
+    /// the remaining budget after an exact engine exhausted its own.
+    Degraded,
 }
 
-const N_PHASES: usize = 11;
+const N_PHASES: usize = 12;
 
 impl Phase {
     /// Every phase, in registry order (the order snapshots export).
@@ -239,6 +251,7 @@ impl Phase {
         Phase::Merge,
         Phase::Worker,
         Phase::QueueWait,
+        Phase::Degraded,
     ];
 
     /// The stable snake_case key this phase exports under
@@ -256,6 +269,7 @@ impl Phase {
             Phase::Merge => "merge",
             Phase::Worker => "worker",
             Phase::QueueWait => "queue_wait",
+            Phase::Degraded => "degraded",
         }
     }
 }

@@ -55,6 +55,17 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`], distinguishing a
+    /// wait that merely timed out (the caller may poll a cancel token
+    /// and retry) from a drained-and-disconnected channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message; senders remain.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
     /// Error returned by [`Receiver::try_recv`], distinguishing a
     /// momentarily empty channel from a drained-and-disconnected one —
     /// the distinction the real crate draws and shutdown paths rely on.
@@ -175,6 +186,44 @@ pub mod channel {
                     .ready
                     .wait(queue)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks for at most `timeout` waiting for a value. Like
+        /// [`Receiver::recv`], pending messages are delivered before
+        /// disconnection is reported; `Err(Timeout)` means the channel
+        /// stayed empty with senders still alive — worker loops use it
+        /// to wake periodically and poll a cancellation token.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.space.notify_one();
+                    return Ok(value);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (q, wait) = self
+                    .inner
+                    .ready
+                    .wait_timeout(queue, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = q;
+                if wait.timed_out() && queue.is_empty() {
+                    // Report disconnection over timeout if the last
+                    // sender left while we slept.
+                    if self.inner.senders.load(Ordering::Acquire) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -332,6 +381,58 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_delivers_then_times_out_then_disconnects() {
+        use std::time::{Duration, Instant};
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(5));
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        assert!(
+            t0.elapsed() >= Duration::from_millis(20),
+            "timeout must actually wait"
+        );
+        tx.send(6).unwrap();
+        drop(tx);
+        // Pending messages are drained before disconnection is reported.
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(6));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        use std::time::Duration;
+        let (tx, rx) = channel::unbounded::<u32>();
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_observes_sender_drop_while_waiting() {
+        use std::time::Duration;
+        let (tx, rx) = channel::unbounded::<u32>();
+        let dropper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+        dropper.join().unwrap();
     }
 
     #[test]

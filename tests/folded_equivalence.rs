@@ -66,8 +66,10 @@ fn check_scheme(scheme: Scheme, n: usize, iters: usize, seed: u64) {
             workers: 4,
             job_depth: 3,
             seq: Options::exact(),
+            ..Default::default()
         },
-    );
+    )
+    .unwrap();
     for i in 0..want.lower.len() {
         assert!(
             (dist.lower[i] - want.lower[i]).abs() < 1e-9,

@@ -72,8 +72,10 @@ fn check_scheme(scheme: Scheme, n: usize, seed: u64) {
             workers: 4,
             job_depth: 3,
             seq: Options::exact(),
+            ..Default::default()
         },
-    );
+    )
+    .unwrap();
     for i in 0..exact.lower.len() {
         assert!((dist.lower[i] - exact.lower[i]).abs() < 1e-9);
         assert!((dist.upper[i] - exact.upper[i]).abs() < 1e-9);
