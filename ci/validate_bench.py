@@ -9,9 +9,14 @@ Three artefacts, three validators:
   snapshot, the knowledge-compilation series must carry their
   statistics, the k-medoids d-DNNF headline row at v=14 must beat the
   recorded 874k Shannon-expansion baseline by >=50x inside a 1s
-  wall-clock budget, and the ``telemetry=off`` / ``telemetry=on`` rows
+  wall-clock budget, the ``telemetry=off`` / ``telemetry=on`` rows
   at the same configuration must satisfy the disabled-overhead bound
-  (off <= on * 1.05 — disabling telemetry must never cost time).
+  (off <= on * 1.05 — disabling telemetry must never cost time), and
+  the ``store`` cold/warm pair at v=14 must show the artifact store
+  paying: the cold row records a miss and a save, the warm row records
+  a hit plus an integrity revalidation, and the warm reload must be
+  >=5x faster than the cold compile (a load-vs-compile ratio, so it
+  holds on any host regardless of core count).
 
 * ``fig_bdd.csv`` (from ``--bin fig_bdd``) — the knowledge-compilation
   sweep. The stat, telemetry, and ``workers`` columns must be present,
@@ -50,7 +55,7 @@ BDD_KEYS = {"live_nodes", "peak_nodes", "peak_bytes", "gc_runs", "reorders",
 DNNF_KEYS = {"cmp_branches", "dnnf_nodes", "dnnf_edges", "memo_hits"}
 
 # The fixed key set of every telemetry snapshot (enframe-telemetry's
-# Snapshot::to_json): 18 event counters plus a seconds/count pair per
+# Snapshot::to_json): 22 event counters plus a seconds/count pair per
 # pipeline phase. Keep in sync with Counter::ALL / Phase::ALL.
 COUNTER_KEYS = {
     "ite_hits", "ite_misses", "ite_evictions",
@@ -61,10 +66,11 @@ COUNTER_KEYS = {
     "trail_pushes", "trail_backtracks",
     "queue_waits",
     "budget_checks", "cancellations", "fallbacks",
+    "store_hits", "store_misses", "store_corruptions", "store_revalidations",
 }
 PHASE_NAMES = ("build", "bdd_apply", "shannon", "dnnf_expand", "unit_prop",
                "wmc", "gc", "reorder", "merge", "worker", "queue_wait",
-               "degraded")
+               "degraded", "store_load", "store_save", "store_verify")
 TELEMETRY_KEYS = COUNTER_KEYS | {f"phase_{p}_s" for p in PHASE_NAMES} \
                               | {f"phase_{p}_n" for p in PHASE_NAMES}
 
@@ -111,7 +117,9 @@ def validate_probe(path):
         assert isinstance(r["workers"], int) and r["workers"] >= 1, f"bad workers: {r}"
         check_telemetry(r)
         if "stats" in r:
-            want = DNNF_KEYS if r["series"] == "dnnf" else BDD_KEYS
+            # The store series re-runs the d-DNNF pipeline (cold
+            # compile / warm reload), so its rows carry d-DNNF stats.
+            want = DNNF_KEYS if r["series"] in ("dnnf", "store") else BDD_KEYS
             assert set(r["stats"]) == want, f"bad stats keys: {r}"
     series = {r["series"] for r in rows}
     assert "bdd-exact" in series, f"missing bdd-exact series, got {sorted(series)}"
@@ -179,6 +187,33 @@ def validate_probe(path):
     assert btel["budget_checks"] > 0, f"budgeted run took no safe-point checks: {btel}"
     assert btel["cancellations"] > 0, f"budget exhaustion observed no cancellation: {btel}"
     assert btel["fallbacks"] > 0, f"degraded row used no fallback: {btel}"
+    # Artifact store (ISSUE 9): the cold/warm pair at the headline
+    # configuration. The cold row compiles from scratch (its probe load
+    # is a miss, and the compiled artifact is saved); the warm row
+    # reloads the artifact through the zero-trust pipeline (a hit plus
+    # an integrity revalidation, with load and verify spans on the
+    # timeline). Warm must beat cold by >=5x: it replaces compilation
+    # with a checksummed read + structural re-validation, a ratio that
+    # does not depend on host core count.
+    cold = [r for r in rows if r["series"] == "store" and "mode=cold" in r["x"]]
+    warm = [r for r in rows if r["series"] == "store" and "mode=warm" in r["x"]]
+    assert cold and warm, (
+        f"missing the store cold/warm probe rows: "
+        f"{sorted(r['x'] for r in rows if r['series'] == 'store')}")
+    c, w = cold[0], warm[0]
+    ctel, wtel = c["telemetry"], w["telemetry"]
+    assert ctel["store_misses"] >= 1, f"cold store row saw no miss: {ctel}"
+    assert ctel["phase_store_save_n"] >= 1, f"cold store row saved nothing: {ctel}"
+    assert wtel["store_hits"] >= 1, f"warm store row saw no hit: {wtel}"
+    assert wtel["store_revalidations"] >= 1, (
+        f"warm store row skipped integrity revalidation: {wtel}")
+    assert wtel["phase_store_load_n"] >= 1, f"warm store row has no load span: {wtel}"
+    assert wtel["phase_store_verify_n"] >= 1, f"warm store row has no verify span: {wtel}"
+    assert wtel["store_corruptions"] == 0, (
+        f"warm store row flagged corruption on a pristine artifact: {wtel}")
+    assert w["seconds"] * 5 <= c["seconds"], (
+        f"warm artifact reload not >=5x faster than cold compile: "
+        f"cold={c['seconds']:.4f}s warm={w['seconds']:.4f}s")
     workers = sorted({r["workers"] for r in rows if r["series"] == "dnnf"})
     print(f"{path} OK: {len(rows)} rows, series {sorted(series)}; "
           f"dnnf v=14: {steps} steps ({SHANNON_V14_BRANCHES // steps}x fewer), "
@@ -186,7 +221,9 @@ def validate_probe(path):
           f"telemetry off={t_off:.4f}s on={t_on:.4f}s "
           f"({(t_on / t_off - 1) * 100:+.1f}% enabled); "
           f"budget probe degraded in {b['seconds'] * 1000:.1f}ms "
-          f"(max width {env['max_width']:.3f})")
+          f"(max width {env['max_width']:.3f}); "
+          f"store cold={c['seconds']:.4f}s warm={w['seconds']:.4f}s "
+          f"({c['seconds'] / w['seconds']:.1f}x)")
 
 
 def validate_fig_bdd(path, require_speedup):
@@ -196,7 +233,9 @@ def validate_fig_bdd(path, require_speedup):
     for c in ("workers", "live_nodes", "peak_nodes", "peak_bytes", "gc_runs",
               "reorders", "load_factor", "cmp_branches", "dnnf_nodes",
               "dnnf_edges", "ite_hits", "memo_hits", "phase_compile_s",
-              "phase_wmc_s", "budget_checks", "cancellations", "fallbacks"):
+              "phase_wmc_s", "budget_checks", "cancellations", "fallbacks",
+              "store_hits", "store_misses", "store_corruptions",
+              "store_revalidations"):
         assert c in cols, f"missing column {c}"
     bdd = [r for r in rows
            if r["series"] in ("bdd-exact", "bdd-static") and r["status"] == "ok"]

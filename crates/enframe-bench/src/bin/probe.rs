@@ -17,14 +17,17 @@
 //! The probe runs with telemetry **enabled** and additionally emits two
 //! `telemetry=off` / `telemetry=on` rows for the v = 14 d-DNNF headline
 //! (min of 3 reps each) that CI holds to the ≤ 5 % disabled-overhead
-//! bound. Set `ENFRAME_TRACE=<path>` to also write a Chrome Trace
-//! timeline of the whole probe run.
+//! bound, plus a `store` series pair at the same configuration — a cold
+//! compile-and-persist row and a warm load-and-revalidate row — that CI
+//! holds to a ≥ 5× warm speedup. Set `ENFRAME_TRACE=<path>` to also
+//! write a Chrome Trace timeline of the whole probe run.
 //!
 //! Run: `cargo run --release -p enframe-bench --bin probe`
 
 use enframe_bench::*;
 use enframe_core::budget::Budget;
 use enframe_data::{LineageOpts, Scheme};
+use enframe_store::ArtifactStore;
 use enframe_telemetry as telemetry;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -339,6 +342,26 @@ fn main() {
             );
             push_m(&mut rows, "probe", "dnnf", "n=16;v=14;telemetry=off", &off);
             push_m(&mut rows, "probe", "dnnf", "n=16;v=14;telemetry=on", &on);
+            // Warm-cache probe (ISSUE 9): cold = store miss + compile +
+            // crash-safe persist; warm = load + zero-trust revalidation
+            // (checksums, structural invariants, WMC digest) of the
+            // same artifact. CI asserts the warm load is >=5x faster
+            // than the cold compile and that the store counters fired.
+            let store_dir =
+                std::env::temp_dir().join(format!("enframe-probe-store-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&store_dir);
+            let store = ArtifactStore::new(&store_dir);
+            let cold = run_dnnf_cold_store(&prep, &store, 0.0, Budget::unlimited());
+            let warm = run_dnnf_warm_store(&prep, &store, 0.0, Budget::unlimited());
+            println!(
+                "store v={v} cold={:.4}s warm={:.4}s ({:.1}x)",
+                cold.seconds,
+                warm.seconds,
+                cold.seconds / warm.seconds
+            );
+            push_m(&mut rows, "probe", "store", "n=16;v=14;mode=cold", &cold);
+            push_m(&mut rows, "probe", "store", "n=16;v=14;mode=warm", &warm);
+            let _ = std::fs::remove_dir_all(&store_dir);
         }
     }
     // Budget-governance probe (ISSUE 8): the v = 24 k-medoids pipeline

@@ -35,6 +35,7 @@ use enframe_prob::{
     compile_distributed, compile_folded_scoped, compile_scoped, CompileResult, DistOptions,
     Options, Strategy,
 };
+use enframe_store::{fingerprint_dnnf, ArtifactStore};
 use enframe_telemetry::{self as telemetry, Counter, Phase, Snapshot};
 use enframe_translate::{targets, translate, ProbEnv};
 use enframe_worlds::{extract, naive_probabilities};
@@ -800,39 +801,142 @@ fn run_dnnf_exact(
     epsilon: f64,
     budget: Budget,
 ) -> Measurement {
-    let t0 = Instant::now();
     let opts = DnnfOptions {
         workers,
         budget,
         ..DnnfOptions::default()
     };
-    match DnnfEngine::compile(net, &opts) {
+    compile_dnnf_measured(net, vt, &opts, epsilon, Instant::now()).0
+}
+
+/// Compiles the d-DNNF engine, counts under the same budget, and hands
+/// the engine back alongside the measurement so the artifact-store
+/// helpers can persist it. The measurement's seconds run from `t0` to
+/// the end of the WMC pass — persistence is *not* included.
+fn compile_dnnf_measured(
+    net: &Network,
+    vt: &VarTable,
+    opts: &DnnfOptions,
+    epsilon: f64,
+    t0: Instant,
+) -> (Measurement, Option<DnnfEngine>) {
+    match DnnfEngine::compile(net, opts) {
         Ok(engine) => {
             // The WMC pass runs under the same (absolute) budget as
             // compilation — a deadline that expires mid-count degrades
             // to bounds exactly like one that expires mid-compile.
-            match engine.try_probabilities(vt, &BudgetScope::new(budget)) {
-                Ok(probs) => Measurement {
-                    seconds: t0.elapsed().as_secs_f64(),
-                    estimates: Some(probs),
-                    status: "ok".into(),
-                    stats: None,
-                    dnnf_stats: Some(engine.stats().clone()),
-                    workers: 1,
-                    telemetry: None,
-                    bounds: None,
-                },
-                Err(ObddError::BudgetExceeded { .. }) => {
-                    degrade_to_bounds(net, vt, epsilon, budget, t0)
+            match engine.try_probabilities(vt, &BudgetScope::new(opts.budget)) {
+                Ok(probs) => {
+                    let m = Measurement {
+                        seconds: t0.elapsed().as_secs_f64(),
+                        estimates: Some(probs),
+                        status: "ok".into(),
+                        stats: None,
+                        dnnf_stats: Some(engine.stats().clone()),
+                        workers: 1,
+                        telemetry: None,
+                        bounds: None,
+                    };
+                    (m, Some(engine))
                 }
-                Err(e) => error_measurement(e),
+                Err(ObddError::BudgetExceeded { .. }) => {
+                    (degrade_to_bounds(net, vt, epsilon, opts.budget, t0), None)
+                }
+                Err(e) => (error_measurement(e), None),
             }
         }
         // Budget exhaustion degrades to the bounds engine; structural
         // failures (worker panics, injected faults) stay errors.
-        Err(ObddError::BudgetExceeded { .. }) => degrade_to_bounds(net, vt, epsilon, budget, t0),
-        Err(e) => error_measurement(e),
+        Err(ObddError::BudgetExceeded { .. }) => {
+            (degrade_to_bounds(net, vt, epsilon, opts.budget, t0), None)
+        }
+        Err(e) => (error_measurement(e), None),
     }
+}
+
+/// The **cold** half of the warm-cache measurement (ISSUE 9): probes
+/// the artifact store under the pipeline's lineage fingerprint (the
+/// expected miss is part of the protocol — and of the telemetry
+/// contract CI asserts), compiles the d-DNNF engine under `budget`,
+/// and persists the artifact crash-safely. The reported seconds cover
+/// compile + WMC only, so the warm row divides out like-for-like.
+pub fn run_dnnf_cold_store(
+    prep: &Prepared,
+    store: &ArtifactStore,
+    epsilon: f64,
+    budget: Budget,
+) -> Measurement {
+    telemetry::reset();
+    let vt = &prep.workload.vt;
+    let opts = DnnfOptions {
+        budget,
+        ..DnnfOptions::default()
+    };
+    let fp = fingerprint_dnnf(&prep.net, &opts);
+    let _ = store.load_dnnf(fp, 1);
+    let t0 = Instant::now();
+    let (mut m, engine) = compile_dnnf_measured(&prep.net, vt, &opts, epsilon, t0);
+    if let Some(engine) = engine {
+        // A failed save must not fail the measurement: the next load
+        // will simply miss and recompile — the same ladder the chaos
+        // suite drives deliberately.
+        let _ = store.save_dnnf(fp, &engine, vt);
+    }
+    m.workers = 1;
+    m.telemetry = Some(telemetry::snapshot());
+    m
+}
+
+/// The **warm** half: loads the artifact saved by
+/// [`run_dnnf_cold_store`] — paying the zero-trust revalidation (frame
+/// checksums, structural invariants, WMC digest) — and counts. On *any*
+/// store failure (miss, corruption, version skew, fingerprint mismatch,
+/// I/O fault) it walks the recovery ladder instead of failing:
+/// recompile under the same budget, re-persist, and degrade to bounds
+/// only if the budget is exhausted too.
+pub fn run_dnnf_warm_store(
+    prep: &Prepared,
+    store: &ArtifactStore,
+    epsilon: f64,
+    budget: Budget,
+) -> Measurement {
+    telemetry::reset();
+    let vt = &prep.workload.vt;
+    let opts = DnnfOptions {
+        budget,
+        ..DnnfOptions::default()
+    };
+    let fp = fingerprint_dnnf(&prep.net, &opts);
+    let t0 = Instant::now();
+    let mut m = match store.load_dnnf(fp, 1) {
+        Ok(engine) => match engine.try_probabilities(vt, &BudgetScope::new(budget)) {
+            Ok(probs) => Measurement {
+                seconds: t0.elapsed().as_secs_f64(),
+                estimates: Some(probs),
+                status: "ok".into(),
+                stats: None,
+                dnnf_stats: Some(engine.stats().clone()),
+                workers: 1,
+                telemetry: None,
+                bounds: None,
+            },
+            Err(ObddError::BudgetExceeded { .. }) => {
+                degrade_to_bounds(&prep.net, vt, epsilon, budget, t0)
+            }
+            Err(e) => error_measurement(e),
+        },
+        Err(_) => {
+            // Recovery: recompile and repair the cache entry.
+            let (m, engine) = compile_dnnf_measured(&prep.net, vt, &opts, epsilon, t0);
+            if let Some(engine) = engine {
+                let _ = store.save_dnnf(fp, &engine, vt);
+            }
+            m
+        }
+    };
+    m.workers = 1;
+    m.telemetry = Some(telemetry::snapshot());
+    m
 }
 
 /// The `"stats"` JSON object of a measurement — the single serialiser
@@ -879,13 +983,14 @@ pub fn telemetry_json(m: &Measurement) -> Option<String> {
 /// (including the `peak_bytes` footprint estimate), then
 /// `cmp_branches` (Shannon branches for the BDD engines, expansion
 /// steps for the d-DNNF engine — the directly comparable pair), the
-/// d-DNNF node/edge counts, and seven telemetry columns distilled from
+/// d-DNNF node/edge counts, and eleven telemetry columns distilled from
 /// the per-measurement [`Snapshot`] (cache hits, the compile/WMC phase
-/// split, and the budget-governance triple: safe-point checks taken,
-/// cancellations observed, degradation fallbacks).
+/// split, the budget-governance triple: safe-point checks taken,
+/// cancellations observed, degradation fallbacks, and the
+/// artifact-store quadruple: hits, misses, corruptions, revalidations).
 pub fn print_header() {
     println!(
-        "figure,series,x,seconds,status,detail,workers,live_nodes,peak_nodes,peak_bytes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges,ite_hits,memo_hits,phase_compile_s,phase_wmc_s,budget_checks,cancellations,fallbacks"
+        "figure,series,x,seconds,status,detail,workers,live_nodes,peak_nodes,peak_bytes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges,ite_hits,memo_hits,phase_compile_s,phase_wmc_s,budget_checks,cancellations,fallbacks,store_hits,store_misses,store_corruptions,store_revalidations"
     );
 }
 
@@ -913,16 +1018,20 @@ pub fn print_row(figure: &str, series: &str, x: &str, m: &Measurement, detail: &
     };
     let tel = match &m.telemetry {
         Some(t) => format!(
-            "{},{},{:.6e},{:.6e},{},{},{}",
+            "{},{},{:.6e},{:.6e},{},{},{},{},{},{},{}",
             t.counter(Counter::IteHit),
             t.counter(Counter::MemoHit),
             t.compile_seconds(),
             t.phase_seconds(Phase::Wmc),
             t.counter(Counter::BudgetCheck),
             t.counter(Counter::Cancellation),
-            t.counter(Counter::Fallback)
+            t.counter(Counter::Fallback),
+            t.counter(Counter::StoreHit),
+            t.counter(Counter::StoreMiss),
+            t.counter(Counter::StoreCorruption),
+            t.counter(Counter::StoreRevalidation)
         ),
-        None => ",,,,,,".into(),
+        None => ",,,,,,,,,,".into(),
     };
     println!(
         "{figure},{series},{x},{secs},{},{detail},{},{stats},{tel}",

@@ -11,7 +11,10 @@
 //! ```
 //!
 //! Site names are [`Site::name`] values: `alloc`, `spawn`, `recv`,
-//! `merge`. Unparseable clauses are ignored (chaos harnesses must never
+//! `merge`, and the artifact-store I/O sites `store_write`,
+//! `store_fsync`, `store_rename`, `store_read` (simulated torn writes,
+//! lost durability, and read failures — the store surfaces them as
+//! `StoreError::Io`). Unparseable clauses are ignored (chaos harnesses must never
 //! take the process down themselves). When the variable is unset and no
 //! programmatic override is installed, [`hit`] compiles down to one
 //! atomic load of a cached `None` — effectively free in production.
@@ -40,10 +43,27 @@ pub enum Site {
     Recv,
     /// Merging a worker's result into the shared store.
     Merge,
+    /// Artifact-store payload write (simulated torn/failed write).
+    StoreWrite,
+    /// Artifact-store fsync before the atomic rename (lost durability).
+    StoreFsync,
+    /// Artifact-store atomic rename into place.
+    StoreRename,
+    /// Artifact-store read of a persisted frame.
+    StoreRead,
 }
 
 /// All sites, in declaration order.
-pub const SITES: [Site; 4] = [Site::Alloc, Site::Spawn, Site::Recv, Site::Merge];
+pub const SITES: [Site; 8] = [
+    Site::Alloc,
+    Site::Spawn,
+    Site::Recv,
+    Site::Merge,
+    Site::StoreWrite,
+    Site::StoreFsync,
+    Site::StoreRename,
+    Site::StoreRead,
+];
 
 impl Site {
     /// The stable name used in `ENFRAME_FAILPOINTS` clauses.
@@ -53,6 +73,10 @@ impl Site {
             Site::Spawn => "spawn",
             Site::Recv => "recv",
             Site::Merge => "merge",
+            Site::StoreWrite => "store_write",
+            Site::StoreFsync => "store_fsync",
+            Site::StoreRename => "store_rename",
+            Site::StoreRead => "store_read",
         }
     }
 
@@ -62,6 +86,10 @@ impl Site {
             Site::Spawn => 1,
             Site::Recv => 2,
             Site::Merge => 3,
+            Site::StoreWrite => 4,
+            Site::StoreFsync => 5,
+            Site::StoreRename => 6,
+            Site::StoreRead => 7,
         }
     }
 }
@@ -118,6 +146,10 @@ static STATE: AtomicUsize = AtomicUsize::new(0);
 static ENV_CONFIG: OnceLock<Config> = OnceLock::new();
 static ACTIVE: Mutex<Option<Config>> = Mutex::new(None);
 static COUNTERS: [AtomicU64; SITES.len()] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -225,10 +257,21 @@ mod tests {
         assert_eq!(
             cfg,
             Config {
-                every: [0, 2, 0, 0]
+                every: [0, 2, 0, 0, 0, 0, 0, 0]
             }
         );
         assert!(!parse("").armed());
+    }
+
+    #[test]
+    fn parser_reads_the_store_io_sites() {
+        let cfg = parse(
+            "store_write:every-3,store_fsync:every-5,store_rename:every-7,store_read:every-2",
+        );
+        assert_eq!(cfg.every[Site::StoreWrite.index()], 3);
+        assert_eq!(cfg.every[Site::StoreFsync.index()], 5);
+        assert_eq!(cfg.every[Site::StoreRename.index()], 7);
+        assert_eq!(cfg.every[Site::StoreRead.index()], 2);
     }
 
     #[test]

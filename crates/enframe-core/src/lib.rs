@@ -48,6 +48,7 @@ pub mod budget;
 pub mod error;
 pub mod event;
 pub mod failpoint;
+pub mod fingerprint;
 pub mod fxhash;
 pub mod ground;
 pub mod program;

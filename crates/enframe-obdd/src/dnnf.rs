@@ -86,6 +86,14 @@ impl Dnnf {
     pub fn is_const(self) -> bool {
         self.0 < 2
     }
+
+    /// Rebuilds a handle from a dense node index — the inverse of
+    /// [`Dnnf::index`], for artifact deserialisation. The handle is only
+    /// meaningful against the manager whose index space it came from;
+    /// [`DnnfManager::from_nodes`] validates the referenced structure.
+    pub fn from_index(i: u32) -> Dnnf {
+        Dnnf(i)
+    }
 }
 
 /// One stored d-DNNF node.
@@ -253,6 +261,78 @@ impl DnnfManager {
         self.nodes.push(node.clone());
         self.unique.insert(node, r);
         r
+    }
+
+    /// Rebuilds a manager from an untrusted creation-ordered node array
+    /// (artifact deserialisation). Every invariant the compiler
+    /// guarantees by construction is *checked* here instead, so a
+    /// corrupted or hand-crafted array is rejected with a description
+    /// rather than poisoning later queries:
+    ///
+    /// * indices 0/1 are ⊤/⊥ and no other constant is stored;
+    /// * every child handle points strictly below its parent (the
+    ///   topological order the single-pass counter relies on);
+    /// * `And`/`Or` children are strictly sorted (the canonical form
+    ///   hash-consing produces), have at least two entries, reference no
+    ///   constants, and `And` children are never themselves `And`
+    ///   (flattening) while `Or` nodes are binary (decision form);
+    /// * no two stored nodes are structurally equal (hash-consing).
+    ///
+    /// Decomposability and determinism are *semantic* invariants over
+    /// variable supports; the artifact store revalidates those
+    /// separately on load.
+    pub fn from_nodes(nodes: Vec<DnnfNode>) -> Result<DnnfManager, String> {
+        if nodes.len() < 2
+            || nodes[0] != DnnfNode::Const(true)
+            || nodes[1] != DnnfNode::Const(false)
+        {
+            return Err("node array must start with the ⊤/⊥ constants".into());
+        }
+        let mut man = DnnfManager {
+            nodes: vec![DnnfNode::Const(true), DnnfNode::Const(false)],
+            unique: FxHashMap::default(),
+        };
+        for (i, node) in nodes.into_iter().enumerate().skip(2) {
+            match &node {
+                DnnfNode::Const(_) => {
+                    return Err(format!("stray constant at node {i}"));
+                }
+                DnnfNode::Lit { .. } => {}
+                DnnfNode::And(cs) | DnnfNode::Or(cs) => {
+                    if cs.len() < 2 {
+                        return Err(format!("node {i}: fewer than two children"));
+                    }
+                    if matches!(node, DnnfNode::Or(_)) && cs.len() != 2 {
+                        return Err(format!("node {i}: Or is not a binary decision"));
+                    }
+                    if !cs.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(format!("node {i}: children not strictly sorted"));
+                    }
+                    for &c in cs.iter() {
+                        if c.index() >= i {
+                            return Err(format!(
+                                "node {i}: child {} not created before its parent",
+                                c.index()
+                            ));
+                        }
+                        if c.is_const() {
+                            return Err(format!("node {i}: constant child survived reduction"));
+                        }
+                        if matches!(node, DnnfNode::And(_))
+                            && matches!(man.nodes[c.index()], DnnfNode::And(_))
+                        {
+                            return Err(format!("node {i}: unflattened nested And"));
+                        }
+                    }
+                }
+            }
+            let handle = Dnnf(man.nodes.len() as u32);
+            if man.unique.insert(node.clone(), handle).is_some() {
+                return Err(format!("node {i}: duplicate of an earlier node"));
+            }
+            man.nodes.push(node);
+        }
+        Ok(man)
     }
 
     /// Imports every node of `other` into this manager, returning the
@@ -555,6 +635,45 @@ impl DnnfEngine {
             names: net.target_names.clone(),
             stats,
             workers,
+        })
+    }
+
+    /// Reassembles an engine from deserialised parts (artifact load).
+    /// `man` should come from [`DnnfManager::from_nodes`] so the node
+    /// array is already structurally valid; this checks the target
+    /// handles and recomputes the size statistics (`expansion_steps` and
+    /// `memo_hits` are compile-time quantities — a loaded artifact
+    /// reports 0 for both). `workers` follows the same resolution rule
+    /// as [`DnnfOptions::workers`].
+    pub fn from_parts(
+        man: DnnfManager,
+        targets: Vec<Dnnf>,
+        names: Vec<String>,
+        workers: usize,
+    ) -> Result<DnnfEngine, String> {
+        if let Some(t) = targets.iter().find(|t| t.index() >= man.len()) {
+            return Err(format!("target handle {} out of range", t.index()));
+        }
+        if names.len() != targets.len() {
+            return Err(format!(
+                "{} target names for {} targets",
+                names.len(),
+                targets.len()
+            ));
+        }
+        let stats = DnnfStats {
+            nodes: man.len() - 2,
+            edges: man.edges(),
+            largest_target: targets.iter().map(|&t| man.size(t)).max().unwrap_or(0),
+            expansion_steps: 0,
+            memo_hits: 0,
+        };
+        Ok(DnnfEngine {
+            man,
+            targets,
+            names,
+            stats,
+            workers: enframe_core::workers::resolve(workers, 1),
         })
     }
 

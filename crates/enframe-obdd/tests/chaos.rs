@@ -19,7 +19,7 @@ use enframe_core::budget::Budget;
 use enframe_core::{space, Program, VarTable};
 use enframe_network::Network;
 use enframe_obdd::dnnf::{DnnfEngine, DnnfOptions};
-use enframe_obdd::{ObddEngine, ObddError, ObddOptions};
+use enframe_obdd::{ObddEngine, ObddError, ObddOptions, ObddSnapshot};
 use std::time::{Duration, Instant};
 
 /// Iterations per engine — enough to cross every `every-N` period in
@@ -125,6 +125,111 @@ fn engines_survive_armed_failpoints() {
     println!(
         "chaos `{armed}`: bdd {bdd_ok}/{ROUNDS} ok, dnnf {dnnf_ok}/{ROUNDS} ok, \
          rest failed structurally; {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+/// Snapshot-corruption rounds (ISSUE 9): the export/import pair is the
+/// in-memory half of the artifact store's persistence path, and
+/// [`ObddEngine::import`] is the validation gate every reloaded
+/// artifact passes through. Each round mutates one field of an
+/// exported [`ObddSnapshot`] into an invalid state; import must reject
+/// it with a structured error — never panic, never rebuild an engine
+/// that answers wrong — and a pristine re-import right after must
+/// still produce the exact probabilities (no cross-poisoning).
+#[test]
+fn snapshot_corruption_is_rejected_structurally() {
+    let t0 = Instant::now();
+    let p = mutex_chain(10);
+    let g = p.ground().unwrap();
+    let net = Network::build(&g).unwrap();
+    let vt = VarTable::uniform(10, 0.4);
+    let want = space::target_probabilities(&g, &vt);
+
+    // Under an env-armed schedule the compile itself may fault; retry
+    // across the fault period, and bail out gracefully if every
+    // attempt faults (the armed suite above still ran).
+    let mut engine = None;
+    for _ in 0..8 {
+        match ObddEngine::compile(&net, &ObddOptions::default()) {
+            Ok(e) => {
+                engine = Some(e);
+                break;
+            }
+            Err(e) => assert!(
+                e.to_string().contains("injected") || matches!(e, ObddError::Injected(_)),
+                "clean compile failed non-structurally: {e}"
+            ),
+        }
+    }
+    let Some(engine) = engine else {
+        println!("snapshot rounds skipped: every compile attempt faulted");
+        return;
+    };
+    let pristine = engine.export();
+
+    // Every mutation must be rejected; the message is the structured
+    // part callers log and dispatch on.
+    type Mutation = (&'static str, Box<dyn Fn(&mut ObddSnapshot)>);
+    let mutations: Vec<Mutation> = vec![
+        (
+            "unreduced node (hi == lo)",
+            Box::new(|s| s.nodes[0].hi = s.nodes[0].lo),
+        ),
+        ("complemented then-edge", Box::new(|s| s.nodes[0].hi ^= 1)),
+        (
+            "dangling child reference",
+            Box::new(|s| s.nodes[0].lo = ((s.nodes.len() as u32) + 5) << 1),
+        ),
+        (
+            "level out of range",
+            Box::new(|s| {
+                let last = s.nodes.len() - 1;
+                s.nodes[last].level = u32::MAX;
+            }),
+        ),
+        ("zero-width sifting block", Box::new(|s| s.blocks[0] = 0)),
+        (
+            "blocks do not partition the order",
+            Box::new(|s| s.blocks.push(1)),
+        ),
+        (
+            "duplicate variable in the order",
+            Box::new(|s| s.level_vars[1] = s.level_vars[0]),
+        ),
+        (
+            "dangling target reference",
+            Box::new(|s| s.targets.push(((s.nodes.len() as u32) + 2) << 1)),
+        ),
+    ];
+    for (what, mutate) in &mutations {
+        assert!(
+            t0.elapsed() < WALL_LIMIT,
+            "snapshot rounds wedged at `{what}`"
+        );
+        let mut snap = pristine.clone();
+        mutate(&mut snap);
+        if snap == pristine {
+            continue; // mutation was a no-op on this shape
+        }
+        let err = ObddEngine::import(&snap)
+            .map(|_| ())
+            .expect_err(&format!("corrupt snapshot accepted: {what}"));
+        assert!(!err.is_empty(), "{what}: empty rejection message");
+        // Recovery: the pristine snapshot must still import exactly.
+        let healed = ObddEngine::import(&pristine).expect("pristine snapshot imports");
+        let got = healed.probabilities(&vt);
+        assert_eq!(got.len(), want.len());
+        for i in 0..want.len() {
+            assert!(
+                (got[i] - want[i]).abs() < 1e-9,
+                "{what}: pristine re-import drifted at target {i}"
+            );
+        }
+    }
+    println!(
+        "snapshot rounds: {} corruptions rejected structurally; {:.1}s",
+        mutations.len(),
         t0.elapsed().as_secs_f64()
     );
 }

@@ -127,9 +127,13 @@ pub enum Counter {
     BudgetCheck,
     Cancellation,
     Fallback,
+    StoreHit,
+    StoreMiss,
+    StoreCorruption,
+    StoreRevalidation,
 }
 
-const N_COUNTERS: usize = 18;
+const N_COUNTERS: usize = 22;
 
 impl Counter {
     /// Every counter, in registry order (the order snapshots export).
@@ -152,6 +156,10 @@ impl Counter {
         Counter::BudgetCheck,
         Counter::Cancellation,
         Counter::Fallback,
+        Counter::StoreHit,
+        Counter::StoreMiss,
+        Counter::StoreCorruption,
+        Counter::StoreRevalidation,
     ];
 
     /// The stable snake_case key this counter exports under.
@@ -175,6 +183,10 @@ impl Counter {
             Counter::BudgetCheck => "budget_checks",
             Counter::Cancellation => "cancellations",
             Counter::Fallback => "fallbacks",
+            Counter::StoreHit => "store_hits",
+            Counter::StoreMiss => "store_misses",
+            Counter::StoreCorruption => "store_corruptions",
+            Counter::StoreRevalidation => "store_revalidations",
         }
     }
 }
@@ -233,9 +245,15 @@ pub enum Phase {
     /// Degraded-mode fallback: the hybrid bounds engine running under
     /// the remaining budget after an exact engine exhausted its own.
     Degraded,
+    /// Artifact-store load: read + decode of a persisted frame.
+    StoreLoad,
+    /// Artifact-store save: encode + crash-safe write of a frame.
+    StoreSave,
+    /// Artifact-store zero-trust revalidation of a loaded artifact.
+    StoreVerify,
 }
 
-const N_PHASES: usize = 12;
+const N_PHASES: usize = 15;
 
 impl Phase {
     /// Every phase, in registry order (the order snapshots export).
@@ -252,6 +270,9 @@ impl Phase {
         Phase::Worker,
         Phase::QueueWait,
         Phase::Degraded,
+        Phase::StoreLoad,
+        Phase::StoreSave,
+        Phase::StoreVerify,
     ];
 
     /// The stable snake_case key this phase exports under
@@ -270,6 +291,9 @@ impl Phase {
             Phase::Worker => "worker",
             Phase::QueueWait => "queue_wait",
             Phase::Degraded => "degraded",
+            Phase::StoreLoad => "store_load",
+            Phase::StoreSave => "store_save",
+            Phase::StoreVerify => "store_verify",
         }
     }
 }

@@ -24,6 +24,7 @@
 //! | [`cluster`] | deterministic k-means / k-medoids / MCL with ENFrame tie-breaking |
 //! | [`sprout`] | pc-tables and positive relational algebra with aggregates (the `loadData()` query path) |
 //! | [`data`] | workload generators: correlation schemes and synthetic sensor data (§5) |
+//! | [`store`] | crash-safe compiled-artifact store: fingerprinted persistence, zero-trust reloads with integrity revalidation, corruption recovery |
 //! | [`telemetry`] | instrumentation: hierarchical spans, typed counters, worker timelines, Chrome Trace export |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@ pub use enframe_network as network;
 pub use enframe_obdd as obdd;
 pub use enframe_prob as prob;
 pub use enframe_sprout as sprout;
+pub use enframe_store as store;
 pub use enframe_telemetry as telemetry;
 pub use enframe_translate as translate;
 pub use enframe_worlds as worlds;
