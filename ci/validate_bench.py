@@ -16,7 +16,15 @@ Three artefacts, three validators:
   paying: the cold row records a miss and a save, the warm row records
   a hit plus an integrity revalidation, and the warm reload must be
   >=5x faster than the cold compile (a load-vs-compile ratio, so it
-  holds on any host regardless of core count).
+  holds on any host regardless of core count). The ``serve`` series
+  (ISSUE 10) must carry queries/sec rows at 1/4/16 concurrent clients
+  in cold/unbatched/batched modes with counter evidence on each row,
+  batched throughput must be >=2x unbatched at 16 clients (shared
+  sweeps amortise the admission window), and the warm mem-tier path
+  must be >=5x the store-tier cold path at low concurrency (at high
+  concurrency single-flight coalescing legitimately dilutes the
+  per-query reload cost, so the reload-vs-sweep ratio is asserted
+  where it is undiluted: 1 and 4 clients).
 
 * ``fig_bdd.csv`` (from ``--bin fig_bdd``) — the knowledge-compilation
   sweep. The stat, telemetry, and ``workers`` columns must be present,
@@ -55,7 +63,7 @@ BDD_KEYS = {"live_nodes", "peak_nodes", "peak_bytes", "gc_runs", "reorders",
 DNNF_KEYS = {"cmp_branches", "dnnf_nodes", "dnnf_edges", "memo_hits"}
 
 # The fixed key set of every telemetry snapshot (enframe-telemetry's
-# Snapshot::to_json): 22 event counters plus a seconds/count pair per
+# Snapshot::to_json): 29 event counters plus a seconds/count pair per
 # pipeline phase. Keep in sync with Counter::ALL / Phase::ALL.
 COUNTER_KEYS = {
     "ite_hits", "ite_misses", "ite_evictions",
@@ -67,10 +75,14 @@ COUNTER_KEYS = {
     "queue_waits",
     "budget_checks", "cancellations", "fallbacks",
     "store_hits", "store_misses", "store_corruptions", "store_revalidations",
+    "serve_mem_hits", "serve_mem_misses", "serve_coalesces",
+    "serve_batches", "serve_batched_queries", "serve_epoch_swings",
+    "serve_queue_depth",
 }
 PHASE_NAMES = ("build", "bdd_apply", "shannon", "dnnf_expand", "unit_prop",
                "wmc", "gc", "reorder", "merge", "worker", "queue_wait",
-               "degraded", "store_load", "store_save", "store_verify")
+               "degraded", "store_load", "store_save", "store_verify",
+               "serve")
 TELEMETRY_KEYS = COUNTER_KEYS | {f"phase_{p}_s" for p in PHASE_NAMES} \
                               | {f"phase_{p}_n" for p in PHASE_NAMES}
 
@@ -88,6 +100,21 @@ SPEEDUP_WORKERS = 4
 # Minimum number of distinct labelled worker tracks the trace timeline
 # must show (the fig_bdd workers sweep runs up to 4 workers).
 TRACE_MIN_WORKERS = 4
+
+# The serve-figure gates (ISSUE 10). Batched evaluation must be >=2x
+# unbatched throughput at SERVE_CLIENTS_MAX concurrent clients: one
+# shared WMC sweep answers the whole admission-window batch, so the
+# window cost amortises while unbatched clients each pay a solo sweep.
+# The warm mem-tier path must be >=5x the store-tier cold path at 1 and
+# 4 clients — a reload-vs-sweep ratio; at 16 clients single-flight
+# coalescing legitimately dilutes the per-query reload, so the cold
+# baseline is asserted where it is undiluted.
+SERVE_CLIENTS = (1, 4, 16)
+SERVE_MODES = ("cold", "unbatched", "batched")
+SERVE_CLIENTS_MAX = 16
+SERVE_BATCHED_MIN = 2.0
+SERVE_WARM_MIN = 5.0
+SERVE_WARM_CLIENTS = (1, 4)
 
 
 def check_telemetry(r):
@@ -109,10 +136,13 @@ def validate_probe(path):
     assert isinstance(rows, list) and rows, f"{path} must be a non-empty array"
     base = {"figure", "series", "x", "seconds", "workers", "telemetry"}
     # Budget-degraded rows additionally carry their status and a bounds
-    # envelope (see the probe's `bounds_json`).
+    # envelope (see the probe's `bounds_json`); serve-throughput rows
+    # carry their queries/sec.
     degraded = base | {"status", "bounds"}
+    serve_keys = base | {"qps"}
     for r in rows:
-        assert set(r) in (base, base | {"stats"}, degraded), f"bad keys: {r}"
+        assert set(r) in (base, base | {"stats"}, degraded, serve_keys), \
+            f"bad keys: {r}"
         assert isinstance(r["seconds"], float), f"bad seconds: {r}"
         assert isinstance(r["workers"], int) and r["workers"] >= 1, f"bad workers: {r}"
         check_telemetry(r)
@@ -214,6 +244,62 @@ def validate_probe(path):
     assert w["seconds"] * 5 <= c["seconds"], (
         f"warm artifact reload not >=5x faster than cold compile: "
         f"cold={c['seconds']:.4f}s warm={w['seconds']:.4f}s")
+    # Serving layer (ISSUE 10): the serve figure — queries/sec at
+    # 1/4/16 concurrent clients, in cold (per-query store reload),
+    # unbatched (warm mem tier, solo sweeps), and batched (warm mem
+    # tier, admission-window shared sweeps) modes.
+    serve = {}
+    for r in rows:
+        if r["series"] != "serve":
+            continue
+        parts = dict(p.split("=") for p in r["x"].split(";"))
+        serve[(int(parts["clients"]), parts["mode"])] = r
+    want = {(n, m) for n in SERVE_CLIENTS for m in SERVE_MODES}
+    assert set(serve) == want, (
+        f"serve series must cover clients {SERVE_CLIENTS} x modes "
+        f"{SERVE_MODES}, got {sorted(serve)}")
+    for (n, m), r in sorted(serve.items()):
+        assert isinstance(r["qps"], float) and r["qps"] > 0.0, (
+            f"bad qps on serve row {r['x']}: {r['qps']}")
+        tel = r["telemetry"]
+        # Every serve row must show the serving span and a queue-depth
+        # high-water mark consistent with its client count.
+        assert tel["phase_serve_n"] > 0, f"serve row without serve spans: {r['x']}"
+        assert 1 <= tel["serve_queue_depth"] <= n, (
+            f"serve row queue depth out of range: {r['x']}: "
+            f"{tel['serve_queue_depth']} (clients={n})")
+        if m == "cold":
+            # Cold queries re-resolve through the store tier: mem
+            # misses with reloads, never a mem hit inside the loop.
+            assert tel["serve_mem_misses"] >= 1, (
+                f"cold serve row saw no mem miss: {r['x']}: {tel}")
+            assert tel["store_hits"] >= 1, (
+                f"cold serve row never hit the store tier: {r['x']}: {tel}")
+        else:
+            # Warm modes resolve every measured query in memory.
+            assert tel["serve_mem_hits"] >= 1, (
+                f"warm serve row saw no mem hit: {r['x']}: {tel}")
+        if m == "batched":
+            assert tel["serve_batches"] >= 1, (
+                f"batched serve row formed no batch: {r['x']}: {tel}")
+        if m == "batched" and n > 1:
+            assert tel["serve_batched_queries"] >= 1, (
+                f"multi-client batched serve row shared no sweep: "
+                f"{r['x']}: {tel}")
+    # The throughput gates. Both compare rows measured on the same
+    # host within one probe run, so they hold regardless of absolute
+    # machine speed.
+    q = {k: serve[k]["qps"] for k in serve}
+    nmax = SERVE_CLIENTS_MAX
+    assert q[(nmax, "batched")] >= SERVE_BATCHED_MIN * q[(nmax, "unbatched")], (
+        f"batched serving not >={SERVE_BATCHED_MIN}x unbatched at "
+        f"{nmax} clients: batched={q[(nmax, 'batched')]:.0f} qps, "
+        f"unbatched={q[(nmax, 'unbatched')]:.0f} qps")
+    for n in SERVE_WARM_CLIENTS:
+        assert q[(n, "unbatched")] >= SERVE_WARM_MIN * q[(n, "cold")], (
+            f"warm mem-tier serving not >={SERVE_WARM_MIN}x the cold "
+            f"store path at {n} clients: warm={q[(n, 'unbatched')]:.0f} "
+            f"qps, cold={q[(n, 'cold')]:.0f} qps")
     workers = sorted({r["workers"] for r in rows if r["series"] == "dnnf"})
     print(f"{path} OK: {len(rows)} rows, series {sorted(series)}; "
           f"dnnf v=14: {steps} steps ({SHANNON_V14_BRANCHES // steps}x fewer), "
@@ -223,7 +309,11 @@ def validate_probe(path):
           f"budget probe degraded in {b['seconds'] * 1000:.1f}ms "
           f"(max width {env['max_width']:.3f}); "
           f"store cold={c['seconds']:.4f}s warm={w['seconds']:.4f}s "
-          f"({c['seconds'] / w['seconds']:.1f}x)")
+          f"({c['seconds'] / w['seconds']:.1f}x); "
+          f"serve @{nmax} clients: batched={q[(nmax, 'batched')]:.0f} qps "
+          f"vs unbatched={q[(nmax, 'unbatched')]:.0f} qps "
+          f"({q[(nmax, 'batched')] / q[(nmax, 'unbatched')]:.1f}x), "
+          f"warm/cold @1 client {q[(1, 'unbatched')] / q[(1, 'cold')]:.1f}x")
 
 
 def validate_fig_bdd(path, require_speedup):
@@ -235,7 +325,9 @@ def validate_fig_bdd(path, require_speedup):
               "dnnf_edges", "ite_hits", "memo_hits", "phase_compile_s",
               "phase_wmc_s", "budget_checks", "cancellations", "fallbacks",
               "store_hits", "store_misses", "store_corruptions",
-              "store_revalidations"):
+              "store_revalidations", "serve_mem_hits", "serve_mem_misses",
+              "serve_coalesces", "serve_batches", "serve_batched_queries",
+              "serve_epoch_swings", "serve_queue_depth"):
         assert c in cols, f"missing column {c}"
     bdd = [r for r in rows
            if r["series"] in ("bdd-exact", "bdd-static") and r["status"] == "ok"]

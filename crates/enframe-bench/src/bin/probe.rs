@@ -19,7 +19,13 @@
 //! (min of 3 reps each) that CI holds to the ≤ 5 % disabled-overhead
 //! bound, plus a `store` series pair at the same configuration — a cold
 //! compile-and-persist row and a warm load-and-revalidate row — that CI
-//! holds to a ≥ 5× warm speedup. Set `ENFRAME_TRACE=<path>` to also
+//! holds to a ≥ 5× warm speedup, plus a `serve` series (ISSUE 10):
+//! queries/sec through the serving layer at 1/4/16 concurrent clients
+//! in cold, unbatched, and batched modes, sharing the store directory
+//! with the cold/warm pair so repeated rows reload the persisted
+//! artifact instead of recompiling it. CI holds batched to ≥ 2× the
+//! unbatched throughput at 16 clients and the warm mem-tier path to
+//! ≥ 5× the store-tier cold path. Set `ENFRAME_TRACE=<path>` to also
 //! write a Chrome Trace timeline of the whole probe run.
 //!
 //! Run: `cargo run --release -p enframe-bench --bin probe`
@@ -53,6 +59,9 @@ struct JsonRow {
     status: Option<String>,
     /// Rendered `"bounds"` summary object, paired with `status`.
     bounds: Option<String>,
+    /// Queries per second (`serve` series only — its rows measure
+    /// throughput, so `seconds` is the whole run's wall clock).
+    qps: Option<f64>,
 }
 
 /// The `"bounds"` summary fragment of a degraded measurement: target
@@ -93,8 +102,30 @@ fn push_m(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &str, 
             telemetry: telemetry_json(m).unwrap_or_else(|| telemetry::snapshot().to_json()),
             status: (m.status == "degraded").then(|| m.status.clone()),
             bounds: (m.status == "degraded").then(|| bounds_json(m)).flatten(),
+            qps: None,
         });
     }
+}
+
+/// Appends one `serve` throughput row: wall-clock seconds for the whole
+/// run plus the queries/sec headline CI tracks across the three modes.
+fn push_serve(rows: &mut Vec<JsonRow>, x: &str, t: &enframe_bench::ServeThroughput) {
+    rows.push(JsonRow {
+        figure: "probe",
+        series: "serve".to_string(),
+        x: x.to_string(),
+        seconds: t.seconds,
+        workers: 1,
+        stats: None,
+        telemetry: t
+            .telemetry
+            .as_ref()
+            .map(telemetry::Snapshot::to_json)
+            .unwrap_or_else(|| telemetry::snapshot().to_json()),
+        status: None,
+        bounds: None,
+        qps: Some(t.qps),
+    });
 }
 
 /// Appends a row measured outside [`run_engine`] (the network-build
@@ -112,6 +143,7 @@ fn push_plain(rows: &mut Vec<JsonRow>, figure: &'static str, series: &str, x: &s
             telemetry: telemetry::snapshot().to_json(),
             status: None,
             bounds: None,
+            qps: None,
         });
     }
 }
@@ -142,6 +174,9 @@ fn write_json(rows: &[JsonRow]) {
         }
         if let Some(b) = &r.bounds {
             let _ = write!(out, ", \"bounds\": {b}");
+        }
+        if let Some(q) = r.qps {
+            let _ = write!(out, ", \"qps\": {q:.3}");
         }
         let _ = write!(out, ", \"telemetry\": {}", r.telemetry);
         out.push('}');
@@ -361,6 +396,47 @@ fn main() {
             );
             push_m(&mut rows, "probe", "store", "n=16;v=14;mode=cold", &cold);
             push_m(&mut rows, "probe", "store", "n=16;v=14;mode=warm", &warm);
+            // Serve throughput (ISSUE 10): queries/sec at N ∈ {1, 4, 16}
+            // concurrent clients in three modes — cold (every request
+            // re-resolves through the store tier), unbatched (warm mem
+            // tier, solo sweeps), and batched (warm mem tier,
+            // admission-window shared sweeps). The serving workload is a
+            // 50-group mutex-chain lineage: its union d-DNNF is large
+            // enough that one WMC sweep costs milliseconds (the regime
+            // where sharing a sweep pays for the admission window),
+            // while compiling it stays sub-second for the warmup. The
+            // store is the SAME probe-lifetime directory the cold/warm
+            // pair above persisted into, so repeated cold serve rows
+            // reload the persisted artifact instead of recompiling it —
+            // the store warm path pays inside the serving loop too. CI
+            // asserts batched >= 2x unbatched at 16 clients and the
+            // warm mem-tier hit >= 5x the store-tier cold path, with
+            // counter evidence on each row.
+            let sprep = prepare_lineage(50, Scheme::Mutex { m: 4 }, &LineageOpts::default(), 7);
+            for clients in [1usize, 4, 16] {
+                for mode in [ServeMode::Cold, ServeMode::Unbatched, ServeMode::Batched] {
+                    // Cold reloads are ~50x slower per query than warm
+                    // sweeps; fewer rounds keep the probe quick without
+                    // costing the ratio any resolution.
+                    let per_client = if mode == ServeMode::Cold { 2 } else { 32 };
+                    let t = run_serve_throughput(
+                        &sprep.net, &sprep.vt, &store, clients, per_client, mode,
+                    );
+                    println!(
+                        "serve mutex=50 clients={clients} mode={} qps={:.0} \
+                         mean_batch={:.2} ({:.3}s)",
+                        mode.label(),
+                        t.qps,
+                        t.mean_batch,
+                        t.seconds
+                    );
+                    push_serve(
+                        &mut rows,
+                        &format!("mutex=50;clients={clients};mode={}", mode.label()),
+                        &t,
+                    );
+                }
+            }
             let _ = std::fs::remove_dir_all(&store_dir);
         }
     }

@@ -35,12 +35,14 @@ use enframe_prob::{
     compile_distributed, compile_folded_scoped, compile_scoped, CompileResult, DistOptions,
     Options, Strategy,
 };
+use enframe_serve::{Answer, Lineage, QueryService, ServeOptions};
 use enframe_store::{fingerprint_dnnf, ArtifactStore};
 use enframe_telemetry::{self as telemetry, Counter, Phase, Snapshot};
 use enframe_translate::{targets, translate, ProbEnv};
 use enframe_worlds::{extract, naive_probabilities};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 /// Whether the paper-scale grid was requested.
 pub fn full_scale() -> bool {
@@ -939,6 +941,142 @@ pub fn run_dnnf_warm_store(
     m
 }
 
+/// Serving mode of [`run_serve_throughput`] — the three lines of the
+/// `serve` figure (ISSUE 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// The memory tier is flushed before every request, so each query
+    /// re-resolves through the store tier: a crash-safe reload with
+    /// zero-trust revalidation per query. The baseline the warm
+    /// memory-tier hit is measured against.
+    Cold,
+    /// Warm memory tier, zero admission window: every request is a
+    /// mem-tier hit followed by its own solo WMC sweep.
+    Unbatched,
+    /// Warm memory tier with an open admission window: requests
+    /// arriving together share one sweep (and its warm WMC cache).
+    Batched,
+}
+
+impl ServeMode {
+    /// The `mode=…` label of the serve figure's x key.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeMode::Cold => "cold",
+            ServeMode::Unbatched => "unbatched",
+            ServeMode::Batched => "batched",
+        }
+    }
+}
+
+/// Admission window of the batched serve mode. Short enough that a
+/// single batch costs little latency, long enough that barrier-started
+/// clients reliably co-arrive inside it.
+pub const SERVE_BATCH_WINDOW: Duration = Duration::from_millis(2);
+
+/// One serve-throughput measurement: `clients` threads each issuing
+/// `per_client` queries against one shared [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServeThroughput {
+    /// Wall-clock seconds from the start barrier to the last reply.
+    pub seconds: f64,
+    /// Queries per second: `clients * per_client / seconds`.
+    pub qps: f64,
+    /// Total queries answered (= `clients * per_client`).
+    pub queries: usize,
+    /// Mean batch size over all replies (1.0 when nothing batched).
+    pub mean_batch: f64,
+    /// Telemetry snapshot covering exactly this run.
+    pub telemetry: Option<Snapshot>,
+}
+
+/// Measures query throughput of the serving layer (ISSUE 10): `clients`
+/// barrier-started threads issue `per_client` queries each for the
+/// network's d-DNNF lineage against one [`QueryService`] backed by
+/// `store`, in the given [`ServeMode`]. Warm modes resolve the artifact
+/// once before the clock starts, so the measured loop isolates the
+/// serving path (mem-tier hit + sweep, shared or solo); the cold mode
+/// flushes the memory tier before every request, so each query pays the
+/// store tier's reload-and-revalidate path — reusing the artifact the
+/// probe's store section already persisted instead of recompiling.
+pub fn run_serve_throughput(
+    net: &Network,
+    vt: &VarTable,
+    store: &ArtifactStore,
+    clients: usize,
+    per_client: usize,
+    mode: ServeMode,
+) -> ServeThroughput {
+    telemetry::reset();
+    let lineage = Lineage::dnnf(Arc::new(net.clone()), DnnfOptions::default());
+    let svc = Arc::new(QueryService::new(ServeOptions {
+        batch_window: match mode {
+            ServeMode::Batched => SERVE_BATCH_WINDOW,
+            _ => Duration::ZERO,
+        },
+        store: Some(store.clone()),
+        ..ServeOptions::default()
+    }));
+    // Resolve once outside the clock: warm modes then serve every
+    // measured query from the memory tier, and the cold mode's
+    // per-query reloads hit a store entry that is guaranteed present.
+    let warmup = svc
+        .query(&lineage, vt, Budget::unlimited())
+        .expect("serve warmup resolves");
+    assert!(
+        matches!(warmup.answer, Answer::Exact(_)),
+        "unlimited warmup must serve exactly"
+    );
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let queries = clients * per_client;
+    let (batch_sum, seconds) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let lineage = lineage.clone();
+                let vt = vt.clone();
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut sizes = 0usize;
+                    for _ in 0..per_client {
+                        if mode == ServeMode::Cold {
+                            svc.flush();
+                        }
+                        let reply = svc
+                            .query(&lineage, &vt, Budget::unlimited())
+                            .expect("serve throughput query");
+                        assert!(
+                            matches!(reply.answer, Answer::Exact(_)),
+                            "unlimited serve queries must answer exactly"
+                        );
+                        sizes += reply.batch_size;
+                    }
+                    sizes
+                })
+            })
+            .collect();
+        // The clock starts before the release: clients cannot pass the
+        // barrier until this thread arrives, and starting it afterwards
+        // would race the clients on a loaded host (they can finish
+        // before the releasing thread is rescheduled to read the time).
+        let t0 = Instant::now();
+        barrier.wait();
+        let mut sum = 0usize;
+        for h in handles {
+            sum += h.join().expect("serve client thread");
+        }
+        (sum, t0.elapsed().as_secs_f64())
+    });
+    ServeThroughput {
+        seconds,
+        qps: queries as f64 / seconds,
+        queries,
+        mean_batch: batch_sum as f64 / queries as f64,
+        telemetry: Some(telemetry::snapshot()),
+    }
+}
+
 /// The `"stats"` JSON object of a measurement — the single serialiser
 /// behind both `BENCH_probe.json` and any future exporter, so the
 /// knowledge-compilation stat keys exist in exactly one place. OBDD
@@ -983,14 +1121,16 @@ pub fn telemetry_json(m: &Measurement) -> Option<String> {
 /// (including the `peak_bytes` footprint estimate), then
 /// `cmp_branches` (Shannon branches for the BDD engines, expansion
 /// steps for the d-DNNF engine — the directly comparable pair), the
-/// d-DNNF node/edge counts, and eleven telemetry columns distilled from
-/// the per-measurement [`Snapshot`] (cache hits, the compile/WMC phase
-/// split, the budget-governance triple: safe-point checks taken,
-/// cancellations observed, degradation fallbacks, and the
-/// artifact-store quadruple: hits, misses, corruptions, revalidations).
+/// d-DNNF node/edge counts, and eighteen telemetry columns distilled
+/// from the per-measurement [`Snapshot`] (cache hits, the compile/WMC
+/// phase split, the budget-governance triple: safe-point checks taken,
+/// cancellations observed, degradation fallbacks, the artifact-store
+/// quadruple: hits, misses, corruptions, revalidations, and the serving
+/// septet: mem-tier hits/misses, single-flight coalesces, batches and
+/// batched queries, epoch swings, and the queue-depth high-water mark).
 pub fn print_header() {
     println!(
-        "figure,series,x,seconds,status,detail,workers,live_nodes,peak_nodes,peak_bytes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges,ite_hits,memo_hits,phase_compile_s,phase_wmc_s,budget_checks,cancellations,fallbacks,store_hits,store_misses,store_corruptions,store_revalidations"
+        "figure,series,x,seconds,status,detail,workers,live_nodes,peak_nodes,peak_bytes,gc_runs,reorders,load_factor,cmp_branches,dnnf_nodes,dnnf_edges,ite_hits,memo_hits,phase_compile_s,phase_wmc_s,budget_checks,cancellations,fallbacks,store_hits,store_misses,store_corruptions,store_revalidations,serve_mem_hits,serve_mem_misses,serve_coalesces,serve_batches,serve_batched_queries,serve_epoch_swings,serve_queue_depth"
     );
 }
 
@@ -1018,7 +1158,7 @@ pub fn print_row(figure: &str, series: &str, x: &str, m: &Measurement, detail: &
     };
     let tel = match &m.telemetry {
         Some(t) => format!(
-            "{},{},{:.6e},{:.6e},{},{},{},{},{},{},{}",
+            "{},{},{:.6e},{:.6e},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             t.counter(Counter::IteHit),
             t.counter(Counter::MemoHit),
             t.compile_seconds(),
@@ -1029,9 +1169,16 @@ pub fn print_row(figure: &str, series: &str, x: &str, m: &Measurement, detail: &
             t.counter(Counter::StoreHit),
             t.counter(Counter::StoreMiss),
             t.counter(Counter::StoreCorruption),
-            t.counter(Counter::StoreRevalidation)
+            t.counter(Counter::StoreRevalidation),
+            t.counter(Counter::ServeMemHit),
+            t.counter(Counter::ServeMemMiss),
+            t.counter(Counter::ServeCoalesce),
+            t.counter(Counter::ServeBatch),
+            t.counter(Counter::ServeBatchedQuery),
+            t.counter(Counter::ServeEpochSwing),
+            t.counter(Counter::ServeQueueDepth)
         ),
-        None => ",,,,,,,,,,".into(),
+        None => ",,,,,,,,,,,,,,,,,".into(),
     };
     println!(
         "{figure},{series},{x},{secs},{},{detail},{},{stats},{tel}",
@@ -1322,6 +1469,42 @@ mod tests {
         assert!(tel.counter(Counter::BudgetCheck) > 0);
         assert!(tel.counter(Counter::Cancellation) > 0);
         assert!(tel.counter(Counter::Fallback) > 0);
+    }
+
+    /// The serve harness measures all three modes on one store-backed
+    /// service and the batched replies really share sweeps.
+    #[test]
+    fn serve_throughput_modes_measure_and_batch() {
+        telemetry::set_enabled(true);
+        let prep = tiny_prep();
+        let root = std::env::temp_dir().join(format!("enframe-bench-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ArtifactStore::new(&root);
+        let vt = &prep.workload.vt;
+        for mode in [ServeMode::Cold, ServeMode::Unbatched, ServeMode::Batched] {
+            let t = run_serve_throughput(&prep.net, vt, &store, 2, 3, mode);
+            assert_eq!(t.queries, 6, "{mode:?}");
+            assert!(t.qps > 0.0 && t.seconds > 0.0, "{mode:?}: {t:?}");
+            assert!(t.mean_batch >= 1.0, "{mode:?}: {t:?}");
+            let tel = t.telemetry.as_ref().unwrap();
+            match mode {
+                ServeMode::Cold => assert!(
+                    tel.counter(Counter::StoreHit) >= 1,
+                    "cold queries must reload through the store tier: {tel:?}"
+                ),
+                ServeMode::Unbatched | ServeMode::Batched => assert!(
+                    tel.counter(Counter::ServeMemHit) >= 6,
+                    "{mode:?} queries must hit the memory tier: {tel:?}"
+                ),
+            }
+            if mode == ServeMode::Batched {
+                assert!(
+                    tel.counter(Counter::ServeBatch) >= 1,
+                    "batched mode never formed a batch: {tel:?}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     mod degradation_ladder {

@@ -1,0 +1,182 @@
+//! Epoch-based snapshot publication: the read side of the serving
+//! layer's "queries never block on maintenance" contract.
+//!
+//! An [`EpochCell`] holds an immutable snapshot behind an `Arc`.
+//! Readers [`load`](EpochCell::load) the current `Arc` — a brief shared
+//! lock to clone the pointer, after which they evaluate entirely
+//! lock-free against a snapshot that can never change under them.
+//! Maintenance (GC, reorder, recompile) builds a **new** snapshot while
+//! readers continue on the old one, then swings the epoch behind the
+//! write lock: publish-then-retire, where "retire" is simply the old
+//! `Arc` dropping to zero once the last in-flight reader finishes.
+//!
+//! Two writer entry points:
+//!
+//! * [`publish`](EpochCell::publish) — the caller already built the
+//!   replacement; the write lock is held only for the pointer swap.
+//! * [`update`](EpochCell::update) — build *from* the current value
+//!   under an **upgradable read** (readers keep loading throughout the
+//!   rebuild), then upgrade to exclusive only for the swap. The
+//!   upgradable slot also serialises maintainers, so concurrent
+//!   `update`s cannot lose each other's work.
+//!
+//! Epoch numbers are monotone and returned from every swing, so callers
+//! can tell "the snapshot I read" from "the snapshot now live" — the
+//! serving layer stamps every answer with the epoch it was computed
+//! against.
+
+use parking_lot::{RwLock, RwLockUpgradableReadGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An `Arc`-published snapshot cell with monotone epoch numbering.
+/// See the [module docs](self) for the publication protocol.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    current: RwLock<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> EpochCell<T> {
+    /// Creates a cell publishing `value` as epoch 0.
+    pub fn new(value: T) -> Self {
+        EpochCell {
+            current: RwLock::new(Arc::new(value)),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently-published snapshot. The shared lock is held only
+    /// long enough to clone the `Arc`; it is taken *recursively* (it
+    /// does not queue behind a waiting writer), so a reader that loads
+    /// twice — or loads while holding another guard — can never
+    /// deadlock against an in-flight epoch swing.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.current.read_recursive())
+    }
+
+    /// The epoch number of the currently-published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// [`load`](Self::load) plus the epoch the snapshot was published
+    /// as, read under one shared lock so the pair is always consistent
+    /// (a concurrent swing can never split them).
+    pub fn load_with_epoch(&self) -> (Arc<T>, u64) {
+        let guard = self.current.read_recursive();
+        (Arc::clone(&guard), self.epoch.load(Ordering::Acquire))
+    }
+
+    /// Publishes `value` as the next epoch and returns its number. The
+    /// write lock is held only for the pointer swap; the previous
+    /// snapshot retires when its last reader drops its `Arc`.
+    pub fn publish(&self, value: T) -> u64 {
+        self.swap(Arc::new(value))
+    }
+
+    /// Publishes an already-shared snapshot (see [`publish`](Self::publish)).
+    pub fn publish_arc(&self, value: Arc<T>) -> u64 {
+        self.swap(value)
+    }
+
+    /// Builds the next snapshot **from** the current one and swings the
+    /// epoch: `f` runs under an upgradable read — plain readers keep
+    /// loading the old snapshot for the whole rebuild, while other
+    /// maintainers queue on the (exclusive) upgradable slot — and the
+    /// write lock is only taken for the final swap. Returns the new
+    /// epoch number.
+    pub fn update(&self, f: impl FnOnce(&T) -> T) -> u64 {
+        let up = self.current.upgradable_read();
+        let next = Arc::new(f(&up));
+        let mut w = RwLockUpgradableReadGuard::upgrade(up);
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        *w = next;
+        epoch
+    }
+
+    fn swap(&self, next: Arc<T>) -> u64 {
+        let mut w = self.current.write();
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        *w = next;
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_published_value_and_epoch_advances() {
+        let cell = EpochCell::new(1u32);
+        assert_eq!(*cell.load(), 1);
+        assert_eq!(cell.epoch(), 0);
+        assert_eq!(cell.publish(2), 1);
+        assert_eq!(*cell.load(), 2);
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(cell.update(|v| v + 10), 2);
+        assert_eq!(*cell.load(), 12);
+        let (snap, epoch) = cell.load_with_epoch();
+        assert_eq!((*snap, epoch), (12, 2));
+    }
+
+    #[test]
+    fn readers_keep_old_snapshot_across_a_swing() {
+        let cell = EpochCell::new(vec![1, 2, 3]);
+        let before = cell.load();
+        cell.publish(vec![9]);
+        // The snapshot loaded before the swing is untouched
+        // (publish-then-retire): maintenance never mutates in place.
+        assert_eq!(*before, vec![1, 2, 3]);
+        assert_eq!(*cell.load(), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_updates_serialize_and_lose_nothing() {
+        let cell = Arc::new(EpochCell::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        cell.update(|v| v + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(*cell.load(), 800);
+        assert_eq!(cell.epoch(), 800);
+    }
+
+    #[test]
+    fn readers_never_block_on_a_slow_update() {
+        let cell = Arc::new(EpochCell::new(0u32));
+        let rebuilding = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let c = Arc::clone(&cell);
+            let r = Arc::clone(&rebuilding);
+            s.spawn(move || {
+                c.update(|v| {
+                    r.store(true, Ordering::SeqCst);
+                    // A deliberately slow rebuild: readers must get the
+                    // old snapshot immediately throughout.
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    v + 1
+                });
+            });
+            while !rebuilding.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+            let t0 = std::time::Instant::now();
+            assert_eq!(*cell.load(), 0, "old epoch must stay readable");
+            assert!(
+                t0.elapsed() < std::time::Duration::from_millis(50),
+                "reader blocked on maintenance: {:?}",
+                t0.elapsed()
+            );
+        });
+        assert_eq!(*cell.load(), 1);
+    }
+}

@@ -11,10 +11,11 @@
 //! ```
 //!
 //! Site names are [`Site::name`] values: `alloc`, `spawn`, `recv`,
-//! `merge`, and the artifact-store I/O sites `store_write`,
+//! `merge`, the artifact-store I/O sites `store_write`,
 //! `store_fsync`, `store_rename`, `store_read` (simulated torn writes,
 //! lost durability, and read failures — the store surfaces them as
-//! `StoreError::Io`). Unparseable clauses are ignored (chaos harnesses must never
+//! `StoreError::Io`), and the query-service admission site
+//! `serve_admit`. Unparseable clauses are ignored (chaos harnesses must never
 //! take the process down themselves). When the variable is unset and no
 //! programmatic override is installed, [`hit`] compiles down to one
 //! atomic load of a cached `None` — effectively free in production.
@@ -51,10 +52,14 @@ pub enum Site {
     StoreRename,
     /// Artifact-store read of a persisted frame.
     StoreRead,
+    /// Query-service admission: a request entering the serve layer
+    /// (simulated admission failure — the service surfaces it as a
+    /// structured `ServeError`, never a hang).
+    ServeAdmit,
 }
 
 /// All sites, in declaration order.
-pub const SITES: [Site; 8] = [
+pub const SITES: [Site; 9] = [
     Site::Alloc,
     Site::Spawn,
     Site::Recv,
@@ -63,6 +68,7 @@ pub const SITES: [Site; 8] = [
     Site::StoreFsync,
     Site::StoreRename,
     Site::StoreRead,
+    Site::ServeAdmit,
 ];
 
 impl Site {
@@ -77,6 +83,7 @@ impl Site {
             Site::StoreFsync => "store_fsync",
             Site::StoreRename => "store_rename",
             Site::StoreRead => "store_read",
+            Site::ServeAdmit => "serve_admit",
         }
     }
 
@@ -90,6 +97,7 @@ impl Site {
             Site::StoreFsync => 5,
             Site::StoreRename => 6,
             Site::StoreRead => 7,
+            Site::ServeAdmit => 8,
         }
     }
 }
@@ -146,6 +154,7 @@ static STATE: AtomicUsize = AtomicUsize::new(0);
 static ENV_CONFIG: OnceLock<Config> = OnceLock::new();
 static ACTIVE: Mutex<Option<Config>> = Mutex::new(None);
 static COUNTERS: [AtomicU64; SITES.len()] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -257,7 +266,7 @@ mod tests {
         assert_eq!(
             cfg,
             Config {
-                every: [0, 2, 0, 0, 0, 0, 0, 0]
+                every: [0, 2, 0, 0, 0, 0, 0, 0, 0]
             }
         );
         assert!(!parse("").armed());
@@ -272,6 +281,13 @@ mod tests {
         assert_eq!(cfg.every[Site::StoreFsync.index()], 5);
         assert_eq!(cfg.every[Site::StoreRename.index()], 7);
         assert_eq!(cfg.every[Site::StoreRead.index()], 2);
+    }
+
+    #[test]
+    fn parser_reads_the_serve_admission_site() {
+        let cfg = parse("serve_admit:every-4");
+        assert_eq!(cfg.every[Site::ServeAdmit.index()], 4);
+        assert!(cfg.armed());
     }
 
     #[test]

@@ -79,7 +79,7 @@ use enframe_core::{CoreError, Var, VarTable};
 use enframe_network::Network;
 use enframe_prob::order::{static_order, VarOrder};
 use enframe_telemetry::{self as telemetry, Counter, Phase};
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
@@ -321,7 +321,10 @@ pub struct ObddEngine {
     names: Vec<String>,
     stats: ObddStats,
     /// Persistent WMC cache, epoch/weight-stamped (see [`WmcCache`]).
-    wmc_cache: RefCell<WmcCache>,
+    /// Behind a `Mutex` (not a `RefCell`) so the engine is `Sync`: the
+    /// serving layer evaluates batches against a shared `Arc<ObddEngine>`
+    /// snapshot, and batch members warm one cache instead of one each.
+    wmc_cache: Mutex<WmcCache>,
 }
 
 impl ObddEngine {
@@ -386,7 +389,7 @@ impl ObddEngine {
             targets,
             names: net.target_names.clone(),
             stats,
-            wmc_cache: RefCell::new(WmcCache::new()),
+            wmc_cache: Mutex::new(WmcCache::new()),
         })
     }
 
@@ -570,7 +573,7 @@ impl ObddEngine {
             targets,
             names: net.target_names.clone(),
             stats,
-            wmc_cache: RefCell::new(WmcCache::new()),
+            wmc_cache: Mutex::new(WmcCache::new()),
         })
     }
 
@@ -629,10 +632,57 @@ impl ObddEngine {
     /// Panics if `vt` does not cover the compiled variables.
     pub fn probabilities(&self, vt: &VarTable) -> Vec<f64> {
         let _span = telemetry::span(Phase::Wmc);
-        let mut wmc = Wmc::with_cache(&self.man, self.level_weights(vt), self.wmc_cache.take());
+        let mut wmc = Wmc::with_cache(
+            &self.man,
+            self.level_weights(vt),
+            std::mem::take(&mut *self.wmc_cache.lock()),
+        );
         let probs = self.targets.iter().map(|&t| wmc.probability(t)).collect();
-        self.wmc_cache.replace(wmc.into_cache());
+        *self.wmc_cache.lock() = wmc.into_cache();
         probs
+    }
+
+    /// Budget-aware variant of [`ObddEngine::probabilities`] — the WMC
+    /// entry point of the serving layer. One weighted-model-counting
+    /// sweep over all targets against an immutable `&self` snapshot,
+    /// checkpointing the scope between targets so an exhausted or
+    /// cancelled request stops at the next target boundary with
+    /// [`ObddError::BudgetExceeded`] instead of finishing the sweep.
+    ///
+    /// Because the engine is `Sync`, a batch of queries can share one
+    /// `Arc<ObddEngine>` and this one sweep: the per-node cache the
+    /// sweep warms is the engine's persistent [`WmcCache`], so follow-up
+    /// queries under the same weights are near-free.
+    ///
+    /// # Panics
+    /// Panics if `vt` does not cover the compiled variables.
+    pub fn try_probabilities(
+        &self,
+        vt: &VarTable,
+        scope: &BudgetScope,
+    ) -> Result<Vec<f64>, ObddError> {
+        let _span = telemetry::span(Phase::Wmc);
+        let mut wmc = Wmc::with_cache(
+            &self.man,
+            self.level_weights(vt),
+            std::mem::take(&mut *self.wmc_cache.lock()),
+        );
+        let mut probs = Vec::with_capacity(self.targets.len());
+        let mut verdict = None;
+        for &t in &self.targets {
+            if let Err(e) = scope.checkpoint() {
+                verdict = Some(e);
+                break;
+            }
+            probs.push(wmc.probability(t));
+        }
+        // Put the (partially) warmed cache back even on the error path —
+        // a budget verdict must not cost the next query its warm start.
+        *self.wmc_cache.lock() = wmc.into_cache();
+        match verdict {
+            Some(e) => Err(e.into()),
+            None => Ok(probs),
+        }
     }
 
     /// The conjunction of the given literals as an evidence BDD.
@@ -671,12 +721,16 @@ impl ObddEngine {
         // target: the joints would grow the manager only to be thrown
         // away.
         let weights = self.level_weights(vt);
-        let mut wmc = Wmc::with_cache(&self.man, weights.clone(), self.wmc_cache.take());
+        let mut wmc = Wmc::with_cache(
+            &self.man,
+            weights.clone(),
+            std::mem::take(&mut *self.wmc_cache.lock()),
+        );
         let evidence_prob = {
             let _span = telemetry::span(Phase::Wmc);
             wmc.probability(evidence)
         };
-        self.wmc_cache.replace(wmc.into_cache());
+        *self.wmc_cache.lock() = wmc.into_cache();
         if evidence_prob <= 0.0 {
             return Err(ObddError::ZeroEvidence);
         }
@@ -686,7 +740,11 @@ impl ObddEngine {
             .into_iter()
             .map(|t| self.man.and(t, evidence))
             .collect();
-        let mut wmc = Wmc::with_cache(&self.man, weights, self.wmc_cache.take());
+        let mut wmc = Wmc::with_cache(
+            &self.man,
+            weights,
+            std::mem::take(&mut *self.wmc_cache.lock()),
+        );
         let posteriors = {
             let _span = telemetry::span(Phase::Wmc);
             joint
@@ -694,7 +752,7 @@ impl ObddEngine {
                 .map(|j| wmc.probability(j) / evidence_prob)
                 .collect()
         };
-        self.wmc_cache.replace(wmc.into_cache());
+        *self.wmc_cache.lock() = wmc.into_cache();
         // Maintenance point: the joints (and the caller's evidence) are
         // garbage now, the targets are protected — repeated conditioning
         // on one engine stays bounded instead of growing monotonically.
@@ -893,7 +951,7 @@ impl ObddEngine {
             targets,
             names: snap.names.clone(),
             stats,
-            wmc_cache: RefCell::new(WmcCache::new()),
+            wmc_cache: Mutex::new(WmcCache::new()),
         })
     }
 }
@@ -1085,6 +1143,42 @@ mod tests {
             assert!((got[i] - want[i]).abs() < 1e-12, "target {i}");
         }
         assert!((got[0] + got[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_is_sync_and_try_probabilities_matches_probabilities() {
+        // The serving layer shares one compiled snapshot across batch
+        // members: the engine must be Send + Sync …
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ObddEngine>();
+
+        // … and the budget-aware sweep must agree with the classic one.
+        let p = mutex_chain_program(8);
+        let (engine, want, vt) = engine_for(&p, &ObddOptions::default());
+        let scope = BudgetScope::unlimited();
+        let got = engine.try_probabilities(&vt, &scope).unwrap();
+        assert_eq!(got.len(), want.len());
+        for i in 0..want.len() {
+            assert!((got[i] - want[i]).abs() < 1e-12, "target {i}");
+        }
+        assert_eq!(got, engine.probabilities(&vt), "same sweep, same bits");
+    }
+
+    #[test]
+    fn try_probabilities_stops_at_a_target_boundary_when_cancelled() {
+        let p = mutex_chain_program(8);
+        let (engine, _, vt) = engine_for(&p, &ObddOptions::default());
+        let scope = BudgetScope::unlimited();
+        scope.cancel_external();
+        match engine.try_probabilities(&vt, &scope) {
+            Err(ObddError::BudgetExceeded { resource, .. }) => {
+                assert_eq!(resource, Resource::Cancelled);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // The engine stays fully usable after an aborted sweep.
+        let probs = engine.probabilities(&vt);
+        assert_eq!(probs.len(), 8);
     }
 
     #[test]

@@ -331,6 +331,27 @@ impl ArtifactStore {
         self.root.join(format!("{}-{fp}.efs", kind.name()))
     }
 
+    /// Whether an artifact is present under this key. A cheap
+    /// existence probe for cache-tier management — it does **not**
+    /// validate the artifact (a later load may still find it corrupt;
+    /// the zero-trust pipeline is the only judge of usability).
+    pub fn contains(&self, kind: EngineKind, fp: Fingerprint) -> bool {
+        self.path_for(kind, fp).is_file()
+    }
+
+    /// Evicts the artifact keyed by `(kind, fp)` from the disk tier.
+    /// Returns whether an artifact was actually removed; a missing
+    /// entry is `Ok(false)`, not an error, so eviction is idempotent
+    /// (mirroring how loads treat a missing file as a plain miss).
+    pub fn remove(&self, kind: EngineKind, fp: Fingerprint) -> Result<bool, StoreError> {
+        let path = self.path_for(kind, fp);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(source) => Err(StoreError::Io { path, source }),
+        }
+    }
+
     /// Persists a compiled d-DNNF engine under `fp`, including the
     /// weights in `vt` and the per-target probabilities they induce
     /// (the WMC digest future loads are checked against). Returns the

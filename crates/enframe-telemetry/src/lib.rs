@@ -16,7 +16,9 @@
 //! * **[Counters](Counter)** — typed, registry-keyed relaxed atomics:
 //!   cache hits/misses/evictions (ite, WMC, d-DNNF memo), unique-table
 //!   probes and resizes, trail pushes/backtracks, nodes
-//!   allocated/freed, queue waits per worker.
+//!   allocated/freed, queue waits per worker, and the serving layer's
+//!   cache-tier/batching/epoch counters (including the
+//!   [`count_max`]-maintained queue-depth high-water mark).
 //! * **Exporters** — [`snapshot`] returns the counter and per-phase
 //!   aggregates as a value (serialised to flat JSON by
 //!   [`Snapshot::to_json`], merged into every bench row), and
@@ -131,9 +133,16 @@ pub enum Counter {
     StoreMiss,
     StoreCorruption,
     StoreRevalidation,
+    ServeMemHit,
+    ServeMemMiss,
+    ServeCoalesce,
+    ServeBatch,
+    ServeBatchedQuery,
+    ServeEpochSwing,
+    ServeQueueDepth,
 }
 
-const N_COUNTERS: usize = 22;
+const N_COUNTERS: usize = 29;
 
 impl Counter {
     /// Every counter, in registry order (the order snapshots export).
@@ -160,6 +169,13 @@ impl Counter {
         Counter::StoreMiss,
         Counter::StoreCorruption,
         Counter::StoreRevalidation,
+        Counter::ServeMemHit,
+        Counter::ServeMemMiss,
+        Counter::ServeCoalesce,
+        Counter::ServeBatch,
+        Counter::ServeBatchedQuery,
+        Counter::ServeEpochSwing,
+        Counter::ServeQueueDepth,
     ];
 
     /// The stable snake_case key this counter exports under.
@@ -187,6 +203,13 @@ impl Counter {
             Counter::StoreMiss => "store_misses",
             Counter::StoreCorruption => "store_corruptions",
             Counter::StoreRevalidation => "store_revalidations",
+            Counter::ServeMemHit => "serve_mem_hits",
+            Counter::ServeMemMiss => "serve_mem_misses",
+            Counter::ServeCoalesce => "serve_coalesces",
+            Counter::ServeBatch => "serve_batches",
+            Counter::ServeBatchedQuery => "serve_batched_queries",
+            Counter::ServeEpochSwing => "serve_epoch_swings",
+            Counter::ServeQueueDepth => "serve_queue_depth",
         }
     }
 }
@@ -206,6 +229,16 @@ pub fn count(c: Counter) {
 pub fn count_n(c: Counter, n: u64) {
     if enabled() {
         COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Raises `c` to at least `n` (when telemetry is enabled; no-op
+/// otherwise) — for high-water-mark counters like
+/// [`Counter::ServeQueueDepth`], which report a peak rather than a sum.
+#[inline]
+pub fn count_max(c: Counter, n: u64) {
+    if enabled() {
+        COUNTERS[c as usize].fetch_max(n, Ordering::Relaxed);
     }
 }
 
@@ -251,9 +284,12 @@ pub enum Phase {
     StoreSave,
     /// Artifact-store zero-trust revalidation of a loaded artifact.
     StoreVerify,
+    /// Query-service request handling: admission, artifact resolution
+    /// through the cache tiers, and the (possibly batched) evaluation.
+    Serve,
 }
 
-const N_PHASES: usize = 15;
+const N_PHASES: usize = 16;
 
 impl Phase {
     /// Every phase, in registry order (the order snapshots export).
@@ -273,6 +309,7 @@ impl Phase {
         Phase::StoreLoad,
         Phase::StoreSave,
         Phase::StoreVerify,
+        Phase::Serve,
     ];
 
     /// The stable snake_case key this phase exports under
@@ -294,6 +331,7 @@ impl Phase {
             Phase::StoreLoad => "store_load",
             Phase::StoreSave => "store_save",
             Phase::StoreVerify => "store_verify",
+            Phase::Serve => "serve",
         }
     }
 }
@@ -602,6 +640,20 @@ mod tests {
         count_n(Counter::IteHit, 2);
         assert_eq!(snapshot().counter(Counter::IteHit), 3);
         set_enabled(false);
+    }
+
+    #[test]
+    fn count_max_keeps_the_high_water_mark() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        count_max(Counter::ServeQueueDepth, 3);
+        count_max(Counter::ServeQueueDepth, 9);
+        count_max(Counter::ServeQueueDepth, 5);
+        assert_eq!(snapshot().counter(Counter::ServeQueueDepth), 9);
+        set_enabled(false);
+        count_max(Counter::ServeQueueDepth, 100);
+        assert_eq!(snapshot().counter(Counter::ServeQueueDepth), 9);
     }
 
     #[test]

@@ -1,10 +1,33 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
 //! The build environment has no crates-io access, so this shim provides
-//! the subset of the `parking_lot` API the workspace uses: a [`Mutex`]
-//! whose `lock()` returns the guard directly (no poisoning `Result`).
-//! It wraps `std::sync::Mutex` and recovers from poisoning, which matches
-//! `parking_lot`'s semantics of not propagating panics to other lockers.
+//! the subset of the `parking_lot` API the workspace uses:
+//!
+//! * a [`Mutex`] whose `lock()` returns the guard directly (no
+//!   poisoning `Result`) — it wraps `std::sync::Mutex` and recovers
+//!   from poisoning, matching `parking_lot`'s semantics of not
+//!   propagating panics to other lockers;
+//! * a [`RwLock`] with the pieces the epoch-publication writer in
+//!   `enframe-core` needs beyond `std`'s API: [`RwLock::read_recursive`]
+//!   (re-entrant shared access that never deadlocks behind a queued
+//!   writer) and the upgradable-read protocol
+//!   ([`RwLock::upgradable_read`] /
+//!   [`RwLockUpgradableReadGuard::upgrade`] /
+//!   [`RwLockUpgradableReadGuard::try_upgrade`]) that lets a maintainer
+//!   build a new snapshot while readers continue, then swap it in
+//!   atomically.
+//!
+//! The `RwLock` is built on a `Condvar` state machine rather than
+//! wrapping `std::sync::RwLock`, because `std` has neither recursion
+//! guarantees nor upgradable guards. Writer preference matches
+//! `parking_lot`: a queued writer blocks **new** [`RwLock::read`]
+//! acquisitions (no writer starvation), while
+//! [`RwLock::read_recursive`] ignores queued writers (so a thread that
+//! already holds a read lock can take another without deadlocking —
+//! the documented reason that method exists).
+
+use std::cell::UnsafeCell;
+use std::sync::Condvar;
 
 /// RAII guard returned by [`Mutex::lock`].
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
@@ -40,9 +63,272 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+// ---------------------------------------------------------------------
+// RwLock.
+// ---------------------------------------------------------------------
+
+/// Who holds or wants the lock. `readers` counts plain shared guards;
+/// the (at most one) upgradable guard is tracked separately because it
+/// coexists with readers but excludes writers and other upgradables.
+#[derive(Debug, Default)]
+struct RwState {
+    readers: usize,
+    upgradable: bool,
+    writer: bool,
+    /// Writers (and upgrading upgradables) currently blocked. New
+    /// `read()` acquisitions wait behind these; `read_recursive()`
+    /// does not.
+    writers_waiting: usize,
+}
+
+/// A reader–writer lock with `parking_lot`'s non-poisoning API,
+/// including recursive reads and upgradable reads. See the crate docs
+/// for which pieces are implemented and why.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    state: std::sync::Mutex<RwState>,
+    cond: Condvar,
+    value: UnsafeCell<T>,
+}
+
+// Safety: same bounds as std::sync::RwLock — readers hand out &T across
+// threads (needs T: Sync), writers move exclusive access (needs T: Send).
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock wrapping `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            state: std::sync::Mutex::new(RwState::default()),
+            cond: Condvar::new(),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn state(&self) -> std::sync::MutexGuard<'_, RwState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires a shared read lock, blocking while a writer holds or
+    /// awaits the lock (writer preference: queued writers are not
+    /// starved by a stream of new readers). A thread that already
+    /// holds a read guard must use [`RwLock::read_recursive`] to take
+    /// another, or it can deadlock behind its own queued writer.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let mut s = self.state();
+        while s.writer || s.writers_waiting > 0 {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.readers += 1;
+        drop(s);
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquires a shared read lock without waiting behind queued
+    /// writers — only an *active* writer blocks it. Safe to call while
+    /// already holding a read guard on the same lock.
+    pub fn read_recursive(&self) -> RwLockReadGuard<'_, T> {
+        let mut s = self.state();
+        while s.writer {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.readers += 1;
+        drop(s);
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Attempts to acquire a shared read lock without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let mut s = self.state();
+        if s.writer || s.writers_waiting > 0 {
+            return None;
+        }
+        s.readers += 1;
+        drop(s);
+        Some(RwLockReadGuard { lock: self })
+    }
+
+    /// Acquires the exclusive write lock, blocking until all readers,
+    /// the upgradable holder, and any active writer release.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let mut s = self.state();
+        s.writers_waiting += 1;
+        while s.writer || s.upgradable || s.readers > 0 {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.writers_waiting -= 1;
+        s.writer = true;
+        drop(s);
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Attempts to acquire the exclusive write lock without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let mut s = self.state();
+        if s.writer || s.upgradable || s.readers > 0 {
+            return None;
+        }
+        s.writer = true;
+        drop(s);
+        Some(RwLockWriteGuard { lock: self })
+    }
+
+    /// Acquires an **upgradable** read lock: shared with plain readers,
+    /// exclusive against writers and other upgradable holders. The
+    /// guard can be upgraded to a write lock without releasing —
+    /// the atomic read-then-decide-then-swap the epoch writer needs.
+    pub fn upgradable_read(&self) -> RwLockUpgradableReadGuard<'_, T> {
+        let mut s = self.state();
+        while s.writer || s.upgradable || s.writers_waiting > 0 {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.upgradable = true;
+        drop(s);
+        RwLockUpgradableReadGuard { lock: self }
+    }
+
+    /// Returns a mutable reference to the underlying data without
+    /// locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        // Safety: &mut self guarantees no guards are outstanding.
+        unsafe { &mut *self.value.get() }
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+#[must_use = "dropping the guard releases the lock immediately"]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut s = self.lock.state();
+        s.readers -= 1;
+        if s.readers == 0 {
+            self.lock.cond.notify_all();
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: shared access is held while the guard lives.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+#[must_use = "dropping the guard releases the lock immediately"]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut s = self.lock.state();
+        s.writer = false;
+        self.lock.cond.notify_all();
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive access is held while the guard lives.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive access is held while the guard lives.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+/// RAII upgradable-read guard for [`RwLock`]. Shares the lock with
+/// plain readers; upgrade to exclusive access with
+/// [`RwLockUpgradableReadGuard::upgrade`] (blocking) or
+/// [`RwLockUpgradableReadGuard::try_upgrade`] (fallible, keeps the
+/// guard on failure). Both are associated functions, mirroring
+/// `parking_lot`.
+#[must_use = "dropping the guard releases the lock immediately"]
+pub struct RwLockUpgradableReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<'a, T: ?Sized> RwLockUpgradableReadGuard<'a, T> {
+    /// Upgrades to a write guard, waiting for the remaining readers to
+    /// drain. No other writer or upgradable holder can slip in between
+    /// — the upgradable slot is exclusive, so the upgrade is atomic
+    /// with respect to other writers.
+    pub fn upgrade(s: Self) -> RwLockWriteGuard<'a, T> {
+        let lock = s.lock;
+        std::mem::forget(s);
+        let mut st = lock.state();
+        // Count as a waiting writer so read() acquisitions queue behind
+        // the upgrade rather than starving it.
+        st.writers_waiting += 1;
+        while st.readers > 0 {
+            st = lock.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.writers_waiting -= 1;
+        st.upgradable = false;
+        st.writer = true;
+        drop(st);
+        RwLockWriteGuard { lock }
+    }
+
+    /// Attempts the upgrade without blocking: succeeds iff no plain
+    /// readers currently share the lock; otherwise the upgradable
+    /// guard is returned unchanged.
+    pub fn try_upgrade(s: Self) -> Result<RwLockWriteGuard<'a, T>, Self> {
+        let lock = s.lock;
+        let mut st = lock.state();
+        if st.readers > 0 {
+            drop(st);
+            return Err(s);
+        }
+        st.upgradable = false;
+        st.writer = true;
+        drop(st);
+        std::mem::forget(s);
+        Ok(RwLockWriteGuard { lock })
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockUpgradableReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut s = self.lock.state();
+        s.upgradable = false;
+        self.lock.cond.notify_all();
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockUpgradableReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: shared access is held while the guard lives.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn lock_round_trip() {
@@ -50,5 +336,146 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_read_write_round_trip() {
+        let l = RwLock::new(1u32);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let l = RwLock::new(0u32);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert!(l.try_write().is_none(), "readers must block writers");
+        drop(r1);
+        assert!(l.try_write().is_none());
+        drop(r2);
+        let w = l.try_write().expect("free lock must grant write");
+        assert!(l.try_read().is_none(), "writer must block readers");
+        drop(w);
+        assert!(l.try_read().is_some());
+    }
+
+    #[test]
+    fn concurrent_writers_serialize() {
+        let l = Arc::new(RwLock::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    *l.write() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 8000);
+    }
+
+    #[test]
+    fn read_recursive_ignores_queued_writers() {
+        let l = Arc::new(RwLock::new(0u32));
+        let outer = l.read();
+        // Park a writer; it queues behind the outer read guard.
+        let writer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                *l.write() = 7;
+            })
+        };
+        // Give the writer time to enqueue (writers_waiting > 0).
+        std::thread::sleep(Duration::from_millis(50));
+        // A plain try_read now refuses (writer preference)…
+        assert!(l.try_read().is_none(), "read() must queue behind writers");
+        // …but the recursive read goes through, so the holder of
+        // `outer` cannot deadlock against its own queued writer.
+        let inner = l.read_recursive();
+        assert_eq!(*inner, 0);
+        drop(inner);
+        drop(outer);
+        writer.join().unwrap();
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn upgradable_read_upgrades_atomically() {
+        let l = Arc::new(RwLock::new(Vec::<u32>::new()));
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let l = Arc::clone(&l);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                let up = l.upgradable_read();
+                let len = up.len();
+                let mut w = RwLockUpgradableReadGuard::upgrade(up);
+                // The upgrade was atomic: nobody appended in between.
+                assert_eq!(w.len(), len);
+                w.push(i);
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn upgradable_coexists_with_readers_excludes_upgradables() {
+        let l = RwLock::new(5u32);
+        let r = l.read();
+        let up = l.upgradable_read();
+        assert_eq!(*up, 5);
+        assert_eq!(*r, 5);
+        // A second upgradable or a writer must not get in.
+        assert!(l.try_write().is_none());
+        // try_upgrade fails while a plain reader shares the lock, and
+        // hands the guard back intact.
+        let up = match RwLockUpgradableReadGuard::try_upgrade(up) {
+            Ok(_) => panic!("upgrade must fail while a reader is active"),
+            Err(up) => up,
+        };
+        drop(r);
+        // Last reader gone: now the upgrade succeeds.
+        let mut w = RwLockUpgradableReadGuard::try_upgrade(up)
+            .unwrap_or_else(|_| panic!("upgrade must succeed with no readers"));
+        *w += 1;
+        drop(w);
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn writers_are_not_starved_by_reader_stream() {
+        let l = Arc::new(RwLock::new(0u32));
+        let r = l.read();
+        let writer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                *l.write() = 1;
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        // New plain readers queue behind the waiting writer.
+        assert!(l.try_read().is_none());
+        drop(r);
+        writer.join().unwrap();
+        assert_eq!(*l.read(), 1);
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut l = RwLock::new(3u32);
+        *l.get_mut() += 4;
+        assert_eq!(*l.read(), 7);
     }
 }

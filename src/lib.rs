@@ -25,6 +25,7 @@
 //! | [`sprout`] | pc-tables and positive relational algebra with aggregates (the `loadData()` query path) |
 //! | [`data`] | workload generators: correlation schemes and synthetic sensor data (§5) |
 //! | [`store`] | crash-safe compiled-artifact store: fingerprinted persistence, zero-trust reloads with integrity revalidation, corruption recovery |
+//! | [`serve`] | query service: two-tier artifact cache with single-flight compiles, epoch-snapshotted lock-free reads, admission-window batched evaluation, per-request budgets with graceful degradation |
 //! | [`telemetry`] | instrumentation: hierarchical spans, typed counters, worker timelines, Chrome Trace export |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@ pub use enframe_lang as lang;
 pub use enframe_network as network;
 pub use enframe_obdd as obdd;
 pub use enframe_prob as prob;
+pub use enframe_serve as serve;
 pub use enframe_sprout as sprout;
 pub use enframe_store as store;
 pub use enframe_telemetry as telemetry;
@@ -82,6 +84,7 @@ pub mod prelude {
         compile, compile_distributed, compile_folded, compile_folded_distributed, CompileResult,
         DistOptions, Options, Strategy,
     };
+    pub use enframe_serve::{Answer, Lineage, QueryService, Reply, ServeOptions};
     pub use enframe_sprout::{PcTable, Query, Schema};
     pub use enframe_translate::env::clustering_env;
     pub use enframe_translate::{translate, ProbEnv, ProbObjects, ProbValue};
